@@ -1,0 +1,259 @@
+package provrpq_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"provrpq"
+	"provrpq/internal/automata"
+	"provrpq/internal/baseline"
+	"provrpq/internal/bench"
+	"provrpq/internal/core"
+	"provrpq/internal/derive"
+	"provrpq/internal/index"
+	"provrpq/internal/label"
+	"provrpq/internal/reach"
+	"provrpq/internal/workload"
+)
+
+// Figure benchmarks: each regenerates one figure of the paper's evaluation
+// on a reduced (Quick) workload so `go test -bench=.` stays tractable. Run
+// `go run ./cmd/rpqbench -all` for the full-size sweeps recorded in
+// EXPERIMENTS.md.
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	cfg := bench.Config{W: io.Discard, Quick: true, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13aOverheadGrammarSize(b *testing.B) { benchFigure(b, "13a") }
+func BenchmarkFig13bOverheadQuerySize(b *testing.B)   { benchFigure(b, "13b") }
+func BenchmarkFig13cPairwiseRunSize(b *testing.B)     { benchFigure(b, "13c") }
+func BenchmarkFig13dPairwiseQuerySize(b *testing.B)   { benchFigure(b, "13d") }
+func BenchmarkFig13eAllPairsIFQBioAID(b *testing.B)   { benchFigure(b, "13e") }
+func BenchmarkFig13fAllPairsIFQQBLast(b *testing.B)   { benchFigure(b, "13f") }
+func BenchmarkFig13gKleeneBioAID(b *testing.B)        { benchFigure(b, "13g") }
+func BenchmarkFig13hKleeneQBLast(b *testing.B)        { benchFigure(b, "13h") }
+func BenchmarkFig15aGeneralBioAID(b *testing.B)       { benchFigure(b, "15a") }
+func BenchmarkFig15bGeneralQBLast(b *testing.B)       { benchFigure(b, "15b") }
+
+// Micro-benchmarks of the core primitives.
+
+func bioRun(b *testing.B, edges int) (*workload.Dataset, *derive.Run) {
+	b.Helper()
+	d := workload.BioAID()
+	run, err := derive.Derive(d.Spec, derive.Options{Seed: 1, TargetEdges: edges})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, run
+}
+
+// BenchmarkPairwiseSafeDecode measures the constant-time pairwise decode
+// (Theorem 1) on random node pairs of a 2K-edge BioAID run.
+func BenchmarkPairwiseSafeDecode(b *testing.B) {
+	d, run := bioRun(b, 2000)
+	r := rand.New(rand.NewSource(2))
+	env, err := core.Compile(d.Spec, automata.MustParse(d.SafeIFQ(r, 3, true)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !env.Safe {
+		b.Fatal("query should be safe")
+	}
+	n := run.NumNodes()
+	pairs := make([][2]label.Label, 4096)
+	for i := range pairs {
+		pairs[i] = [2]label.Label{
+			run.Label(derive.NodeID(r.Intn(n))),
+			run.Label(derive.NodeID(r.Intn(n))),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		env.PairwiseUnchecked(p[0], p[1])
+	}
+}
+
+// BenchmarkCoarseReachabilityDecode measures the plain-reachability decode
+// of the prior-work labeling (reconstruction of [4]).
+func BenchmarkCoarseReachabilityDecode(b *testing.B) {
+	_, run := bioRun(b, 2000)
+	r := rand.New(rand.NewSource(3))
+	n := run.NumNodes()
+	pairs := make([][2]label.Label, 4096)
+	for i := range pairs {
+		pairs[i] = [2]label.Label{
+			run.Label(derive.NodeID(r.Intn(n))),
+			run.Label(derive.NodeID(r.Intn(n))),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		reach.Pairwise(run.Spec, p[0], p[1])
+	}
+}
+
+// BenchmarkSafetyCheck measures Compile (minimal DFA + λ + safety verdict)
+// on BioAID — the per-query overhead of Fig. 13a/b.
+func BenchmarkSafetyCheck(b *testing.B) {
+	d := workload.BioAID()
+	r := rand.New(rand.NewSource(4))
+	queries := make([]*automata.Node, 32)
+	for i := range queries {
+		queries[i] = automata.MustParse(d.SafeIFQ(r, 3, true))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(d.Spec, queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllPairsReachable measures the output-linear all-pairs
+// reachability (Lemma 4.1) over all nodes of a 2K-edge run.
+func BenchmarkAllPairsReachable(b *testing.B) {
+	_, run := bioRun(b, 2000)
+	labels := make([]label.Label, run.NumNodes())
+	for i := range labels {
+		labels[i] = run.Label(derive.NodeID(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		reach.AllPairs(run.Spec, labels, labels, func(int, int) { count++ })
+	}
+}
+
+// BenchmarkLabelEncodeDecode measures the compact varint label codec.
+func BenchmarkLabelEncodeDecode(b *testing.B) {
+	_, run := bioRun(b, 2000)
+	var labels []label.Label
+	for i := 0; i < run.NumNodes(); i += 7 {
+		labels = append(labels, run.Label(derive.NodeID(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := labels[i%len(labels)].Encode()
+		if _, err := label.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDerive2K measures labeled-run generation itself.
+func BenchmarkDerive2K(b *testing.B) {
+	d := workload.BioAID()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := derive.Derive(d.Spec, derive.Options{Seed: int64(i), TargetEdges: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEvaluateSafe measures the public API end to end on a safe
+// query over a mid-size run.
+func BenchmarkEngineEvaluateSafe(b *testing.B) {
+	spec, err := provrpq.NewSpecBuilder().
+		Start("S").
+		Chain("S", "in", "Loop", "out").
+		Chain("Loop", "work", "Loop", "emit").
+		Chain("Loop", "work", "emit").
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run, err := spec.Derive(provrpq.DeriveOptions{Seed: 1, TargetEdges: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := provrpq.MustParseQuery("_*.emit._*.out")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := provrpq.NewEngine(run)
+		if _, err := eng.Evaluate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationRangeCache isolates the chain-range memo: pairwise a*
+// decodes across deep fork chains, with and without the cache.
+func BenchmarkAblationRangeCache(b *testing.B) {
+	d := workload.BioAID()
+	run, err := derive.Derive(d.Spec, derive.Options{
+		Seed: 1, TargetEdges: 4000,
+		FavorModules: d.ForkFavor, FavorCaps: d.ForkCaps,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	anodes := run.NodesOfModule("a")
+	r := rand.New(rand.NewSource(5))
+	pairs := make([][2]label.Label, 4096)
+	for i := range pairs {
+		pairs[i] = [2]label.Label{
+			run.Label(anodes[r.Intn(len(anodes))]),
+			run.Label(anodes[r.Intn(len(anodes))]),
+		}
+	}
+	for _, disable := range []bool{false, true} {
+		name := "cached"
+		if disable {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			env, err := core.Compile(d.Spec, automata.MustParse("a*"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			env.DisableRangeCache = disable
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				env.PairwiseUnchecked(p[0], p[1])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationClosure compares the semi-naive closure our remainder
+// evaluation uses against the naive self-join fixpoint of the baseline.
+func BenchmarkAblationClosure(b *testing.B) {
+	d := workload.BioAID()
+	run, err := derive.Derive(d.Spec, derive.Options{
+		Seed: 1, TargetEdges: 2000,
+		FavorModules: d.ForkFavor, FavorCaps: d.ForkCaps,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := index.Build(run)
+	base := baseline.NewRel()
+	for _, p := range ix.Pairs("a") {
+		base.Add(p.From, p.To)
+	}
+	b.Run("semi-naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			base.Closure()
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			base.ClosureNaive()
+		}
+	})
+}

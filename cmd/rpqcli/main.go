@@ -1,0 +1,87 @@
+// Command rpqcli evaluates regular path queries over a stored workflow run.
+//
+// Usage:
+//
+//	rpqcli -spec wf.spec.json -run wf.run.json -query "_*.emit._*"
+//	rpqcli -spec ... -run ... -query "a*" -from a:1 -to a:9
+//	rpqcli -spec ... -run ... -query "a*" -explain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"provrpq"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "specification JSON (from wfgen or SaveSpec)")
+	runPath := flag.String("run", "", "run JSON (from wfgen or SaveRun)")
+	queryStr := flag.String("query", "", "regular path query")
+	from := flag.String("from", "", "pairwise source node, e.g. a:1")
+	to := flag.String("to", "", "pairwise target node")
+	explain := flag.Bool("explain", false, "print the evaluation plan instead of results")
+	limit := flag.Int("limit", 20, "max result pairs to print (0 = all)")
+	flag.Parse()
+
+	if *specPath == "" || *runPath == "" || *queryStr == "" {
+		fmt.Fprintln(os.Stderr, "usage: rpqcli -spec S.json -run R.json -query Q [-from u -to v | -explain]")
+		os.Exit(2)
+	}
+	spec, err := provrpq.LoadSpec(*specPath)
+	fatal(err)
+	run, err := provrpq.LoadRun(*runPath, spec)
+	fatal(err)
+	q, err := provrpq.ParseQuery(*queryStr)
+	fatal(err)
+
+	eng := provrpq.NewEngine(run)
+	safe, err := eng.IsSafe(q)
+	fatal(err)
+	fmt.Printf("query %s — safe: %v\n", q, safe)
+
+	if *explain {
+		_, subtrees, err := eng.Explain(q)
+		fatal(err)
+		if safe {
+			fmt.Println("plan: single safe query, optRPL over labels")
+			return
+		}
+		fmt.Printf("plan: decomposition; safe subtrees evaluated with labels: %v\n", subtrees)
+		return
+	}
+
+	if *from != "" && *to != "" {
+		u, ok := run.NodeByName(*from)
+		if !ok {
+			fatal(fmt.Errorf("node %q not found", *from))
+		}
+		v, ok := run.NodeByName(*to)
+		if !ok {
+			fatal(fmt.Errorf("node %q not found", *to))
+		}
+		match, err := eng.Pairwise(q, u, v)
+		fatal(err)
+		fmt.Printf("%s --[%s]--> %s: %v\n", *from, q, *to, match)
+		return
+	}
+
+	pairs, err := eng.Evaluate(q)
+	fatal(err)
+	fmt.Printf("%d matching pairs\n", len(pairs))
+	for i, p := range pairs {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... (%d more)\n", len(pairs)-*limit)
+			break
+		}
+		fmt.Printf("  %s -> %s\n", run.NodeName(p.From), run.NodeName(p.To))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpqcli:", err)
+		os.Exit(1)
+	}
+}

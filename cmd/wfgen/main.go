@@ -1,0 +1,81 @@
+// Command wfgen generates workflow specifications and labeled runs as JSON
+// files, for use with rpqcli or external tooling.
+//
+// Usage:
+//
+//	wfgen -dataset bioaid  -edges 2000 -out /tmp/bio
+//	wfgen -dataset qblast  -edges 1000 -seed 7 -out /tmp/qb
+//	wfgen -dataset synthetic -size 800 -edges 4000 -out /tmp/syn
+//	wfgen -dataset paper -out /tmp/paper      # the paper's Fig. 2a example
+//
+// Writes <out>.spec.json and <out>.run.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"provrpq/internal/derive"
+	"provrpq/internal/wf"
+	"provrpq/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "bioaid", "bioaid | qblast | synthetic | paper | fork")
+	size := flag.Int("size", 800, "grammar size for -dataset synthetic")
+	edges := flag.Int("edges", 2000, "approximate run size in edges")
+	seed := flag.Int64("seed", 1, "derivation seed")
+	out := flag.String("out", "workflow", "output path prefix")
+	forkRun := flag.Bool("forkrun", false, "derive the Fig. 13g fork workload (many fork chains)")
+	flag.Parse()
+
+	var spec *wf.Spec
+	opts := derive.Options{Seed: *seed, TargetEdges: *edges}
+	switch *dataset {
+	case "bioaid", "qblast", "synthetic":
+		var d *workload.Dataset
+		switch *dataset {
+		case "bioaid":
+			d = workload.BioAID()
+		case "qblast":
+			d = workload.QBLast()
+		default:
+			d = workload.Synthetic(*size, *seed)
+		}
+		spec = d.Spec
+		if *forkRun {
+			opts.FavorModules = d.ForkFavor
+			opts.FavorCaps = d.ForkCaps
+		}
+	case "paper":
+		spec = wf.PaperSpec()
+	case "fork":
+		spec = wf.ForkSpec()
+	default:
+		fmt.Fprintf(os.Stderr, "wfgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	run, err := derive.Derive(spec, opts)
+	fatal(err)
+
+	specJSON, err := json.MarshalIndent(spec, "", "  ")
+	fatal(err)
+	fatal(os.WriteFile(*out+".spec.json", specJSON, 0o644))
+
+	runJSON, err := derive.EncodeRun(run)
+	fatal(err)
+	fatal(os.WriteFile(*out+".run.json", runJSON, 0o644))
+
+	fmt.Printf("wrote %s.spec.json (grammar size %d) and %s.run.json (%d nodes, %d edges)\n",
+		*out, spec.Size(), *out, run.NumNodes(), run.NumEdges())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,285 @@
+package provrpq
+
+import (
+	"fmt"
+
+	"provrpq/internal/automata"
+	"provrpq/internal/baseline"
+	"provrpq/internal/core"
+	"provrpq/internal/index"
+	"provrpq/internal/label"
+	"provrpq/internal/reach"
+)
+
+// Query is a parsed regular path query.
+type Query struct {
+	node *automata.Node
+	str  string
+}
+
+// ParseQuery parses the package's query syntax (see the package comment).
+func ParseQuery(s string) (*Query, error) {
+	n, err := automata.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{node: n, str: s}, nil
+}
+
+// MustParseQuery is ParseQuery panicking on error, for fixtures.
+func MustParseQuery(s string) *Query {
+	q, err := ParseQuery(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the canonical rendering of the query.
+func (q *Query) String() string { return q.node.String() }
+
+// Pair is one result of an all-pairs query.
+type Pair struct {
+	From, To NodeID
+}
+
+// Strategy selects the all-pairs evaluation plan for safe queries.
+type Strategy int
+
+const (
+	// Auto uses OptRPL for safe queries and safe-subtree decomposition
+	// (with the cost model) for unsafe ones.
+	Auto Strategy = iota
+	// StrategyRPL forces the nested-loop pairwise scan (paper Option S1).
+	StrategyRPL
+	// StrategyOptRPL forces the reachability-filtered scan (Option S2).
+	StrategyOptRPL
+	// StrategyG1 forces the relational baseline (Option G1).
+	StrategyG1
+)
+
+// Engine evaluates queries over one run. It caches compiled query
+// environments (minimal DFA, λ matrices, safety verdict, decode artifacts)
+// and the run's inverted edge index; an Engine is not safe for concurrent
+// use.
+type Engine struct {
+	run  *Run
+	envs map[string]*core.Env
+	ix   *index.Index
+	gen  *core.General
+	lbls []label.Label
+}
+
+// NewEngine prepares an engine over a run.
+func NewEngine(run *Run) *Engine {
+	e := &Engine{run: run, envs: map[string]*core.Env{}}
+	for _, n := range run.r.Nodes {
+		e.lbls = append(e.lbls, n.Label)
+	}
+	return e
+}
+
+// Run returns the engine's run.
+func (e *Engine) Run() *Run { return e.run }
+
+func (e *Engine) env(q *Query) (*core.Env, error) {
+	key := q.node.String()
+	if env, ok := e.envs[key]; ok {
+		return env, nil
+	}
+	env, err := core.Compile(e.run.r.Spec, q.node)
+	if err != nil {
+		return nil, err
+	}
+	e.envs[key] = env
+	return env, nil
+}
+
+func (e *Engine) index() *index.Index {
+	if e.ix == nil {
+		e.ix = index.Build(e.run.r)
+	}
+	return e.ix
+}
+
+func (e *Engine) general() *core.General {
+	if e.gen == nil {
+		e.gen = core.NewGeneral(e.run.r, e.index(), core.CostBased)
+	}
+	return e.gen
+}
+
+// IsSafe reports whether the query is safe for the run's specification
+// (Definition 13; checked on the minimal DFA per Lemma 3.2).
+func (e *Engine) IsSafe(q *Query) (bool, error) {
+	env, err := e.env(q)
+	if err != nil {
+		return false, err
+	}
+	return env.Safe, nil
+}
+
+// IsSafeRelaxed additionally tries *context-restricted safety*, an
+// extension beyond the paper: determinism is required only for DFA states
+// that can actually arrive at a module's input on some run path. Strictly
+// more queries qualify (e.g. a query whose ambiguity involves a state no
+// path upstream of the module can produce). When relaxation succeeds, the
+// cached environment becomes safe, so subsequent Pairwise and AllPairs
+// calls on the same query use the constant-time label decode.
+func (e *Engine) IsSafeRelaxed(q *Query) (bool, error) {
+	env, err := e.env(q)
+	if err != nil {
+		return false, err
+	}
+	return env.RelaxSafety(), nil
+}
+
+// Pairwise answers u —R→ v. Safe queries are answered in constant time from
+// the two node labels (Theorem 1); unsafe queries fall back to a rare-label
+// product search over the run (Option G2).
+func (e *Engine) Pairwise(q *Query, u, v NodeID) (bool, error) {
+	if err := e.checkNode(u); err != nil {
+		return false, err
+	}
+	if err := e.checkNode(v); err != nil {
+		return false, err
+	}
+	env, err := e.env(q)
+	if err != nil {
+		return false, err
+	}
+	if env.Safe {
+		return env.Pairwise(e.lbls[u], e.lbls[v])
+	}
+	g2 := baseline.NewG2(e.index(), q.node)
+	return g2.Pairwise(toDerive([]NodeID{u})[0], toDerive([]NodeID{v})[0]), nil
+}
+
+// Reachable answers plain reachability u ⇝ v in constant time from labels.
+func (e *Engine) Reachable(u, v NodeID) (bool, error) {
+	if err := e.checkNode(u); err != nil {
+		return false, err
+	}
+	if err := e.checkNode(v); err != nil {
+		return false, err
+	}
+	return reach.Pairwise(e.run.r.Spec, e.lbls[u], e.lbls[v]), nil
+}
+
+// AllPairsReachable returns all reachable pairs of l1 × l2 in time linear
+// in the lists and the output (Lemma 4.1's side effect).
+func (e *Engine) AllPairsReachable(l1, l2 []NodeID) ([]Pair, error) {
+	la, err := e.labelsOf(l1)
+	if err != nil {
+		return nil, err
+	}
+	lb, err := e.labelsOf(l2)
+	if err != nil {
+		return nil, err
+	}
+	var out []Pair
+	reach.AllPairs(e.run.r.Spec, la, lb, func(i, j int) {
+		out = append(out, Pair{From: l1[i], To: l2[j]})
+	})
+	return out, nil
+}
+
+// AllPairs returns all pairs (u,v) ∈ l1 × l2 with u —R→ v.
+func (e *Engine) AllPairs(q *Query, l1, l2 []NodeID, strategy Strategy) ([]Pair, error) {
+	la, err := e.labelsOf(l1)
+	if err != nil {
+		return nil, err
+	}
+	lb, err := e.labelsOf(l2)
+	if err != nil {
+		return nil, err
+	}
+	env, err := e.env(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []Pair
+	switch strategy {
+	case StrategyRPL, StrategyOptRPL:
+		if !env.Safe {
+			return nil, fmt.Errorf("provrpq: query %s is unsafe; RPL/OptRPL require a safe query", q)
+		}
+		st := core.OptRPL
+		if strategy == StrategyRPL {
+			st = core.RPL
+		}
+		err := env.AllPairsSafe(la, lb, st, func(i, j int) {
+			out = append(out, Pair{From: l1[i], To: l2[j]})
+		})
+		return out, err
+	case StrategyG1:
+		g1 := baseline.NewG1(e.index())
+		g1.AllPairs(q.node, toDerive(l1), toDerive(l2), func(i, j int) {
+			out = append(out, Pair{From: l1[i], To: l2[j]})
+		})
+		return out, nil
+	default: // Auto
+		if env.Safe {
+			err := env.AllPairsSafe(la, lb, core.OptRPL, func(i, j int) {
+				out = append(out, Pair{From: l1[i], To: l2[j]})
+			})
+			return out, err
+		}
+		rel, _, err := e.general().Eval(q.node)
+		if err != nil {
+			return nil, err
+		}
+		du, dv := toDerive(l1), toDerive(l2)
+		for i, u := range l1 {
+			for j, v := range l2 {
+				if rel.Has(du[i], dv[j]) {
+					out = append(out, Pair{From: u, To: v})
+				}
+			}
+		}
+		return out, nil
+	}
+}
+
+// Evaluate returns the query's full result relation over all node pairs,
+// decomposing unsafe queries into maximal safe subtrees plus a relational
+// remainder (Section IV-B), with the cost model choosing per subtree.
+func (e *Engine) Evaluate(q *Query) ([]Pair, error) {
+	rel, _, err := e.general().Eval(q.node)
+	if err != nil {
+		return nil, err
+	}
+	var out []Pair
+	for _, p := range rel.Pairs() {
+		out = append(out, Pair{From: NodeID(p[0]), To: NodeID(p[1])})
+	}
+	return out, nil
+}
+
+// Explain describes how Evaluate would process the query — the safety
+// verdict and the maximal safe subtrees — without evaluating it.
+func (e *Engine) Explain(q *Query) (safe bool, safeSubtrees []string, err error) {
+	rep, err := e.general().Plan(q.node)
+	if err != nil {
+		return false, nil, err
+	}
+	return rep.Safe, rep.SafeSubtrees, nil
+}
+
+func (e *Engine) labelsOf(ids []NodeID) ([]label.Label, error) {
+	out := make([]label.Label, len(ids))
+	for i, id := range ids {
+		if err := e.checkNode(id); err != nil {
+			return nil, err
+		}
+		out[i] = e.lbls[id]
+	}
+	return out, nil
+}
+
+func (e *Engine) checkNode(n NodeID) error {
+	if n < 0 || int(n) >= len(e.lbls) {
+		return fmt.Errorf("provrpq: node id %d out of range [0,%d)", n, len(e.lbls))
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Provenance: the paper's introduction scenario. A scientific workflow
+// starts from data of type x, repeatedly analyzes it with technique a1 or
+// a2, produces a result of type s, and eventually publishes p. The query
+//
+//	x.(a1|a2)+.s._*.p
+//
+// finds all publications that resulted from such an analysis chain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"provrpq"
+)
+
+func main() {
+	// The workflow: Source emits x; Analysis applies a1 (and may recurse
+	// with the alternative technique a2) before emitting the result s;
+	// Publish produces the publication p.
+	spec, err := provrpq.NewSpecBuilder().
+		Start("Study").
+		Prod("Study", []string{"source", "Analysis", "post", "pub"}, []provrpq.BodyEdge{
+			{From: 0, To: 1, Tag: "x"},
+			{From: 1, To: 2, Tag: "s"},
+			{From: 2, To: 3, Tag: "p"},
+		}).
+		// Repeated analysis: technique a1 hands off to another round...
+		Prod("Analysis", []string{"tech1", "Analysis"}, []provrpq.BodyEdge{
+			{From: 0, To: 1, Tag: "a1"},
+		}).
+		// ... or technique a2 finishes the chain.
+		Prod("Analysis", []string{"tech2"}, nil).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run, err := spec.Derive(provrpq.DeriveOptions{Seed: 7, TargetEdges: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived study run: %d nodes, %d edges\n", run.NumNodes(), run.NumEdges())
+
+	eng := provrpq.NewEngine(run)
+	q := provrpq.MustParseQuery("x.(a1|a2)+.s._*.p")
+	safe, err := eng.IsSafe(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %s (safe=%v)\n", q, safe)
+
+	// Which data sources contributed to which publications through a
+	// repeated-analysis path?
+	sources := run.NodesOfModule("source")
+	pubs := run.NodesOfModule("pub")
+	pairs, err := eng.AllPairs(q, sources, pubs, provrpq.Auto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("publication %s traces back to %s via repeated analysis\n",
+			run.NodeName(p.To), run.NodeName(p.From))
+	}
+	if len(pairs) == 0 {
+		fmt.Println("no publication matched (unexpected for this workflow)")
+	}
+
+	// Contrast with plain reachability: every source reaches the
+	// publication, but only the regular path query certifies the shape of
+	// the derivation in between.
+	reach, err := eng.AllPairsReachable(sources, pubs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reachable source→pub pairs: %d; path-shape-certified pairs: %d\n",
+		len(reach), len(pairs))
+}

@@ -1,0 +1,421 @@
+// Package automata implements the regular-expression machinery the paper
+// relies on (it used the dk.brics.automaton library; we build the required
+// subset from scratch): parsing regular path queries over edge tags,
+// Thompson NFA construction, subset construction to a DFA, DFA minimization
+// (Lemma 3.2 reduces safety of a query to safety of its minimal DFA), and a
+// parse-tree view used by the general-query decomposition of Section IV-B.
+//
+// Query syntax (Section III-A):
+//
+//	expr   := term ('|' term)*          alternation
+//	term   := factor factor*            concatenation ('.' optional)
+//	factor := base ('*' | '+' | '?')*   Kleene star / plus / optional
+//	base   := TAG | '_' | 'ε' | '(' expr ')'
+//
+// TAG is an identifier over [A-Za-z0-9_-] (a lone '_' is the wildcard that
+// matches any single edge tag; 'ε', or the ASCII form '<eps>', is the empty
+// string). Whitespace separates tokens and is otherwise ignored.
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates AST node kinds.
+type Kind int
+
+// AST node kinds.
+const (
+	KindSym Kind = iota
+	KindWild
+	KindEps
+	KindConcat
+	KindAlt
+	KindStar
+	KindPlus
+	KindOpt
+)
+
+// Node is a node of a regular-expression abstract syntax tree. Nodes are
+// immutable once built; Children must not be mutated by callers.
+type Node struct {
+	Kind     Kind
+	Sym      string // tag for KindSym
+	Children []*Node
+}
+
+// Sym returns a node matching exactly the given edge tag.
+func Sym(tag string) *Node { return &Node{Kind: KindSym, Sym: tag} }
+
+// Wild returns the wildcard node '_' matching any single edge tag.
+func Wild() *Node { return &Node{Kind: KindWild} }
+
+// Eps returns the empty-string node.
+func Eps() *Node { return &Node{Kind: KindEps} }
+
+// Concat returns the concatenation of the given expressions.
+func Concat(xs ...*Node) *Node { return &Node{Kind: KindConcat, Children: xs} }
+
+// Alt returns the alternation of the given expressions.
+func Alt(xs ...*Node) *Node { return &Node{Kind: KindAlt, Children: xs} }
+
+// Star returns x*.
+func Star(x *Node) *Node { return &Node{Kind: KindStar, Children: []*Node{x}} }
+
+// Plus returns x+.
+func Plus(x *Node) *Node { return &Node{Kind: KindPlus, Children: []*Node{x}} }
+
+// Opt returns x?.
+func Opt(x *Node) *Node { return &Node{Kind: KindOpt, Children: []*Node{x}} }
+
+// String renders the node in the package's query syntax; Parse(n.String())
+// yields an equivalent expression.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+// precedence levels: alt=0, concat=1, unary=2, atom=3
+func (n *Node) render(b *strings.Builder, prec int) {
+	switch n.Kind {
+	case KindSym:
+		b.WriteString(n.Sym)
+	case KindWild:
+		b.WriteByte('_')
+	case KindEps:
+		b.WriteString("ε")
+	case KindConcat:
+		if prec > 1 {
+			b.WriteByte('(')
+		}
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte('.')
+			}
+			c.render(b, 2)
+		}
+		if prec > 1 {
+			b.WriteByte(')')
+		}
+	case KindAlt:
+		if prec > 0 {
+			b.WriteByte('(')
+		}
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			c.render(b, 1)
+		}
+		if prec > 0 {
+			b.WriteByte(')')
+		}
+	case KindStar, KindPlus, KindOpt:
+		n.Children[0].render(b, 3)
+		switch n.Kind {
+		case KindStar:
+			b.WriteByte('*')
+		case KindPlus:
+			b.WriteByte('+')
+		default:
+			b.WriteByte('?')
+		}
+	}
+}
+
+// Symbols returns the sorted set of concrete tags mentioned by the
+// expression (wildcards excluded).
+func (n *Node) Symbols() []string {
+	set := map[string]bool{}
+	n.walk(func(m *Node) {
+		if m.Kind == KindSym {
+			set[m.Sym] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasWildcard reports whether the expression contains '_'.
+func (n *Node) HasWildcard() bool {
+	found := false
+	n.walk(func(m *Node) {
+		if m.Kind == KindWild {
+			found = true
+		}
+	})
+	return found
+}
+
+func (n *Node) walk(f func(*Node)) {
+	f(n)
+	for _, c := range n.Children {
+		c.walk(f)
+	}
+}
+
+// Size returns the number of AST nodes (a proxy for the paper's |R|).
+func (n *Node) Size() int {
+	total := 0
+	n.walk(func(*Node) { total++ })
+	return total
+}
+
+// Reverse returns an expression matching the reversal of every string of
+// L(n). Used by the rare-label baseline (G2) for backward search.
+func (n *Node) Reverse() *Node {
+	switch n.Kind {
+	case KindSym, KindWild, KindEps:
+		return n
+	case KindConcat:
+		rev := make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			rev[len(n.Children)-1-i] = c.Reverse()
+		}
+		return Concat(rev...)
+	default:
+		cs := make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cs[i] = c.Reverse()
+		}
+		return &Node{Kind: n.Kind, Children: cs}
+	}
+}
+
+// Nullable reports whether ε ∈ L(n).
+func (n *Node) Nullable() bool {
+	switch n.Kind {
+	case KindEps, KindStar, KindOpt:
+		if n.Kind == KindEps {
+			return true
+		}
+		return true
+	case KindSym, KindWild:
+		return false
+	case KindConcat:
+		for _, c := range n.Children {
+			if !c.Nullable() {
+				return false
+			}
+		}
+		return true
+	case KindAlt:
+		for _, c := range n.Children {
+			if c.Nullable() {
+				return true
+			}
+		}
+		return false
+	case KindPlus:
+		return n.Children[0].Nullable()
+	}
+	return false
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+type token struct {
+	kind byte // 'i' ident, or one of ().|*+?_e  ('e' = epsilon)
+	text string
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case strings.IndexByte("().|*+?", c) >= 0:
+			toks = append(toks, token{kind: c})
+			i++
+		case strings.HasPrefix(s[i:], "ε"):
+			toks = append(toks, token{kind: 'e'})
+			i += len("ε")
+		case strings.HasPrefix(s[i:], "<eps>"):
+			toks = append(toks, token{kind: 'e'})
+			i += len("<eps>")
+		case isIdentByte(c):
+			j := i
+			for j < len(s) && isIdentByte(s[j]) {
+				j++
+			}
+			word := s[i:j]
+			if word == "_" {
+				toks = append(toks, token{kind: '_'})
+			} else {
+				toks = append(toks, token{kind: 'i', text: word})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("automata: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' || c == ':'
+}
+
+// Parse parses a regular path query in the package syntax.
+func Parse(s string) (*Node, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("automata: trailing input at token %d", p.pos)
+	}
+	return n, nil
+}
+
+// MustParse is Parse but panics on error; for tests and fixtures.
+func MustParse(s string) *Node {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) alt() (*Node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*Node{first}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Alt(parts...), nil
+}
+
+func (p *parser) concat() (*Node, error) {
+	first, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*Node{first}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		if t.kind == '.' {
+			p.pos++
+			next, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, next)
+			continue
+		}
+		// Implicit concatenation before an atom start.
+		if t.kind == 'i' || t.kind == '_' || t.kind == 'e' || t.kind == '(' {
+			next, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, next)
+			continue
+		}
+		break
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Concat(parts...), nil
+}
+
+func (p *parser) factor() (*Node, error) {
+	n, err := p.base()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch t.kind {
+		case '*':
+			n = Star(n)
+		case '+':
+			n = Plus(n)
+		case '?':
+			n = Opt(n)
+		default:
+			return n, nil
+		}
+		p.pos++
+	}
+	return n, nil
+}
+
+func (p *parser) base() (*Node, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("automata: unexpected end of query")
+	}
+	switch t.kind {
+	case 'i':
+		p.pos++
+		return Sym(t.text), nil
+	case '_':
+		p.pos++
+		return Wild(), nil
+	case 'e':
+		p.pos++
+		return Eps(), nil
+	case '(':
+		p.pos++
+		n, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		t2, ok := p.peek()
+		if !ok || t2.kind != ')' {
+			return nil, fmt.Errorf("automata: missing ')'")
+		}
+		p.pos++
+		return n, nil
+	default:
+		return nil, fmt.Errorf("automata: unexpected token %q", t.kind)
+	}
+}

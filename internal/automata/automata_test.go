@@ -1,0 +1,369 @@
+package automata
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical rendering; "" means same as in
+	}{
+		{"a", ""},
+		{"a.b", ""},
+		{"a b", "a.b"},
+		{"a|b", ""},
+		{"a*", ""},
+		{"a+", ""},
+		{"a?", ""},
+		{"_", ""},
+		{"ε", ""},
+		{"<eps>", "ε"},
+		{"(a|b)*", ""},
+		{"x.(a1|a2)+.s._*.p", ""},
+		{"_*.e._*", ""},
+		{"((a))", "a"},
+		{"a.(b|c).d", ""},
+		{"a**", "a**"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		want := c.want
+		if want == "" {
+			want = c.in
+		}
+		if got := n.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, want)
+		}
+		// Round trip: parse of rendering equals rendering.
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", n.String(), err)
+			continue
+		}
+		if n2.String() != n.String() {
+			t.Errorf("round trip %q -> %q", n.String(), n2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "(", "a|", "*", "a)(", "a^b", "(a", "|a"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDFAAccepts(t *testing.T) {
+	alpha := []string{"a", "b", "c", "e"}
+	cases := []struct {
+		re   string
+		in   []string
+		want bool
+	}{
+		{"a", []string{"a"}, true},
+		{"a", []string{"b"}, false},
+		{"a", nil, false},
+		{"ε", nil, true},
+		{"ε", []string{"a"}, false},
+		{"a*", nil, true},
+		{"a*", []string{"a", "a", "a"}, true},
+		{"a*", []string{"a", "b"}, false},
+		{"a+", nil, false},
+		{"a+", []string{"a"}, true},
+		{"a?", nil, true},
+		{"a?", []string{"a", "a"}, false},
+		{"a|b", []string{"b"}, true},
+		{"a.b", []string{"a", "b"}, true},
+		{"a.b", []string{"b", "a"}, false},
+		{"_", []string{"c"}, true},
+		{"_", []string{"c", "c"}, false},
+		{"_*.e._*", []string{"a", "e", "b"}, true},
+		{"_*.e._*", []string{"a", "b"}, false},
+		{"_*.e._*", []string{"e"}, true},
+		{"(a|b)+.c", []string{"a", "b", "a", "c"}, true},
+		{"(a|b)+.c", []string{"c"}, false},
+		{"x.(a1|a2)+.s", []string{"x", "a1", "a2", "s"}, true},
+		{"x.(a1|a2)+.s", []string{"x", "s"}, false},
+	}
+	for _, c := range cases {
+		d := CompileDFA(MustParse(c.re), alpha)
+		if got := d.Accepts(c.in); got != c.want {
+			t.Errorf("DFA(%q).Accepts(%v) = %v, want %v", c.re, c.in, got, c.want)
+		}
+	}
+}
+
+func TestDFAComplete(t *testing.T) {
+	alpha := []string{"a", "b"}
+	d := CompileDFA(MustParse("a.b"), alpha)
+	n := d.NumStates()
+	for q := 0; q < n; q++ {
+		for s := range d.Alphabet {
+			to := d.Delta[q*len(d.Alphabet)+s]
+			if to < 0 || to >= n {
+				t.Fatalf("incomplete DFA: state %d symbol %d -> %d", q, s, to)
+			}
+		}
+	}
+	if d.DeadState() < 0 {
+		t.Error("expected a dead state for a.b")
+	}
+}
+
+func TestMinimalSizes(t *testing.T) {
+	alpha := []string{"a", "b", "e"}
+	cases := []struct {
+		re     string
+		states int
+	}{
+		// _*e_* : two live states (seen-e / not) as in Fig. 11a... plus no
+		// dead state since every symbol keeps it live.
+		{"_*.e._*", 2},
+		{"e", 3}, // q0, qf, dead (Fig. 11b plus completion sink)
+		{"_*", 1},
+		{"a*", 2}, // a-loop accept + dead
+	}
+	for _, c := range cases {
+		d := CompileDFA(MustParse(c.re), alpha)
+		if d.NumStates() != c.states {
+			t.Errorf("minimal DFA of %q has %d states, want %d\n%s", c.re, d.NumStates(), c.states, d)
+		}
+	}
+}
+
+func TestStepUnknownTag(t *testing.T) {
+	d := CompileDFA(MustParse("a"), []string{"a"})
+	dead := d.DeadState()
+	if dead < 0 {
+		t.Fatal("expected dead state")
+	}
+	if got := d.Step(d.Start, "zzz"); got != dead {
+		t.Errorf("Step on unknown tag = %d, want dead state %d", got, dead)
+	}
+	if d.SymIndex("zzz") != -1 {
+		t.Error("SymIndex of unknown tag should be -1")
+	}
+}
+
+// nfaAccepts simulates the NFA directly, as an independent oracle.
+func nfaAccepts(m *NFA, tags []string) bool {
+	cur := m.closure([]int{m.start})
+	for _, tag := range tags {
+		sym, ok := m.symIdx[tag]
+		if !ok {
+			sym = -2 // unknown: only wildcard edges fire
+		}
+		var next []int
+		for _, v := range cur {
+			for _, e := range m.edges[v] {
+				if e.sym == sym || e.sym == wildSym {
+					next = append(next, e.to)
+				}
+			}
+		}
+		cur = m.closure(next)
+	}
+	for _, v := range cur {
+		if v == m.accept {
+			return true
+		}
+	}
+	return false
+}
+
+// randomExpr generates a random expression over the alphabet.
+func randomExpr(r *rand.Rand, alpha []string, depth int) *Node {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(6) {
+		case 0:
+			return Wild()
+		case 1:
+			return Eps()
+		default:
+			return Sym(alpha[r.Intn(len(alpha))])
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return Concat(randomExpr(r, alpha, depth-1), randomExpr(r, alpha, depth-1))
+	case 1:
+		return Alt(randomExpr(r, alpha, depth-1), randomExpr(r, alpha, depth-1))
+	case 2:
+		return Star(randomExpr(r, alpha, depth-1))
+	case 3:
+		return Plus(randomExpr(r, alpha, depth-1))
+	case 4:
+		return Opt(randomExpr(r, alpha, depth-1))
+	default:
+		return Concat(randomExpr(r, alpha, depth-1), randomExpr(r, alpha, depth-1), randomExpr(r, alpha, depth-1))
+	}
+}
+
+func randomString(r *rand.Rand, alpha []string, maxLen int) []string {
+	n := r.Intn(maxLen + 1)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = alpha[r.Intn(len(alpha))]
+	}
+	return out
+}
+
+// TestPropertyDFAMatchesNFA cross-checks the whole pipeline (parse is
+// exercised via String round trips elsewhere): for random expressions and
+// random strings, minimal DFA acceptance equals direct NFA simulation.
+func TestPropertyDFAMatchesNFA(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	alpha := []string{"a", "b", "c"}
+	for i := 0; i < 300; i++ {
+		e := randomExpr(r, alpha, 4)
+		nfa := BuildNFA(e, alpha)
+		dfa := CompileDFA(e, alpha)
+		for j := 0; j < 25; j++ {
+			w := randomString(r, alpha, 6)
+			want := nfaAccepts(nfa, w)
+			if got := dfa.Accepts(w); got != want {
+				t.Fatalf("expr %s on %v: DFA=%v NFA=%v\n%s", e, w, got, want, dfa)
+			}
+		}
+	}
+}
+
+// TestPropertyMinimizeIdempotent checks Minimize(Minimize(d)) has the same
+// number of states, and that minimization preserves the language.
+func TestPropertyMinimizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	alpha := []string{"a", "b"}
+	for i := 0; i < 200; i++ {
+		e := randomExpr(r, alpha, 4)
+		d := CompileDFA(e, alpha)
+		d2 := Minimize(d)
+		if d2.NumStates() != d.NumStates() {
+			t.Fatalf("minimize not idempotent for %s: %d -> %d", e, d.NumStates(), d2.NumStates())
+		}
+		if !isoEqual(d, d2) {
+			t.Fatalf("re-minimization changed the automaton for %s", e)
+		}
+	}
+}
+
+func TestPropertySimplifyPreservesLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	alpha := []string{"a", "b", "c"}
+	for i := 0; i < 300; i++ {
+		e := randomExpr(r, alpha, 4)
+		s := Simplify(e)
+		if !Equivalent(e, s, alpha) {
+			t.Fatalf("Simplify changed language: %s -> %s", e, s)
+		}
+		if s.Size() > e.Size() {
+			t.Errorf("Simplify grew %s (%d) -> %s (%d)", e, e.Size(), s, s.Size())
+		}
+	}
+}
+
+func TestSimplifyRules(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"(a*)*", "a*"},
+		{"(a+)+", "a+"},
+		{"(a*)+", "a*"},
+		{"(a+)*", "a*"},
+		{"(a?)?", "a?"},
+		{"(a?)*", "a*"},
+		{"(a?)+", "a*"},
+		{"(a+)?", "a*"},
+		{"ε*", "ε"},
+		{"a.ε.b", "a.b"},
+		{"a|a", "a"},
+		{"ε|a", "a?"},
+		{"(a.(b.c))", "a.b.c"},
+		{"(a|(b|c))", "a|b|c"},
+		{"(a*)?", "a*"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in)).String()
+		if got != c.want {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a.b.c", "c.b.a"},
+		{"(a.b)*", "(b.a)*"},
+		{"a|b", "a|b"},
+		{"x.(a1|a2)+.s", "s.(a1|a2)+.x"},
+	}
+	for _, c := range cases {
+		got := MustParse(c.in).Reverse().String()
+		if got != c.want {
+			t.Errorf("Reverse(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Property: reversed DFA accepts reversed strings.
+	r := rand.New(rand.NewSource(3))
+	alpha := []string{"a", "b"}
+	for i := 0; i < 100; i++ {
+		e := randomExpr(r, alpha, 3)
+		d := CompileDFA(e, alpha)
+		dr := CompileDFA(e.Reverse(), alpha)
+		for j := 0; j < 20; j++ {
+			w := randomString(r, alpha, 5)
+			wr := make([]string, len(w))
+			for i2 := range w {
+				wr[len(w)-1-i2] = w[i2]
+			}
+			if d.Accepts(w) != dr.Accepts(wr) {
+				t.Fatalf("reverse mismatch for %s on %v", e, w)
+			}
+		}
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	n := MustParse("x.(a1|a2)+.s._*.p")
+	syms := n.Symbols()
+	want := "a1,a2,p,s,x"
+	if strings.Join(syms, ",") != want {
+		t.Errorf("Symbols = %v, want %s", syms, want)
+	}
+	if !n.HasWildcard() {
+		t.Error("HasWildcard should be true")
+	}
+	if MustParse("a.b").HasWildcard() {
+		t.Error("HasWildcard should be false")
+	}
+	if !MustParse("a*").Nullable() || MustParse("a+").Nullable() || !MustParse("a?").Nullable() {
+		t.Error("Nullable wrong for star/plus/opt")
+	}
+	if !MustParse("a*.b?").Nullable() || MustParse("a*.b").Nullable() {
+		t.Error("Nullable wrong for concat")
+	}
+	if !MustParse("a|b*").Nullable() || MustParse("a|b").Nullable() {
+		t.Error("Nullable wrong for alt")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	alpha := []string{"a", "b"}
+	if !Equivalent(MustParse("a|b"), MustParse("b|a"), alpha) {
+		t.Error("a|b should equal b|a")
+	}
+	if !Equivalent(MustParse("(a.b)*.a"), MustParse("a.(b.a)*"), alpha) {
+		t.Error("(ab)*a should equal a(ba)*")
+	}
+	if Equivalent(MustParse("a*"), MustParse("a+"), alpha) {
+		t.Error("a* should differ from a+")
+	}
+	if !Equivalent(MustParse("_"), MustParse("a|b"), alpha) {
+		t.Error("wildcard over {a,b} should equal a|b")
+	}
+}

@@ -1,0 +1,266 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DFA is a complete deterministic finite automaton over an alphabet of edge
+// tags (Definition 11). Completeness: every state has a transition on every
+// alphabet symbol (a non-accepting sink serves as the dead state), which the
+// safety machinery relies on.
+type DFA struct {
+	Alphabet []string
+	Start    int
+	Accept   []bool
+	// Delta[q*len(Alphabet)+s] is the successor of state q on symbol s.
+	Delta []int
+
+	symIdx map[string]int
+}
+
+// NumStates returns |Q|.
+func (d *DFA) NumStates() int { return len(d.Accept) }
+
+// SymIndex returns the alphabet index of tag, or -1 if the tag is not in
+// the alphabet (such tags can never occur in a run of the specification the
+// DFA was built against).
+func (d *DFA) SymIndex(tag string) int {
+	if i, ok := d.symIdx[tag]; ok {
+		return i
+	}
+	return -1
+}
+
+// Step returns δ(q, tag); a tag outside the alphabet moves to the dead
+// state if one exists, identified as a non-accepting state with only
+// self-transitions, else returns -1.
+func (d *DFA) Step(q int, tag string) int {
+	s := d.SymIndex(tag)
+	if s < 0 {
+		if dead := d.DeadState(); dead >= 0 {
+			return dead
+		}
+		return -1
+	}
+	return d.Delta[q*len(d.Alphabet)+s]
+}
+
+// StepSym returns δ(q, sym) by alphabet index.
+func (d *DFA) StepSym(q, sym int) int { return d.Delta[q*len(d.Alphabet)+sym] }
+
+// DeadState returns the index of a non-accepting all-self-loop state, or -1.
+func (d *DFA) DeadState() int {
+	n := len(d.Alphabet)
+	for q := 0; q < d.NumStates(); q++ {
+		if d.Accept[q] {
+			continue
+		}
+		dead := true
+		for s := 0; s < n; s++ {
+			if d.Delta[q*n+s] != q {
+				dead = false
+				break
+			}
+		}
+		if dead {
+			return q
+		}
+	}
+	return -1
+}
+
+// Accepts runs the DFA on a sequence of edge tags.
+func (d *DFA) Accepts(tags []string) bool {
+	q := d.Start
+	for _, t := range tags {
+		q = d.Step(q, t)
+		if q < 0 {
+			return false
+		}
+	}
+	return d.Accept[q]
+}
+
+// String renders a compact human-readable transition table for debugging.
+func (d *DFA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DFA states=%d start=%d alphabet=%v\n", d.NumStates(), d.Start, d.Alphabet)
+	for q := 0; q < d.NumStates(); q++ {
+		acc := " "
+		if d.Accept[q] {
+			acc = "*"
+		}
+		fmt.Fprintf(&b, "%s q%d:", acc, q)
+		for s, tag := range d.Alphabet {
+			fmt.Fprintf(&b, " %s->q%d", tag, d.Delta[q*len(d.Alphabet)+s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CompileDFA parses nothing: it builds the minimal complete DFA of the
+// expression over the given alphabet (spec tags; expression tags are added).
+// This is steps 1-2 of the safety-check pipeline in Section III-C.
+func CompileDFA(n *Node, alphabet []string) *DFA {
+	nfa := BuildNFA(n, alphabet)
+	d := determinize(nfa)
+	return Minimize(d)
+}
+
+// determinize applies the subset construction, producing a complete DFA
+// (the empty subset is the dead state).
+func determinize(m *NFA) *DFA {
+	nsym := len(m.alphabet)
+	d := &DFA{Alphabet: m.alphabet, symIdx: map[string]int{}}
+	for i, t := range m.alphabet {
+		d.symIdx[t] = i
+	}
+
+	key := func(set []int) string {
+		var b strings.Builder
+		for _, v := range set {
+			fmt.Fprintf(&b, "%d,", v)
+		}
+		return b.String()
+	}
+	isAccept := func(set []int) bool {
+		for _, v := range set {
+			if v == m.accept {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := m.closure([]int{m.start})
+	ids := map[string]int{key(start): 0}
+	sets := [][]int{start}
+	d.Accept = append(d.Accept, isAccept(start))
+	d.Start = 0
+
+	for at := 0; at < len(sets); at++ {
+		row := make([]int, nsym)
+		for s := 0; s < nsym; s++ {
+			next := m.closure(m.step(sets[at], s))
+			k := key(next)
+			id, ok := ids[k]
+			if !ok {
+				id = len(sets)
+				ids[k] = id
+				sets = append(sets, next)
+				d.Accept = append(d.Accept, isAccept(next))
+			}
+			row[s] = id
+		}
+		d.Delta = append(d.Delta, row...)
+	}
+	return d
+}
+
+// Minimize returns the minimal complete DFA equivalent to d, using Moore's
+// partition-refinement algorithm (adequate for the small query DFAs the
+// paper's workloads produce).
+func Minimize(d *DFA) *DFA {
+	n := d.NumStates()
+	nsym := len(d.Alphabet)
+
+	// Restrict to states reachable from the start.
+	reach := make([]bool, n)
+	stack := []int{d.Start}
+	reach[d.Start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s := 0; s < nsym; s++ {
+			t := d.Delta[q*nsym+s]
+			if !reach[t] {
+				reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+
+	class := make([]int, n)
+	numClasses := 1
+	for q := 0; q < n; q++ {
+		if d.Accept[q] {
+			class[q] = 1
+			numClasses = 2
+		}
+	}
+	// Each round refines the partition (the signature starts with the old
+	// class), so the class count is non-decreasing and the loop terminates
+	// exactly when the partition is stable.
+	for {
+		sig := map[string][]int{}
+		var order []string
+		for q := 0; q < n; q++ {
+			if !reach[q] {
+				continue
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d|", class[q])
+			for s := 0; s < nsym; s++ {
+				fmt.Fprintf(&b, "%d,", class[d.Delta[q*nsym+s]])
+			}
+			k := b.String()
+			if _, ok := sig[k]; !ok {
+				order = append(order, k)
+			}
+			sig[k] = append(sig[k], q)
+		}
+		sort.Strings(order)
+		if len(order) == numClasses {
+			break
+		}
+		numClasses = len(order)
+		newClass := make([]int, n)
+		for i, k := range order {
+			for _, q := range sig[k] {
+				newClass[q] = i
+			}
+		}
+		class = newClass
+	}
+
+	// Build quotient automaton with stable state numbering: order classes by
+	// the smallest reachable member.
+	repr := map[int]int{}
+	for q := 0; q < n; q++ {
+		if !reach[q] {
+			continue
+		}
+		if r, ok := repr[class[q]]; !ok || q < r {
+			repr[class[q]] = q
+		}
+	}
+	classes := make([]int, 0, len(repr))
+	for c := range repr {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return repr[classes[i]] < repr[classes[j]] })
+	remap := map[int]int{}
+	for i, c := range classes {
+		remap[c] = i
+	}
+
+	out := &DFA{Alphabet: d.Alphabet, symIdx: map[string]int{}}
+	for i, t := range d.Alphabet {
+		out.symIdx[t] = i
+	}
+	out.Accept = make([]bool, len(classes))
+	out.Delta = make([]int, len(classes)*nsym)
+	for _, c := range classes {
+		q := repr[c]
+		i := remap[c]
+		out.Accept[i] = d.Accept[q]
+		for s := 0; s < nsym; s++ {
+			out.Delta[i*nsym+s] = remap[class[d.Delta[q*nsym+s]]]
+		}
+	}
+	out.Start = remap[class[d.Start]]
+	return out
+}

@@ -1,0 +1,153 @@
+package automata
+
+import "sort"
+
+// wildSym is the internal symbol index meaning "any tag".
+const wildSym = -1
+
+// nfaEdge is a labeled NFA transition; sym is an index into the alphabet or
+// wildSym for wildcard transitions.
+type nfaEdge struct {
+	sym int
+	to  int
+}
+
+// NFA is a Thompson-constructed nondeterministic automaton with a single
+// start and a single accept state.
+type NFA struct {
+	alphabet []string
+	symIdx   map[string]int
+	edges    [][]nfaEdge
+	eps      [][]int
+	start    int
+	accept   int
+}
+
+// BuildNFA constructs a Thompson NFA for the expression over the given
+// alphabet. Tags mentioned by the expression that are missing from alphabet
+// are appended to it, so wildcards range over the union.
+func BuildNFA(n *Node, alphabet []string) *NFA {
+	m := &NFA{symIdx: map[string]int{}}
+	seen := map[string]bool{}
+	for _, t := range alphabet {
+		if !seen[t] {
+			seen[t] = true
+			m.symIdx[t] = len(m.alphabet)
+			m.alphabet = append(m.alphabet, t)
+		}
+	}
+	for _, t := range n.Symbols() {
+		if !seen[t] {
+			seen[t] = true
+			m.symIdx[t] = len(m.alphabet)
+			m.alphabet = append(m.alphabet, t)
+		}
+	}
+	m.start, m.accept = m.build(n)
+	return m
+}
+
+func (m *NFA) newState() int {
+	m.edges = append(m.edges, nil)
+	m.eps = append(m.eps, nil)
+	return len(m.edges) - 1
+}
+
+func (m *NFA) addEdge(from, sym, to int) { m.edges[from] = append(m.edges[from], nfaEdge{sym, to}) }
+func (m *NFA) addEps(from, to int)       { m.eps[from] = append(m.eps[from], to) }
+
+func (m *NFA) build(n *Node) (start, accept int) {
+	switch n.Kind {
+	case KindSym:
+		s, a := m.newState(), m.newState()
+		m.addEdge(s, m.symIdx[n.Sym], a)
+		return s, a
+	case KindWild:
+		s, a := m.newState(), m.newState()
+		m.addEdge(s, wildSym, a)
+		return s, a
+	case KindEps:
+		s, a := m.newState(), m.newState()
+		m.addEps(s, a)
+		return s, a
+	case KindConcat:
+		if len(n.Children) == 0 {
+			s, a := m.newState(), m.newState()
+			m.addEps(s, a)
+			return s, a
+		}
+		s, a := m.build(n.Children[0])
+		for _, c := range n.Children[1:] {
+			s2, a2 := m.build(c)
+			m.addEps(a, s2)
+			a = a2
+		}
+		return s, a
+	case KindAlt:
+		s, a := m.newState(), m.newState()
+		for _, c := range n.Children {
+			cs, ca := m.build(c)
+			m.addEps(s, cs)
+			m.addEps(ca, a)
+		}
+		return s, a
+	case KindStar:
+		cs, ca := m.build(n.Children[0])
+		s, a := m.newState(), m.newState()
+		m.addEps(s, cs)
+		m.addEps(ca, a)
+		m.addEps(s, a)
+		m.addEps(ca, cs)
+		return s, a
+	case KindPlus:
+		cs, ca := m.build(n.Children[0])
+		s, a := m.newState(), m.newState()
+		m.addEps(s, cs)
+		m.addEps(ca, a)
+		m.addEps(ca, cs)
+		return s, a
+	case KindOpt:
+		cs, ca := m.build(n.Children[0])
+		s, a := m.newState(), m.newState()
+		m.addEps(s, cs)
+		m.addEps(ca, a)
+		m.addEps(s, a)
+		return s, a
+	}
+	panic("automata: unknown node kind")
+}
+
+// closure expands the state set to its ε-closure in place and returns it
+// sorted and deduplicated.
+func (m *NFA) closure(states []int) []int {
+	mark := map[int]bool{}
+	stack := append([]int(nil), states...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if mark[v] {
+			continue
+		}
+		mark[v] = true
+		stack = append(stack, m.eps[v]...)
+	}
+	out := make([]int, 0, len(mark))
+	for v := range mark {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// step returns the (unclosed) set of states reachable from the set on sym.
+func (m *NFA) step(states []int, sym int) []int {
+	var out []int
+	for _, v := range states {
+		for _, e := range m.edges[v] {
+			if e.sym == sym || e.sym == wildSym {
+				out = append(out, e.to)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package automata
+
+// Simplify returns an equivalent, normalized copy of the expression. It is
+// used both to canonicalize generated queries and as the paper's future-work
+// item 2 (Section VI): rewriting a query before decomposition can expose a
+// larger safe subtree (e.g. flattening (a.(b.c)) so a safe prefix a.b is a
+// single subtree).
+//
+// Rules (all language-preserving):
+//
+//	concat/alt flattening; unit collapsing (singleton concat/alt)
+//	ε elimination in concatenations; duplicate alternative elimination
+//	(e*)* = (e+)* = (e?)* = (e*)+ = (e*)? = e*
+//	(e+)+ = e+ ; (e?)? = e? ; (e+)? = (e?)+ = e*
+//	(ε|e) = e? ; ε* = ε+ = ε? = ε
+func Simplify(n *Node) *Node {
+	switch n.Kind {
+	case KindSym, KindWild, KindEps:
+		return n
+	case KindConcat:
+		var parts []*Node
+		for _, c := range n.Children {
+			sc := Simplify(c)
+			if sc.Kind == KindEps {
+				continue
+			}
+			if sc.Kind == KindConcat {
+				parts = append(parts, sc.Children...)
+			} else {
+				parts = append(parts, sc)
+			}
+		}
+		switch len(parts) {
+		case 0:
+			return Eps()
+		case 1:
+			return parts[0]
+		}
+		return Concat(parts...)
+	case KindAlt:
+		var parts []*Node
+		seen := map[string]bool{}
+		hasEps := false
+		for _, c := range n.Children {
+			sc := Simplify(c)
+			if sc.Kind == KindEps {
+				hasEps = true
+				continue
+			}
+			if sc.Kind == KindAlt {
+				for _, g := range sc.Children {
+					if k := g.String(); !seen[k] {
+						seen[k] = true
+						parts = append(parts, g)
+					}
+				}
+				continue
+			}
+			if k := sc.String(); !seen[k] {
+				seen[k] = true
+				parts = append(parts, sc)
+			}
+		}
+		var out *Node
+		switch len(parts) {
+		case 0:
+			return Eps()
+		case 1:
+			out = parts[0]
+		default:
+			out = Alt(parts...)
+		}
+		if hasEps && !out.Nullable() {
+			out = Simplify(Opt(out))
+		}
+		return out
+	case KindStar:
+		c := Simplify(n.Children[0])
+		switch c.Kind {
+		case KindEps:
+			return Eps()
+		case KindStar, KindPlus, KindOpt:
+			return Star(c.Children[0])
+		}
+		return Star(c)
+	case KindPlus:
+		c := Simplify(n.Children[0])
+		switch c.Kind {
+		case KindEps:
+			return Eps()
+		case KindStar:
+			return c
+		case KindPlus:
+			return c
+		case KindOpt:
+			return Star(c.Children[0])
+		}
+		return Plus(c)
+	case KindOpt:
+		c := Simplify(n.Children[0])
+		switch c.Kind {
+		case KindEps:
+			return Eps()
+		case KindStar, KindOpt:
+			return c
+		case KindPlus:
+			return Star(c.Children[0])
+		}
+		if c.Nullable() {
+			return c
+		}
+		return Opt(c)
+	}
+	return n
+}
+
+// Equivalent reports whether two expressions denote the same language over
+// the given alphabet, by comparing minimal DFAs up to isomorphism. Intended
+// for tests and the rewrite search; cost is exponential in expression size
+// in the worst case.
+func Equivalent(a, b *Node, alphabet []string) bool {
+	// Build over the union alphabet so wildcards range identically.
+	union := append(append([]string(nil), alphabet...), a.Symbols()...)
+	union = append(union, b.Symbols()...)
+	da := CompileDFA(a, union)
+	db := CompileDFA(b, union)
+	return isoEqual(da, db)
+}
+
+// isoEqual checks minimal complete DFAs for isomorphism by parallel BFS.
+func isoEqual(a, b *DFA) bool {
+	if a.NumStates() != b.NumStates() || len(a.Alphabet) != len(b.Alphabet) {
+		return false
+	}
+	// Alphabets may be permuted; align b's symbol order to a's.
+	nsym := len(a.Alphabet)
+	bsym := make([]int, nsym)
+	for i, t := range a.Alphabet {
+		j := b.SymIndex(t)
+		if j < 0 {
+			return false
+		}
+		bsym[i] = j
+	}
+	match := map[int]int{a.Start: b.Start}
+	queue := []int{a.Start}
+	for len(queue) > 0 {
+		qa := queue[0]
+		queue = queue[1:]
+		qb := match[qa]
+		if a.Accept[qa] != b.Accept[qb] {
+			return false
+		}
+		for s := 0; s < nsym; s++ {
+			ta := a.Delta[qa*nsym+s]
+			tb := b.Delta[qb*nsym+bsym[s]]
+			if prev, ok := match[ta]; ok {
+				if prev != tb {
+					return false
+				}
+				continue
+			}
+			match[ta] = tb
+			queue = append(queue, ta)
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"sort"
+
+	"provrpq/internal/derive"
+)
+
+// Rel is a binary relation over run nodes — the intermediate result type of
+// the relational (G1-style) evaluation. The join/closure operators below
+// are the "structural joins" whose intermediate-result blowup motivates the
+// paper's approach.
+type Rel struct {
+	set map[[2]derive.NodeID]struct{}
+}
+
+// NewRel returns an empty relation.
+func NewRel() *Rel { return &Rel{set: map[[2]derive.NodeID]struct{}{}} }
+
+// Add inserts the pair (u, v).
+func (r *Rel) Add(u, v derive.NodeID) { r.set[[2]derive.NodeID{u, v}] = struct{}{} }
+
+// Has reports membership.
+func (r *Rel) Has(u, v derive.NodeID) bool {
+	_, ok := r.set[[2]derive.NodeID{u, v}]
+	return ok
+}
+
+// Len returns the pair count.
+func (r *Rel) Len() int { return len(r.set) }
+
+// Each visits every pair in unspecified order.
+func (r *Rel) Each(f func(u, v derive.NodeID)) {
+	for p := range r.set {
+		f(p[0], p[1])
+	}
+}
+
+// Pairs returns the pairs sorted (for deterministic output).
+func (r *Rel) Pairs() [][2]derive.NodeID {
+	out := make([][2]derive.NodeID, 0, len(r.set))
+	for p := range r.set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Union returns r ∪ s.
+func (r *Rel) Union(s *Rel) *Rel {
+	out := NewRel()
+	for p := range r.set {
+		out.set[p] = struct{}{}
+	}
+	for p := range s.set {
+		out.set[p] = struct{}{}
+	}
+	return out
+}
+
+// Join returns the composition r ; s = {(u,w) | ∃v: (u,v) ∈ r, (v,w) ∈ s}.
+func (r *Rel) Join(s *Rel) *Rel {
+	// Hash s by its left column.
+	byLeft := map[derive.NodeID][]derive.NodeID{}
+	for p := range s.set {
+		byLeft[p[0]] = append(byLeft[p[0]], p[1])
+	}
+	out := NewRel()
+	for p := range r.set {
+		for _, w := range byLeft[p[1]] {
+			out.Add(p[0], w)
+		}
+	}
+	return out
+}
+
+// Closure returns the transitive closure r⁺ by semi-naive iteration
+// (repeated delta joins until fixpoint) — the self-join loop the paper
+// describes for Kleene-star baselines.
+func (r *Rel) Closure() *Rel {
+	byLeft := map[derive.NodeID][]derive.NodeID{}
+	for p := range r.set {
+		byLeft[p[0]] = append(byLeft[p[0]], p[1])
+	}
+	out := NewRel()
+	delta := make([][2]derive.NodeID, 0, len(r.set))
+	for p := range r.set {
+		out.set[p] = struct{}{}
+		delta = append(delta, p)
+	}
+	for len(delta) > 0 {
+		var next [][2]derive.NodeID
+		for _, p := range delta {
+			for _, w := range byLeft[p[1]] {
+				np := [2]derive.NodeID{p[0], w}
+				if _, seen := out.set[np]; !seen {
+					out.set[np] = struct{}{}
+					next = append(next, np)
+				}
+			}
+		}
+		delta = next
+	}
+	return out
+}
+
+// ClosureNaive computes the transitive closure by naive self-joins until a
+// fixpoint: R ← R ∪ R;R₁ with the FULL relation re-joined every round.
+// This is the behaviour the paper ascribes to the Kleene-star baselines
+// ("it is unknown how many rounds it takes to reach a fixpoint, the
+// performance can be very bad"): cost grows with the longest path times the
+// result size. Closure (semi-naive) is what our own evaluator uses.
+func (r *Rel) ClosureNaive() *Rel {
+	byLeft := map[derive.NodeID][]derive.NodeID{}
+	for p := range r.set {
+		byLeft[p[0]] = append(byLeft[p[0]], p[1])
+	}
+	out := NewRel()
+	for p := range r.set {
+		out.set[p] = struct{}{}
+	}
+	for {
+		snapshot := make([][2]derive.NodeID, 0, len(out.set))
+		for p := range out.set {
+			snapshot = append(snapshot, p)
+		}
+		grew := false
+		for _, p := range snapshot {
+			for _, w := range byLeft[p[1]] {
+				np := [2]derive.NodeID{p[0], w}
+				if _, seen := out.set[np]; !seen {
+					out.set[np] = struct{}{}
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			return out
+		}
+	}
+}
+
+// IdentityRel returns {(u,u)} over all nodes of the run (the ε relation).
+func IdentityRel(run *derive.Run) *Rel {
+	out := NewRel()
+	for _, id := range run.AllNodes() {
+		out.Add(id, id)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"provrpq/internal/automata"
+)
+
+// TestAllFiguresQuick smoke-runs every figure on the reduced workloads and
+// checks each produces its expected series header.
+func TestAllFiguresQuick(t *testing.T) {
+	expects := map[string]string{
+		"13a": "grammar-size",
+		"13b": "avg-ms",
+		"13c": "RPL-µs",
+		"13d": "G2-µs",
+		"13e": "optRPL-s",
+		"13f": "optRPL-s",
+		"13g": "G1-s",
+		"13h": "a-nodes",
+		"15a": "improve-%",
+		"15b": "improve-%",
+	}
+	for _, id := range Figures() {
+		var buf bytes.Buffer
+		if err := Run(id, Config{W: &buf, Quick: true, Seed: 1}); err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, expects[id]) {
+			t.Errorf("figure %s output missing %q:\n%s", id, expects[id], out)
+		}
+		// Every figure must emit at least one data row after its header.
+		if strings.Count(out, "\n") < 3 {
+			t.Errorf("figure %s produced no data:\n%s", id, out)
+		}
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if err := Run("99z", Config{W: &bytes.Buffer{}, Quick: true}); err == nil {
+		t.Error("unknown figure id should error")
+	}
+}
+
+func TestHasLowSelComponent(t *testing.T) {
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"_", true},
+		{"a", false},
+		{"a*", false},    // star over a single symbol joins cheaply
+		{"(a.b)*", true}, // star over a composite: fixpoint blowup
+		{"a._*.b", true}, // wildcard star
+		{"a.b|c", false},
+		{"(a|b)+", true},
+	}
+	for _, c := range cases {
+		n := mustParse(t, c.q)
+		if got := hasLowSelComponent(n); got != c.want {
+			t.Errorf("hasLowSelComponent(%q) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func mustParse(t *testing.T, s string) *automata.Node {
+	t.Helper()
+	n, err := automata.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"provrpq/internal/label"
+	"provrpq/internal/reach"
+)
+
+// AllPairsStrategy selects how a safe all-pairs query is evaluated.
+type AllPairsStrategy int
+
+const (
+	// RPL is the paper's Option S1: a nested-loop scan testing every pair
+	// with the constant-time pairwise decode. Θ(|l1|·|l2|) decode calls.
+	RPL AllPairsStrategy = iota
+	// OptRPL is Option S2: first find the (coarsely) reachable pairs with
+	// the output-linear tree algorithm, then decode only those. The decode
+	// count drops to N, the number of reachable pairs.
+	OptRPL
+)
+
+// AllPairsSafe evaluates the safe all-pairs query over two label lists and
+// emits each matching pair by list indices. The emit order is unspecified.
+func (e *Env) AllPairsSafe(l1, l2 []label.Label, strategy AllPairsStrategy, emit func(i, j int)) error {
+	if !e.Safe {
+		return ErrUnsafe
+	}
+	e.ensureArtifacts()
+	switch strategy {
+	case RPL:
+		for i, a := range l1 {
+			for j, b := range l2 {
+				if e.PairwiseUnchecked(a, b) {
+					emit(i, j)
+				}
+			}
+		}
+	case OptRPL:
+		reach.AllPairs(e.Spec, l1, l2, func(i, j int) {
+			if e.PairwiseUnchecked(l1[i], l2[j]) {
+				emit(i, j)
+			}
+		})
+	}
+	return nil
+}

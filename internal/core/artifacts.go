@@ -1,0 +1,254 @@
+package core
+
+// artifacts holds the decode structures derived from the query-intersected
+// specification G_R (Section III-B): per-production port-transition matrices
+// and per-cycle chain step matrices. They are valid only for safe queries,
+// because composite body nodes are summarized by their λ matrices.
+type artifacts struct {
+	// in[k][c]: from the input port of production k's body to the input
+	// port of body node c (identity at the source).
+	in [][]Mat
+	// out[k][c]: from the output port of body node c to the output port of
+	// production k's body (identity at the sink).
+	out [][]Mat
+	// mid[k][c1*n+c2]: from the output port of body node c1 to the input
+	// port of body node c2 within production k (zero when c1 cannot reach
+	// c2).
+	mid [][]Mat
+
+	// stepIn[s][p]: cycle s, cycle position p — from the input port of an
+	// iteration whose module sits at position p to the input port of the
+	// next iteration (InMat of the recursive production at its
+	// cycle-successor position). stepOut is the dual for output ports.
+	stepIn  [][]Mat
+	stepOut [][]Mat
+
+	chainCache map[chainKey]*powSeq
+	// rangeCache memoizes chainIn/chainOut range products; the decode fast
+	// path calls them with label-derived arguments that repeat heavily
+	// across an all-pairs scan.
+	rangeCache map[rangeKey]Mat
+}
+
+// rangeKey identifies one chain range product.
+type rangeKey struct {
+	out      bool
+	s, t     int
+	from, to int
+}
+
+// ensureArtifacts builds the decode structures; callers must have verified
+// e.Safe.
+func (e *Env) ensureArtifacts() *artifacts {
+	if e.art != nil {
+		return e.art
+	}
+	if !e.Safe {
+		panic("core: decode artifacts requested for an unsafe query")
+	}
+	a := &artifacts{chainCache: map[chainKey]*powSeq{}}
+	if !e.DisableRangeCache {
+		a.rangeCache = map[rangeKey]Mat{}
+	}
+	s := e.Spec
+	a.in = make([][]Mat, len(s.Prods))
+	a.out = make([][]Mat, len(s.Prods))
+	a.mid = make([][]Mat, len(s.Prods))
+	for k := range s.Prods {
+		a.in[k] = e.bodyInMats(k)
+		a.out[k] = e.bodyOutMats(k)
+		a.mid[k] = e.bodyMidMats(k)
+	}
+	a.stepIn = make([][]Mat, len(s.Cycles()))
+	a.stepOut = make([][]Mat, len(s.Cycles()))
+	for _, c := range s.Cycles() {
+		L := c.Len()
+		a.stepIn[c.ID] = make([]Mat, L)
+		a.stepOut[c.ID] = make([]Mat, L)
+		for p := 0; p < L; p++ {
+			m := c.ModuleAt(p)
+			k, cyclePos := s.RecursiveProd(m)
+			a.stepIn[c.ID][p] = a.in[k][cyclePos]
+			a.stepOut[c.ID][p] = a.out[k][cyclePos]
+		}
+	}
+	e.art = a
+	return a
+}
+
+// bodyMidMats computes, for every ordered body-node pair (c1, c2) of
+// production k, the matrix from the output port of c1 to the input port of
+// c2. Backward DP per target: W[x] = ∪ over edges (x,y,tag) of
+// T_tag · (y == c2 ? I : λ(y) · W[y]).
+func (e *Env) bodyMidMats(k int) []Mat {
+	p := &e.Spec.Prods[k]
+	n := len(p.Body.Nodes)
+	topo := e.bodyTopo(k)
+	id := Identity(e.NQ)
+	mid := make([]Mat, n*n)
+	for c2 := 0; c2 < n; c2++ {
+		w := make([]Mat, n)
+		for i := len(topo) - 1; i >= 0; i-- {
+			x := topo[i]
+			w[x] = NewMat(e.NQ)
+			for _, be := range p.Body.Edges {
+				if be.From != x {
+					continue
+				}
+				var tail Mat
+				if be.To == c2 {
+					tail = id
+				} else {
+					if w[be.To].IsZero() {
+						continue
+					}
+					tail = e.Lambda[p.Body.Nodes[be.To]].Mul(w[be.To])
+				}
+				w[x].OrInPlace(e.tagMat(be.Tag).Mul(tail))
+			}
+		}
+		for c1 := 0; c1 < n; c1++ {
+			mid[c1*n+c2] = w[c1]
+		}
+	}
+	return mid
+}
+
+// chainKey identifies a cached power sequence: cycle, flavor (in/out),
+// starting cycle position and direction.
+type chainKey struct {
+	cycle    int
+	out      bool
+	startPos int
+	desc     bool
+}
+
+// powSeq caches successive powers of a loop-product matrix until the
+// sequence becomes periodic, giving O(1) lookups of arbitrary powers. A
+// single boolean matrix generates a finite (and in practice tiny) monoid.
+type powSeq struct {
+	base  Mat
+	seq   []Mat
+	index map[string]int // matrix key -> position in seq
+	pre   int            // preperiod (index where the cycle starts)
+	per   int            // period; 0 until detected
+}
+
+func newPowSeq(base Mat) *powSeq {
+	return &powSeq{base: base, index: map[string]int{}}
+}
+
+// power returns base^e for e >= 1.
+func (p *powSeq) power(e int) Mat {
+	if e < 1 {
+		panic("core: power exponent must be >= 1")
+	}
+	for p.per == 0 && len(p.seq) < e {
+		var next Mat
+		if len(p.seq) == 0 {
+			next = p.base
+		} else {
+			next = p.seq[len(p.seq)-1].Mul(p.base)
+		}
+		k := next.key()
+		if at, seen := p.index[k]; seen {
+			p.pre = at
+			p.per = len(p.seq) - at
+			break
+		}
+		p.index[k] = len(p.seq)
+		p.seq = append(p.seq, next)
+	}
+	if e <= len(p.seq) {
+		return p.seq[e-1]
+	}
+	// e beyond the detected cycle: fold into [pre, pre+per).
+	return p.seq[p.pre+((e-1-p.pre)%p.per)]
+}
+
+// chainIn returns the matrix from the input port of iteration fromIter to
+// the input port of iteration toIter+1 of a recursion chain on cycle s
+// entered at cycle position t — the product of stepIn factors for
+// iterations fromIter..toIter ascending. fromIter > toIter yields the
+// identity.
+func (a *artifacts) chainIn(nq, s, t, fromIter, toIter int) Mat {
+	if a.rangeCache == nil {
+		return a.chainProd(nq, a.stepIn[s], chainKey{cycle: s, out: false}, t, fromIter, toIter, false)
+	}
+	k := rangeKey{out: false, s: s, t: t, from: fromIter, to: toIter}
+	if m, ok := a.rangeCache[k]; ok {
+		return m
+	}
+	m := a.chainProd(nq, a.stepIn[s], chainKey{cycle: s, out: false}, t, fromIter, toIter, false)
+	a.rangeCache[k] = m
+	return m
+}
+
+// chainOut returns the matrix from the output port of iteration fromIter+1
+// to the output port of iteration toIter of the chain — the product of
+// stepOut factors for iterations fromIter..toIter descending. fromIter <
+// toIter yields the identity.
+func (a *artifacts) chainOut(nq, s, t, fromIter, toIter int) Mat {
+	if a.rangeCache == nil {
+		return a.chainProd(nq, a.stepOut[s], chainKey{cycle: s, out: true}, t, fromIter, toIter, true)
+	}
+	k := rangeKey{out: true, s: s, t: t, from: fromIter, to: toIter}
+	if m, ok := a.rangeCache[k]; ok {
+		return m
+	}
+	m := a.chainProd(nq, a.stepOut[s], chainKey{cycle: s, out: true}, t, fromIter, toIter, true)
+	a.rangeCache[k] = m
+	return m
+}
+
+// chainProd multiplies step[pos(m)] over iterations m from fromIter to
+// toIter (ascending or descending), where pos(m) = (t + m - 1) mod L. Long
+// runs are folded into powers of the full-loop product, cached per starting
+// position.
+func (a *artifacts) chainProd(nq int, step []Mat, key chainKey, t, fromIter, toIter int, desc bool) Mat {
+	L := len(step)
+	count := toIter - fromIter + 1
+	if desc {
+		count = fromIter - toIter + 1
+	}
+	if count <= 0 {
+		return Identity(nq)
+	}
+	pos := func(m int) int { return ((t+m-1)%L + L) % L }
+	dir := 1
+	if desc {
+		dir = -1
+	}
+
+	// Short chains and the partial prefix: multiply directly.
+	prod := Identity(nq)
+	m := fromIter
+	direct := count % L
+	if count < 2*L {
+		direct = count
+	}
+	for i := 0; i < direct; i++ {
+		prod = prod.Mul(step[pos(m)])
+		m += dir
+	}
+	remaining := count - direct
+	if remaining == 0 {
+		return prod
+	}
+	// remaining is a positive multiple of L: fold into loop powers.
+	e := remaining / L
+	key.startPos = pos(m)
+	key.desc = desc
+	ps, ok := a.chainCache[key]
+	if !ok {
+		loop := Identity(nq)
+		mm := m
+		for i := 0; i < L; i++ {
+			loop = loop.Mul(step[pos(mm)])
+			mm += dir
+		}
+		ps = newPowSeq(loop)
+		a.chainCache[key] = ps
+	}
+	return prod.Mul(ps.power(e))
+}

@@ -1,0 +1,251 @@
+// Package core implements the paper's contribution: answering regular path
+// queries over workflow provenance with derivation-based reachability
+// labels.
+//
+// Compile intersects the workflow specification G with the minimal DFA of a
+// query R (conceptually producing the fine-grained specification G_R of
+// Section III-B — realized not as an explicit grammar but as per-production
+// state-transition matrices), checks the safety of R w.r.t. G (Section
+// III-C), and, for safe queries, answers
+//
+//   - pairwise queries u —R→ v in constant time from the two labels alone
+//     (Algorithm 1 / Theorem 1), and
+//   - all-pairs queries over node lists with either a nested-loop scan (the
+//     paper's Option S1, "RPL") or a reachability-filtered scan driven by
+//     the output-linear tree algorithm (Option S2, "optRPL"; Section IV-A).
+//
+// General (unsafe) queries are decomposed into maximal safe subtrees plus a
+// relational remainder (Section IV-B "Our approach") in general.go.
+package core
+
+import (
+	"fmt"
+
+	"provrpq/internal/automata"
+	"provrpq/internal/wf"
+)
+
+// Env is a query compiled against a specification: the minimal DFA, the
+// per-module dependency matrices λ, the safety verdict, and (for safe
+// queries) the decode artifacts.
+type Env struct {
+	Spec  *wf.Spec
+	Query *automata.Node
+	DFA   *automata.DFA
+	// NQ is the minimal DFA's state count.
+	NQ int
+	// Lambda[m] is the input-to-output transition matrix shared by all
+	// executions of module m. Valid only when Safe (for unsafe queries the
+	// matrices of some module differ across executions).
+	Lambda []Mat
+	// Safe reports whether the query is safe w.r.t. the specification
+	// (Definition 13, checked on the minimal DFA per Lemma 3.2).
+	Safe bool
+	// UnsafeModule and UnsafeProd witness the violation when !Safe: the
+	// production whose matrix disagreed with the module's established λ.
+	UnsafeModule wf.ModuleID
+	UnsafeProd   int
+	// DisableRangeCache turns off the chain-range product memo (ablation
+	// knob: the decode falls back to recomputing loop-power products per
+	// pair).
+	DisableRangeCache bool
+
+	art *artifacts // built lazily for safe queries
+}
+
+// Compile builds the query environment: minimal DFA over the specification's
+// tag alphabet, λ computation, and the safety verdict. It errors only on
+// structural impossibilities (too many DFA states); unsafe queries compile
+// fine and report Safe == false.
+func Compile(spec *wf.Spec, query *automata.Node) (*Env, error) {
+	dfa := automata.CompileDFA(query, spec.Tags())
+	if dfa.NumStates() > 64 {
+		return nil, fmt.Errorf("core: minimal DFA has %d states; this implementation supports at most 64", dfa.NumStates())
+	}
+	e := &Env{
+		Spec:         spec,
+		Query:        query,
+		DFA:          dfa,
+		NQ:           dfa.NumStates(),
+		UnsafeModule: -1,
+		UnsafeProd:   -1,
+	}
+	e.computeLambda()
+	return e, nil
+}
+
+// tagMat returns the single-symbol transition matrix T of an edge tag:
+// T[q][δ(q,tag)] = 1.
+func (e *Env) tagMat(tag string) Mat {
+	m := NewMat(e.NQ)
+	for q := 0; q < e.NQ; q++ {
+		m.Set(q, e.DFA.Step(q, tag))
+	}
+	return m
+}
+
+// computeLambda runs the worklist of Section III-C (adapted from the
+// CFG-emptiness algorithm): λ of an atomic module is the identity; a
+// production is verifiable once every body module has λ; the first
+// verifiable production of a module defines λ, later ones must agree or the
+// DFA is unsafe. Productivity of the grammar (enforced by wf.New) guarantees
+// every module's λ is eventually defined.
+func (e *Env) computeLambda() {
+	s := e.Spec
+	e.Lambda = make([]Mat, len(s.Modules))
+	for i := range s.Modules {
+		if !s.IsComposite(wf.ModuleID(i)) {
+			e.Lambda[i] = Identity(e.NQ)
+		}
+	}
+	e.Safe = true
+	pending := make([]bool, len(s.Prods))
+	for i := range pending {
+		pending[i] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for k := range s.Prods {
+			if !pending[k] {
+				continue
+			}
+			p := &s.Prods[k]
+			ready := true
+			for _, m := range p.Body.Nodes {
+				if e.Lambda[m] == nil {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			pending[k] = false
+			changed = true
+			cand := e.prodLambda(k)
+			switch {
+			case e.Lambda[p.LHS] == nil:
+				e.Lambda[p.LHS] = cand
+			case !e.Lambda[p.LHS].Eq(cand):
+				if e.Safe {
+					e.Safe = false
+					e.UnsafeModule = p.LHS
+					e.UnsafeProd = k
+				}
+			}
+		}
+	}
+}
+
+// prodLambda computes the input-to-output matrix of one production body by
+// a forward DP over the (acyclic) fine-grained body: D[c] maps states at
+// the body input to states at node c's input; traversing node c applies
+// λ(module(c)) and an edge (c, c2, tag) applies the tag's transition.
+func (e *Env) prodLambda(k int) Mat {
+	in := e.bodyInMats(k)
+	sink := e.Spec.Sink(k)
+	return in[sink].Mul(e.Lambda[e.Spec.Prods[k].Body.Nodes[sink]])
+}
+
+// bodyInMats returns, for every body node c of production k, the matrix
+// from the body input (input port of the source node) to the input port of
+// c. Requires λ for all body modules.
+func (e *Env) bodyInMats(k int) []Mat {
+	p := &e.Spec.Prods[k]
+	n := len(p.Body.Nodes)
+	d := make([]Mat, n)
+	for _, c := range e.bodyTopo(k) {
+		if d[c] == nil {
+			if c == e.Spec.Source(k) {
+				d[c] = Identity(e.NQ)
+			} else {
+				d[c] = NewMat(e.NQ) // unreachable from source: impossible in well-formed bodies
+			}
+		}
+		out := d[c].Mul(e.Lambda[p.Body.Nodes[c]])
+		for _, be := range p.Body.Edges {
+			if be.From != c {
+				continue
+			}
+			step := out.Mul(e.tagMat(be.Tag))
+			if d[be.To] == nil {
+				d[be.To] = step
+			} else {
+				d[be.To].OrInPlace(step)
+			}
+		}
+	}
+	return d
+}
+
+// bodyOutMats returns, for every body node c, the matrix from the output
+// port of c to the body output (output port of the sink node).
+func (e *Env) bodyOutMats(k int) []Mat {
+	p := &e.Spec.Prods[k]
+	n := len(p.Body.Nodes)
+	u := make([]Mat, n)
+	topo := e.bodyTopo(k)
+	for i := len(topo) - 1; i >= 0; i-- {
+		c := topo[i]
+		if c == e.Spec.Sink(k) {
+			u[c] = Identity(e.NQ)
+			continue
+		}
+		u[c] = NewMat(e.NQ)
+		for _, be := range p.Body.Edges {
+			if be.From != c {
+				continue
+			}
+			// out(c) -tag-> in(To) -λ-> out(To) -u[To]-> out(sink)
+			step := e.tagMat(be.Tag).Mul(e.Lambda[p.Body.Nodes[be.To]]).Mul(u[be.To])
+			u[c].OrInPlace(step)
+		}
+	}
+	return u
+}
+
+// bodyTopo returns a topological order of production k's body nodes.
+func (e *Env) bodyTopo(k int) []int {
+	p := &e.Spec.Prods[k]
+	n := len(p.Body.Nodes)
+	indeg := make([]int, n)
+	for _, be := range p.Body.Edges {
+		indeg[be.To]++
+	}
+	var queue, order []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, v)
+		for _, be := range p.Body.Edges {
+			if be.From != v {
+				continue
+			}
+			indeg[be.To]--
+			if indeg[be.To] == 0 {
+				queue = append(queue, be.To)
+			}
+		}
+	}
+	return order
+}
+
+// AcceptMask returns the bitset of accepting DFA states.
+func (e *Env) AcceptMask() uint64 {
+	var mask uint64
+	for q := 0; q < e.NQ; q++ {
+		if e.DFA.Accept[q] {
+			mask |= 1 << uint(q)
+		}
+	}
+	return mask
+}
+
+// MatchesEmpty reports whether ε ∈ L(R), i.e. whether a node trivially
+// R-reaches itself.
+func (e *Env) MatchesEmpty() bool { return e.DFA.Accept[e.DFA.Start] }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"provrpq/internal/automata"
+	"provrpq/internal/baseline"
+	"provrpq/internal/derive"
+	"provrpq/internal/index"
+	"provrpq/internal/wf"
+)
+
+// generalQueries mixes safe, unsafe and structured queries on PaperSpec.
+var generalQueries = []string{
+	// Safe as a whole.
+	"_*.e._*",
+	"_*",
+	// Unsafe as a whole with safe subtrees.
+	"_*.A._*",     // A occurs only in W2 executions
+	"(_*.e._*).A", // safe prefix, unsafe suffix
+	"d.(_*.e._*)", // unsafe head, safe tail
+	"_*.d._*",     // unsafe IFQ
+	"(A|d)+",      // recursion-ish unsafe
+	"A+",
+	"e",
+	"b|e",
+	"d*._*.e._*",
+	"(b.b)|(e.d)",
+	"_?",
+}
+
+func TestGeneralMatchesOracle(t *testing.T) {
+	spec := wf.PaperSpec()
+	for seed := int64(0); seed < 4; seed++ {
+		run, err := derive.Derive(spec, derive.Options{Seed: seed, TargetEdges: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := index.Build(run)
+		for _, strategy := range []GeneralStrategy{LargestSafeSubtree, CostBased, RelationalOnly} {
+			gen := NewGeneral(run, ix, strategy)
+			for _, qs := range generalQueries {
+				q := automata.MustParse(qs)
+				rel, rep, err := gen.Eval(q)
+				if err != nil {
+					t.Fatalf("Eval(%q): %v", qs, err)
+				}
+				oracle := baseline.NewOracle(run, q)
+				want := baseline.NewRel()
+				for _, u := range run.AllNodes() {
+					for _, v := range oracle.From(u) {
+						want.Add(u, v)
+					}
+				}
+				if rel.Len() != want.Len() {
+					t.Fatalf("strategy %d seed %d query %q: %d pairs, oracle %d (report %+v)",
+						strategy, seed, qs, rel.Len(), want.Len(), rep)
+				}
+				want.Each(func(u, v derive.NodeID) {
+					if !rel.Has(u, v) {
+						t.Fatalf("strategy %d query %q: missing (%s,%s)",
+							strategy, qs, run.Nodes[u].Name, run.Nodes[v].Name)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestGeneralReportsDecomposition(t *testing.T) {
+	spec := wf.PaperSpec()
+	run, err := derive.Derive(spec, derive.Options{Seed: 1, TargetEdges: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(run)
+	gen := NewGeneral(run, ix, LargestSafeSubtree)
+
+	// Whole query safe: exactly one safe subtree, no relational nodes.
+	_, rep, err := gen.Eval(automata.MustParse("_*.e._*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Safe || len(rep.SafeSubtrees) != 1 || rep.RelationalNodes != 0 {
+		t.Errorf("safe query report = %+v", rep)
+	}
+
+	// Unsafe query with a safe subtree: the safe part must be found. (The
+	// leading A makes it unsafe: W3 executions of module A kill the query
+	// while W2 executions satisfy the A and proceed.)
+	_, rep, err = gen.Eval(automata.MustParse("A.(_*.e._*)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Safe {
+		t.Error("A.(_*.e._*) should be unsafe overall")
+	}
+	if len(rep.SafeSubtrees) == 0 {
+		t.Error("expected a maximal safe subtree to be used")
+	}
+	if rep.RelationalNodes == 0 {
+		t.Error("expected a relational remainder")
+	}
+
+	// RelationalOnly never uses safe subtrees.
+	genRel := NewGeneral(run, ix, RelationalOnly)
+	_, rep, err = genRel.Eval(automata.MustParse("_*.e._*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SafeSubtrees) != 0 {
+		t.Errorf("RelationalOnly used safe subtrees: %+v", rep)
+	}
+}
+
+func TestGeneralEnvCacheReuse(t *testing.T) {
+	spec := wf.PaperSpec()
+	run, err := derive.Derive(spec, derive.Options{Seed: 1, TargetEdges: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewGeneral(run, index.Build(run), LargestSafeSubtree)
+	if _, _, err := gen.Eval(automata.MustParse("_*.e._*")); err != nil {
+		t.Fatal(err)
+	}
+	before := len(gen.envs)
+	if _, _, err := gen.Eval(automata.MustParse("_*.e._*")); err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.envs) != before {
+		t.Error("env cache should be reused for a repeated query")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Mat is a boolean |Q|×|Q| transition-relation matrix over DFA states,
+// stored as one uint64 bitset row per state (|Q| ≤ 64 is enforced at query
+// compile time). Mat[q] has bit q' set iff some path transitions the DFA
+// from q to q'. These matrices are the λ(M,ex) of Section III-C and the
+// building blocks of the fine-grained decode.
+type Mat []uint64
+
+// NewMat returns the all-zero n×n matrix.
+func NewMat(n int) Mat { return make(Mat, n) }
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) Mat {
+	m := NewMat(n)
+	for i := range m {
+		m[i] = 1 << uint(i)
+	}
+	return m
+}
+
+// Clone returns an independent copy.
+func (a Mat) Clone() Mat { return append(Mat(nil), a...) }
+
+// Mul returns the boolean matrix product a·b: (a·b)[q][q'] = ∃r a[q][r] ∧
+// b[r][q'] — "first take a path described by a, then one described by b".
+func (a Mat) Mul(b Mat) Mat {
+	n := len(a)
+	c := NewMat(n)
+	for i := 0; i < n; i++ {
+		row := a[i]
+		var acc uint64
+		for row != 0 {
+			j := bits.TrailingZeros64(row)
+			row &^= 1 << uint(j)
+			acc |= b[j]
+		}
+		c[i] = acc
+	}
+	return c
+}
+
+// OrInPlace sets a to the element-wise union a ∪ b.
+func (a Mat) OrInPlace(b Mat) {
+	for i := range a {
+		a[i] |= b[i]
+	}
+}
+
+// Eq reports element-wise equality.
+func (a Mat) Eq(b Mat) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether no entry is set.
+func (a Mat) IsZero() bool {
+	for _, r := range a {
+		if r != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Get reports entry (q, q2).
+func (a Mat) Get(q, q2 int) bool { return a[q]&(1<<uint(q2)) != 0 }
+
+// Set sets entry (q, q2).
+func (a Mat) Set(q, q2 int) { a[q] |= 1 << uint(q2) }
+
+// key returns a map key identifying the matrix value (used by the chain
+// power caches to detect that the power sequence has become periodic).
+func (a Mat) key() string {
+	var b strings.Builder
+	for _, r := range a {
+		b.WriteByte(byte(r))
+		b.WriteByte(byte(r >> 8))
+		b.WriteByte(byte(r >> 16))
+		b.WriteByte(byte(r >> 24))
+		b.WriteByte(byte(r >> 32))
+		b.WriteByte(byte(r >> 40))
+		b.WriteByte(byte(r >> 48))
+		b.WriteByte(byte(r >> 56))
+	}
+	return b.String()
+}
+
+// String renders the matrix as 0/1 rows for debugging.
+func (a Mat) String() string {
+	var b strings.Builder
+	n := len(a)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if a.Get(i, j) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		if i+1 < n {
+			b.WriteByte('|')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(r *rand.Rand, n int) Mat {
+	m := NewMat(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Intn(3) == 0 {
+				m.Set(i, j)
+			}
+		}
+	}
+	return m
+}
+
+func naiveMul(a, b Mat) Mat {
+	n := len(a)
+	c := NewMat(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if a.Get(i, k) && b.Get(k, j) {
+					c.Set(i, j)
+				}
+			}
+		}
+	}
+	return c
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(12)
+		a, b := randMat(r, n), randMat(r, n)
+		if got, want := a.Mul(b), naiveMul(a, b); !got.Eq(want) {
+			t.Fatalf("Mul mismatch:\n%s *\n%s =\n%s want\n%s", a, b, got, want)
+		}
+	}
+}
+
+func TestMulAssociativeAndIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(10)
+		a, b, c := randMat(r, n), randMat(r, n), randMat(r, n)
+		if !a.Mul(b).Mul(c).Eq(a.Mul(b.Mul(c))) {
+			t.Fatal("Mul not associative")
+		}
+		id := Identity(n)
+		if !a.Mul(id).Eq(a) || !id.Mul(a).Eq(a) {
+			t.Fatal("identity law violated")
+		}
+	}
+}
+
+func TestMatQuickProperties(t *testing.T) {
+	// Or is monotone w.r.t. Mul: (a∪b)·c ⊇ a·c.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a, b, c := randMat(r, n), randMat(r, n), randMat(r, n)
+		ab := a.Clone()
+		ab.OrInPlace(b)
+		left := ab.Mul(c)
+		right := a.Mul(c)
+		for i := 0; i < n; i++ {
+			if right[i]&^left[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowSeq(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(6)
+		base := randMat(r, n)
+		ps := newPowSeq(base)
+		want := base.Clone()
+		for e := 1; e <= 40; e++ {
+			got := ps.power(e)
+			if !got.Eq(want) {
+				t.Fatalf("power(%d) mismatch for base\n%s", e, base)
+			}
+			want = want.Mul(base)
+		}
+		// Random access far beyond the period.
+		big := 1 << 20
+		naive := Identity(n)
+		// base^big via fast exponentiation for the check.
+		exp, sq := big, base.Clone()
+		for exp > 0 {
+			if exp&1 == 1 {
+				naive = naive.Mul(sq)
+			}
+			sq = sq.Mul(sq)
+			exp >>= 1
+		}
+		if !ps.power(big).Eq(naive) {
+			t.Fatalf("power(%d) mismatch", big)
+		}
+	}
+}
+
+func TestMatHelpers(t *testing.T) {
+	m := NewMat(3)
+	if !m.IsZero() {
+		t.Error("new matrix should be zero")
+	}
+	m.Set(1, 2)
+	if m.IsZero() || !m.Get(1, 2) || m.Get(2, 1) {
+		t.Error("Set/Get broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0)
+	if m.Get(0, 0) {
+		t.Error("Clone aliases")
+	}
+	if m.key() == c.key() {
+		t.Error("key should distinguish different matrices")
+	}
+	if m.String() == "" {
+		t.Error("String should render something")
+	}
+}

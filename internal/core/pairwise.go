@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"provrpq/internal/label"
+)
+
+// ErrUnsafe is returned by the safe-query entry points when the compiled
+// query is not safe for the specification; callers should fall back to the
+// general evaluator (general.go) or a baseline.
+var ErrUnsafe = fmt.Errorf("core: query is not safe for this specification")
+
+// Pairwise answers u —R→ v from the two node labels alone (Algorithm 1 /
+// Theorem 1): does some path from u to v spell a word of L(R)? The cost is
+// O(depth · |Q|³/64) — independent of the run size. It requires a safe
+// query.
+func (e *Env) Pairwise(a, b label.Label) (bool, error) {
+	if !e.Safe {
+		return false, ErrUnsafe
+	}
+	return e.PairwiseUnchecked(a, b), nil
+}
+
+// PairwiseMatrix answers the query via full transition-matrix products
+// rather than the row-vector fast path. Both compute the same answer; the
+// matrix form also yields every (q,q') transition and is kept for
+// diagnostics and as a cross-check in the tests.
+func (e *Env) PairwiseMatrix(a, b label.Label) (bool, error) {
+	if !e.Safe {
+		return false, ErrUnsafe
+	}
+	m := e.pairwiseMat(a, b)
+	if m == nil {
+		return false, nil
+	}
+	return m[e.DFA.Start]&e.AcceptMask() != 0, nil
+}
+
+// PairwiseUnchecked is Pairwise for callers that already verified e.Safe
+// (the hot path of the all-pairs scans). It propagates only the start
+// state's reachable-state set (a row vector) through the decode factors, so
+// each factor costs O(|Q|) word operations instead of a matrix product —
+// this is what makes the per-pair cost tens of nanoseconds.
+func (e *Env) PairwiseUnchecked(a, b label.Label) bool {
+	if label.Equal(a, b) {
+		return e.MatchesEmpty()
+	}
+	d := label.LCP(a, b)
+	if d >= len(a) || d >= len(b) {
+		return false
+	}
+	ea, eb := a[d], b[d]
+	if ea.Rec != eb.Rec {
+		return false
+	}
+	art := e.ensureArtifacts()
+	sv := uint64(1) << uint(e.DFA.Start)
+
+	apply := func(m Mat) {
+		var out uint64
+		rest := sv
+		for rest != 0 {
+			q := bits.TrailingZeros64(rest)
+			rest &^= 1 << uint(q)
+			out |= m[q]
+		}
+		sv = out
+	}
+	upApply := func(l label.Label, start int) bool {
+		for lvl := len(l) - 1; lvl >= start; lvl-- {
+			en := l[lvl]
+			if !en.Rec {
+				apply(art.out[en.X][en.Y])
+			} else {
+				apply(art.chainOut(e.NQ, en.X, en.Y, en.Z-1, 1))
+			}
+			if sv == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	downApply := func(l label.Label, start int) bool {
+		for lvl := start; lvl < len(l); lvl++ {
+			en := l[lvl]
+			if !en.Rec {
+				apply(art.in[en.X][en.Y])
+			} else {
+				apply(art.chainIn(e.NQ, en.X, en.Y, 1, en.Z-1))
+			}
+			if sv == 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	if !ea.Rec {
+		if ea.X != eb.X {
+			return false
+		}
+		k := ea.X
+		n := len(e.Spec.Prods[k].Body.Nodes)
+		mid := art.mid[k][ea.Y*n+eb.Y]
+		if mid.IsZero() {
+			return false
+		}
+		if !upApply(a, d+1) {
+			return false
+		}
+		apply(mid)
+		if sv == 0 || !downApply(b, d+1) {
+			return false
+		}
+		return sv&e.AcceptMask() != 0
+	}
+	if ea.X != eb.X || ea.Y != eb.Y {
+		return false
+	}
+	s, t := ea.X, ea.Y
+	i, j := ea.Z, eb.Z
+	switch {
+	case i < j:
+		ki, cu, ok := childEntry(a, d)
+		if !ok {
+			return false
+		}
+		rp, cyclePos := e.Spec.RecursiveProd(e.Spec.Prods[ki].LHS)
+		if rp != ki {
+			return false
+		}
+		n := len(e.Spec.Prods[ki].Body.Nodes)
+		mid := art.mid[ki][cu*n+cyclePos]
+		if mid.IsZero() {
+			return false
+		}
+		if !upApply(a, d+2) {
+			return false
+		}
+		apply(mid)
+		if sv == 0 {
+			return false
+		}
+		apply(art.chainIn(e.NQ, s, t, i+1, j-1))
+		if sv == 0 || !downApply(b, d+1) {
+			return false
+		}
+		return sv&e.AcceptMask() != 0
+	case i > j:
+		kj, cv, ok := childEntry(b, d)
+		if !ok {
+			return false
+		}
+		rp, cyclePos := e.Spec.RecursiveProd(e.Spec.Prods[kj].LHS)
+		if rp != kj {
+			return false
+		}
+		n := len(e.Spec.Prods[kj].Body.Nodes)
+		mid := art.mid[kj][cyclePos*n+cv]
+		if mid.IsZero() {
+			return false
+		}
+		if !upApply(a, d+1) {
+			return false
+		}
+		apply(art.chainOut(e.NQ, s, t, i-1, j+1))
+		if sv == 0 {
+			return false
+		}
+		apply(mid)
+		if sv == 0 || !downApply(b, d+2) {
+			return false
+		}
+		return sv&e.AcceptMask() != 0
+	}
+	return false
+}
+
+// pairwiseMat computes the full transition matrix M with M[q][q'] = "some
+// u→v path moves the DFA from q to q'", or nil when no path exists. The
+// identity is returned for u == v (the empty path).
+func (e *Env) pairwiseMat(a, b label.Label) Mat {
+	if label.Equal(a, b) {
+		return Identity(e.NQ)
+	}
+	d := label.LCP(a, b)
+	if d >= len(a) || d >= len(b) {
+		return nil // prefix labels cannot coexist as run leaves
+	}
+	ea, eb := a[d], b[d]
+	if ea.Rec != eb.Rec {
+		return nil
+	}
+	art := e.ensureArtifacts()
+	if !ea.Rec {
+		// Composite divergence: same node expanded with one production.
+		if ea.X != eb.X {
+			return nil
+		}
+		k := ea.X
+		n := len(e.Spec.Prods[k].Body.Nodes)
+		mid := art.mid[k][ea.Y*n+eb.Y]
+		if mid.IsZero() {
+			return nil
+		}
+		return e.upTo(a, d+1).Mul(mid).Mul(e.downTo(b, d+1))
+	}
+	// Recursive divergence: same R node, different iterations.
+	if ea.X != eb.X || ea.Y != eb.Y {
+		return nil
+	}
+	s, t := ea.X, ea.Y
+	i, j := ea.Z, eb.Z
+	switch {
+	case i < j:
+		// u climbs to its child unit's output inside iteration i, crosses
+		// into the cycle-successor, rides the chain down to iteration j.
+		ki, cu, ok := childEntry(a, d)
+		if !ok {
+			return nil
+		}
+		rp, cyclePos := e.Spec.RecursiveProd(e.Spec.Prods[ki].LHS)
+		if rp != ki {
+			return nil
+		}
+		n := len(e.Spec.Prods[ki].Body.Nodes)
+		mid := art.mid[ki][cu*n+cyclePos]
+		if mid.IsZero() {
+			return nil
+		}
+		m := e.upTo(a, d+2).Mul(mid)
+		m = m.Mul(art.chainIn(e.NQ, s, t, i+1, j-1))
+		return m.Mul(e.downTo(b, d+1))
+	case i > j:
+		// u exits iterations i..j+1 through their outputs, then crosses to
+		// v's child unit within iteration j's body.
+		kj, cv, ok := childEntry(b, d)
+		if !ok {
+			return nil
+		}
+		rp, cyclePos := e.Spec.RecursiveProd(e.Spec.Prods[kj].LHS)
+		if rp != kj {
+			return nil
+		}
+		n := len(e.Spec.Prods[kj].Body.Nodes)
+		mid := art.mid[kj][cyclePos*n+cv]
+		if mid.IsZero() {
+			return nil
+		}
+		m := e.upTo(a, d+1).Mul(art.chainOut(e.NQ, s, t, i-1, j+1))
+		return m.Mul(mid).Mul(e.downTo(b, d+2))
+	}
+	return nil // same iteration yet divergent at the R entry: malformed
+}
+
+// childEntry extracts the production entry just below position d, i.e. the
+// (production, body position) of the label's subtree within iteration l[d].Z.
+func childEntry(l label.Label, d int) (k, c int, ok bool) {
+	if d+1 >= len(l) || l[d+1].Rec {
+		return 0, 0, false
+	}
+	return l[d+1].X, l[d+1].Y, true
+}
+
+// upTo composes the climb from the leaf's output port to the output port of
+// the unit at entry index start-1's child — i.e. it folds the label entries
+// l[len-1] .. l[start] bottom-up through OutMat factors (production entries)
+// and descending chain products (recursion entries).
+func (e *Env) upTo(l label.Label, start int) Mat {
+	art := e.ensureArtifacts()
+	m := Identity(e.NQ)
+	for lvl := len(l) - 1; lvl >= start; lvl-- {
+		en := l[lvl]
+		if !en.Rec {
+			m = m.Mul(art.out[en.X][en.Y])
+		} else {
+			// From the output of iteration en.Z to the output of iteration
+			// 1 (the R unit's output).
+			m = m.Mul(art.chainOut(e.NQ, en.X, en.Y, en.Z-1, 1))
+		}
+	}
+	return m
+}
+
+// downTo composes the descent from the input port of the unit at entry
+// index start's parent down to the leaf's input port — folding entries
+// l[start] .. l[len-1] through InMat factors and ascending chain products.
+func (e *Env) downTo(l label.Label, start int) Mat {
+	art := e.ensureArtifacts()
+	m := Identity(e.NQ)
+	for lvl := start; lvl < len(l); lvl++ {
+		en := l[lvl]
+		if !en.Rec {
+			m = m.Mul(art.in[en.X][en.Y])
+		} else {
+			// From the input of iteration 1 (the R unit's input) to the
+			// input of iteration en.Z.
+			m = m.Mul(art.chainIn(e.NQ, en.X, en.Y, 1, en.Z-1))
+		}
+	}
+	return m
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/bits"
+
+	"provrpq/internal/wf"
+)
+
+// This file implements an extension beyond the paper: context-restricted
+// safety. Definition 12 requires every DFA state pair (q1, q2) to behave
+// deterministically across a module's executions. But a pairwise query
+// starts at an arbitrary node u in the DFA start state, so the only states
+// that can ever arrive at a module's input are those reachable from q0 by
+// some path suffix that the grammar can actually generate upstream of the
+// module. Requiring determinism only on those rows accepts strictly more
+// queries as safe, and the decode remains correct because the row-vector
+// fast path only ever reads λ rows for states in the arriving set.
+//
+// The arriving sets are computed as a least fixpoint over the grammar using
+// the union transition semantics λ∪ (the union of all executions' matrices,
+// which is well-defined regardless of safety):
+//
+//	q0 arrives at every body position (a path may start anywhere);
+//	a state arriving at a production's input flows through the body —
+//	through λ∪ of each node and the edge-tag transitions — and arrives at
+//	each downstream position and at nested modules' inputs.
+
+// RelaxSafety upgrades an unsafe verdict using context-restricted safety.
+// It returns true when the query is safe in the relaxed sense; the Env is
+// then fully usable for pairwise/all-pairs decoding (its λ rows outside
+// the arriving sets are normalized to the union semantics, which the
+// decode never consults from a start-state vector).
+func (e *Env) RelaxSafety() bool {
+	if e.Safe {
+		return true
+	}
+	lambdaU := e.unionLambda()
+	arrive := e.arrivingStates(lambdaU)
+
+	// Re-run the worklist, comparing candidates only on arriving rows and
+	// storing the union matrix so later productions compose consistently.
+	s := e.Spec
+	lam := make([]Mat, len(s.Modules))
+	for i := range s.Modules {
+		if !s.IsComposite(wf.ModuleID(i)) {
+			lam[i] = Identity(e.NQ)
+		}
+	}
+	saveLambda := e.Lambda
+	e.Lambda = lam
+	defer func() {
+		if !e.Safe {
+			e.Lambda = saveLambda
+		}
+	}()
+
+	pending := make([]bool, len(s.Prods))
+	for i := range pending {
+		pending[i] = true
+	}
+	defined := make([]bool, len(s.Modules))
+	for i := range s.Modules {
+		defined[i] = !s.IsComposite(wf.ModuleID(i))
+	}
+	for changed := true; changed; {
+		changed = false
+		for k := range s.Prods {
+			if !pending[k] {
+				continue
+			}
+			p := &s.Prods[k]
+			ready := true
+			for _, m := range p.Body.Nodes {
+				if !defined[m] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			pending[k] = false
+			changed = true
+			cand := e.prodLambda(k)
+			if !defined[p.LHS] {
+				// Define as the union semantics so downstream compositions
+				// see every possible transition; determinism is enforced
+				// only on the rows that can arrive.
+				lam[p.LHS] = lambdaU[p.LHS]
+				defined[p.LHS] = true
+			}
+			for q := 0; q < e.NQ; q++ {
+				if arrive[p.LHS]&(1<<uint(q)) == 0 {
+					continue
+				}
+				if cand[q] != lambdaU[p.LHS][q] {
+					// Some execution of LHS lacks a transition that another
+					// provides, on an arriving row: genuinely unsafe.
+					return false
+				}
+			}
+		}
+	}
+	e.Safe = true
+	e.UnsafeModule = -1
+	e.UnsafeProd = -1
+	e.art = nil // rebuild decode artifacts against the union λ
+	return true
+}
+
+// unionLambda computes λ∪(M) for every module: the union over all
+// executions of the input-to-output transition relation. Least fixpoint
+// (Kleene iteration) over the production bodies.
+func (e *Env) unionLambda() []Mat {
+	s := e.Spec
+	lam := make([]Mat, len(s.Modules))
+	for i := range s.Modules {
+		if s.IsComposite(wf.ModuleID(i)) {
+			lam[i] = NewMat(e.NQ)
+		} else {
+			lam[i] = Identity(e.NQ)
+		}
+	}
+	saved := e.Lambda
+	e.Lambda = lam
+	defer func() { e.Lambda = saved }()
+	for changed := true; changed; {
+		changed = false
+		for k := range s.Prods {
+			cand := e.prodLambda(k)
+			lhs := s.Prods[k].LHS
+			for q := 0; q < e.NQ; q++ {
+				if cand[q]&^lam[lhs][q] != 0 {
+					lam[lhs][q] |= cand[q]
+					changed = true
+				}
+			}
+		}
+	}
+	return lam
+}
+
+// arrivingStates computes, per module, the bitset of DFA states that can
+// arrive at the module's input on some path of some run. Seeds: the start
+// state arrives everywhere (a path may begin at any node). Propagation:
+// a state arriving at a production's owner flows through the body to each
+// position using λ∪ and the edge transitions.
+func (e *Env) arrivingStates(lambdaU []Mat) []uint64 {
+	s := e.Spec
+	arrive := make([]uint64, len(s.Modules))
+	start := uint64(1) << uint(e.DFA.Start)
+	for i := range arrive {
+		arrive[i] = start
+	}
+	saved := e.Lambda
+	e.Lambda = lambdaU
+	defer func() { e.Lambda = saved }()
+
+	for changed := true; changed; {
+		changed = false
+		for k := range s.Prods {
+			p := &s.Prods[k]
+			ins := e.bodyInMats(k) // uses λ∪ via e.Lambda
+			src := arrive[p.LHS]
+			for c, m := range p.Body.Nodes {
+				// States arriving at position c given src arriving at the
+				// body input.
+				var at uint64
+				rest := src
+				for rest != 0 {
+					q := bits.TrailingZeros64(rest)
+					rest &^= 1 << uint(q)
+					at |= ins[c][q]
+				}
+				if at&^arrive[m] != 0 {
+					arrive[m] |= at
+					changed = true
+				}
+			}
+		}
+	}
+	return arrive
+}

@@ -1,0 +1,370 @@
+package derive
+
+import (
+	"testing"
+
+	"provrpq/internal/label"
+	"provrpq/internal/wf"
+)
+
+// scriptW2W2W3 expands A with W2 twice and W3 the third time, mirroring the
+// paper's sample run (Fig. 2b): productions are 0=W1, 1=W2, 2=W3, 3=W4.
+func scriptW2W2W3(m wf.ModuleID, prods []int, iter int) int {
+	if len(prods) == 1 {
+		return prods[0]
+	}
+	if iter < 3 {
+		return 1 // W2
+	}
+	return 2 // W3
+}
+
+func paperRun(t *testing.T) *Run {
+	t.Helper()
+	r, err := Derive(wf.PaperSpec(), Options{Policy: scriptW2W2W3})
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	return r
+}
+
+func TestPaperRunShape(t *testing.T) {
+	r := paperRun(t)
+	// Expected atomic nodes: c:1; a:1,a:2; e:1,e:2; d:1,d:2; b:1,b:2 (W4);
+	// b:3 (W1) = 10 nodes.
+	if r.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", r.NumNodes())
+	}
+	counts := map[string]int{}
+	for _, n := range r.Nodes {
+		counts[r.Spec.Name(n.Module)]++
+	}
+	want := map[string]int{"a": 2, "b": 3, "c": 1, "d": 2, "e": 2}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("count[%s] = %d, want %d", k, counts[k], v)
+		}
+	}
+	// The paper-spec bodies are chains, so the whole run is a path: 9 edges,
+	// unique source and sink.
+	if r.NumEdges() != 9 {
+		t.Errorf("NumEdges = %d, want 9", r.NumEdges())
+	}
+	srcs, sinks := 0, 0
+	for i := range r.Nodes {
+		if len(r.In(NodeID(i))) == 0 {
+			srcs++
+		}
+		if len(r.Out(NodeID(i))) == 0 {
+			sinks++
+		}
+	}
+	if srcs != 1 || sinks != 1 {
+		t.Errorf("sources=%d sinks=%d, want 1/1", srcs, sinks)
+	}
+}
+
+func TestPaperRunLabels(t *testing.T) {
+	r := paperRun(t)
+	// Using 0-based production/position indices (paper is 1-based):
+	// a:1 hangs under iteration 1 of cycle 0 at W1 position 1.
+	// Occurrence numbers follow DFS creation order: the d of iteration 2 is
+	// created before the d of iteration 1 (the recursive subtree at body
+	// position 1 is expanded before body position 2).
+	cases := map[string]label.Label{
+		"c:1": {label.Prod(0, 0)},
+		"a:1": {label.Prod(0, 1), label.Rec(0, 0, 1), label.Prod(1, 0)},
+		"d:2": {label.Prod(0, 1), label.Rec(0, 0, 1), label.Prod(1, 2)},
+		"a:2": {label.Prod(0, 1), label.Rec(0, 0, 2), label.Prod(1, 0)},
+		"d:1": {label.Prod(0, 1), label.Rec(0, 0, 2), label.Prod(1, 2)},
+		"e:1": {label.Prod(0, 1), label.Rec(0, 0, 3), label.Prod(2, 0)},
+		"e:2": {label.Prod(0, 1), label.Rec(0, 0, 3), label.Prod(2, 1)},
+		"b:1": {label.Prod(0, 2), label.Prod(3, 0)},
+		"b:2": {label.Prod(0, 2), label.Prod(3, 1)},
+		"b:3": {label.Prod(0, 3)},
+	}
+	for name, want := range cases {
+		id, ok := r.NodeByName(name)
+		if !ok {
+			t.Errorf("node %s not found", name)
+			continue
+		}
+		if got := r.Label(id); !label.Equal(got, want) {
+			t.Errorf("label(%s) = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestPaperRunEdges(t *testing.T) {
+	r := paperRun(t)
+	// The run is the chain c:1 -A-> a:1 -A-> a:2 -A-> e:1 -e-> e:2 -d-> d:1
+	// -d-> d:2 -B-> b:1 -b-> b:2 -b-> b:3 (tags are head-module names from
+	// wf.PaperSpec's Chain convention; d:1 is iteration 2's d by creation
+	// order).
+	type want struct{ from, to, tag string }
+	wants := []want{
+		{"c:1", "a:1", "A"},
+		{"a:1", "a:2", "A"},
+		{"a:2", "e:1", "A"},
+		{"e:1", "e:2", "e"},
+		{"e:2", "d:1", "d"},
+		{"d:1", "d:2", "d"},
+		{"d:2", "b:1", "B"},
+		{"b:1", "b:2", "b"},
+		{"b:2", "b:3", "b"},
+	}
+	if len(wants) != r.NumEdges() {
+		t.Fatalf("edge count %d, want %d", r.NumEdges(), len(wants))
+	}
+	have := map[want]bool{}
+	for _, e := range r.Edges {
+		have[want{r.Nodes[e.From].Name, r.Nodes[e.To].Name, e.Tag}] = true
+	}
+	for _, w := range wants {
+		if !have[w] {
+			t.Errorf("missing edge %v; have %v", w, have)
+		}
+	}
+}
+
+func TestLabelsUniqueAndPrefixFree(t *testing.T) {
+	spec := wf.PaperSpec()
+	for seed := int64(0); seed < 10; seed++ {
+		r, err := Derive(spec, Options{Seed: seed, TargetEdges: 200})
+		if err != nil {
+			t.Fatalf("Derive(seed=%d): %v", seed, err)
+		}
+		seen := map[string]string{}
+		for _, n := range r.Nodes {
+			k := n.Label.String()
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("duplicate label %s on %s and %s", k, prev, n.Name)
+			}
+			seen[k] = n.Name
+		}
+		// Prefix-freeness between leaves.
+		for i := range r.Nodes {
+			for j := range r.Nodes {
+				if i == j {
+					continue
+				}
+				a, b := r.Nodes[i].Label, r.Nodes[j].Label
+				if len(a) < len(b) && label.LCP(a, b) == len(a) {
+					t.Fatalf("label %s (%s) is a prefix of %s (%s)",
+						a, r.Nodes[i].Name, b, r.Nodes[j].Name)
+				}
+			}
+		}
+	}
+}
+
+func TestRunIsDAGWithUniqueEnds(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r, err := Derive(wf.PaperSpec(), Options{Seed: seed, TargetEdges: 300})
+		if err != nil {
+			t.Fatalf("Derive: %v", err)
+		}
+		// Kahn topological sort must consume all nodes.
+		indeg := make([]int, r.NumNodes())
+		for _, e := range r.Edges {
+			indeg[e.To]++
+		}
+		var queue []NodeID
+		srcs := 0
+		for i := range r.Nodes {
+			if indeg[i] == 0 {
+				queue = append(queue, NodeID(i))
+				srcs++
+			}
+		}
+		if srcs != 1 {
+			t.Fatalf("seed %d: %d sources, want 1", seed, srcs)
+		}
+		done := 0
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			done++
+			for _, ei := range r.Out(v) {
+				e := r.Edges[ei]
+				indeg[e.To]--
+				if indeg[e.To] == 0 {
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		if done != r.NumNodes() {
+			t.Fatalf("seed %d: run has a cycle (%d of %d ordered)", seed, done, r.NumNodes())
+		}
+	}
+}
+
+func TestTargetEdgesBudget(t *testing.T) {
+	for _, target := range []int{100, 1000, 4000} {
+		r, err := Derive(wf.PaperSpec(), Options{Seed: 1, TargetEdges: target})
+		if err != nil {
+			t.Fatalf("Derive: %v", err)
+		}
+		// A chain is allotted at least half the remaining budget, so a
+		// single-recursion grammar lands in [target/2 - slack, 2*target].
+		if r.NumEdges() < target/3 {
+			t.Errorf("target %d: got only %d edges", target, r.NumEdges())
+		}
+		// Overshoot is bounded by one wind-down of each open recursion;
+		// generously allow 2x.
+		if r.NumEdges() > target*2+50 {
+			t.Errorf("target %d: got %d edges (overshoot too large)", target, r.NumEdges())
+		}
+	}
+}
+
+func TestFavorModuleExtendsFork(t *testing.T) {
+	spec := wf.ForkSpec()
+	r, err := Derive(spec, Options{Seed: 3, TargetEdges: 500, FavorModule: "M"})
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	// Every recursion step adds 2 edges and one a; expect ~250 a-nodes.
+	as := r.NodesOfModule("a")
+	if len(as) < 100 {
+		t.Errorf("favored fork recursion too short: %d a-nodes", len(as))
+	}
+	// The a-nodes must form a tagged chain a:1 -a-> a:2 -a-> ... (the final
+	// a-tagged edge of the base production points at the aggregator b).
+	aa := 0
+	for _, e := range r.Edges {
+		if e.Tag == "a" &&
+			r.Spec.Name(r.Nodes[e.From].Module) == "a" &&
+			r.Spec.Name(r.Nodes[e.To].Module) == "a" {
+			aa++
+		}
+	}
+	if aa != len(as)-1 {
+		t.Errorf("a-to-a chain edges = %d, want %d", aa, len(as)-1)
+	}
+}
+
+func TestDeriveFromNonStart(t *testing.T) {
+	spec := wf.PaperSpec()
+	a, _ := spec.ModuleByName("A")
+	r, err := DeriveFrom(spec, a, Options{Policy: scriptW2W2W3})
+	if err != nil {
+		t.Fatalf("DeriveFrom: %v", err)
+	}
+	// A recursing twice then W3: a,a,e,e,d,d = 6 nodes.
+	if r.NumNodes() != 6 {
+		t.Errorf("NumNodes = %d, want 6", r.NumNodes())
+	}
+	// Root label must start directly with the recursion entry.
+	id, ok := r.NodeByName("a:1")
+	if !ok {
+		t.Fatal("a:1 missing")
+	}
+	want := label.Label{label.Rec(0, 0, 1), label.Prod(1, 0)}
+	if got := r.Label(id); !label.Equal(got, want) {
+		t.Errorf("label(a:1) = %s, want %s", got, want)
+	}
+}
+
+func TestAtomicRoot(t *testing.T) {
+	spec := wf.PaperSpec()
+	a, _ := spec.ModuleByName("c")
+	r, err := DeriveFrom(spec, a, Options{})
+	if err != nil {
+		t.Fatalf("DeriveFrom: %v", err)
+	}
+	if r.NumNodes() != 1 || r.NumEdges() != 0 {
+		t.Errorf("atomic root run: %d nodes %d edges, want 1/0", r.NumNodes(), r.NumEdges())
+	}
+	if len(r.Label(0)) != 0 {
+		t.Errorf("atomic root label should be empty, got %s", r.Label(0))
+	}
+}
+
+func TestMultiModuleCycleDerivation(t *testing.T) {
+	spec := mustBuild(t, wf.NewBuilder().
+		Start("S").
+		Atomic("x", "y", "z").
+		Chain("S", "x", "A").
+		Chain("A", "x", "B", "y").
+		Chain("A", "z").
+		Chain("B", "y", "A", "x").
+		Chain("B", "z", "z"))
+	for seed := int64(0); seed < 6; seed++ {
+		r, err := Derive(spec, Options{Seed: seed, TargetEdges: 60})
+		if err != nil {
+			t.Fatalf("Derive: %v", err)
+		}
+		// Iterations of the A<->B cycle must alternate modules; verify by
+		// checking recursion entries: consecutive iters share (s,t).
+		for _, n := range r.Nodes {
+			for _, e := range n.Label {
+				if e.Rec && e.Z < 1 {
+					t.Fatalf("iteration %d < 1 in %s", e.Z, n.Label)
+				}
+			}
+		}
+		if r.NumNodes() == 0 {
+			t.Fatal("empty run")
+		}
+	}
+}
+
+func TestRunJSONRoundTrip(t *testing.T) {
+	r := paperRun(t)
+	data, err := EncodeRun(r)
+	if err != nil {
+		t.Fatalf("EncodeRun: %v", err)
+	}
+	back, err := DecodeRun(r.Spec, data)
+	if err != nil {
+		t.Fatalf("DecodeRun: %v", err)
+	}
+	if back.NumNodes() != r.NumNodes() || back.NumEdges() != r.NumEdges() {
+		t.Fatal("round trip changed sizes")
+	}
+	for i := range r.Nodes {
+		if back.Nodes[i].Name != r.Nodes[i].Name ||
+			!label.Equal(back.Nodes[i].Label, r.Nodes[i].Label) ||
+			back.Nodes[i].Module != r.Nodes[i].Module {
+			t.Fatalf("node %d changed in round trip", i)
+		}
+	}
+	if _, ok := back.NodeByName("c:1"); !ok {
+		t.Error("indices not rebuilt after decode")
+	}
+}
+
+func TestDecodeRunErrors(t *testing.T) {
+	spec := wf.PaperSpec()
+	if _, err := DecodeRun(spec, []byte(`{"nodes":[{"name":"q:1","module":"nope","label":""}]}`)); err == nil {
+		t.Error("unknown module should fail")
+	}
+	if _, err := DecodeRun(spec, []byte(`{"nodes":[],"edges":[{"From":0,"To":1,"Tag":"x"}]}`)); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+	if _, err := DecodeRun(spec, []byte(`{"nodes":[{"name":"a:1","module":"a","label":"!!!"}]}`)); err == nil {
+		t.Error("bad base64 should fail")
+	}
+}
+
+func mustBuild(t *testing.T, b *wf.Builder) *wf.Spec {
+	t.Helper()
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNodesOfModuleAndSort(t *testing.T) {
+	r := paperRun(t)
+	ds := r.NodesOfModule("d")
+	if len(ds) != 2 {
+		t.Fatalf("NodesOfModule(d) = %d nodes, want 2", len(ds))
+	}
+	sorted := r.SortByLabel(append([]NodeID(nil), ds...))
+	if label.Compare(r.Label(sorted[0]), r.Label(sorted[1])) > 0 {
+		t.Error("SortByLabel did not sort")
+	}
+}

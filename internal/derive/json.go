@@ -1,0 +1,71 @@
+package derive
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+
+	"provrpq/internal/label"
+	"provrpq/internal/wf"
+)
+
+// runJSON is the on-disk form of a run. The paper stored runs as Java
+// serializable objects; we use JSON with base64 varint-packed labels.
+type runJSON struct {
+	Nodes []nodeJSON `json:"nodes"`
+	Edges []Edge     `json:"edges"`
+}
+
+type nodeJSON struct {
+	Name   string `json:"name"`
+	Module string `json:"module"`
+	Label  string `json:"label"` // base64 of label.Label.Encode()
+}
+
+// EncodeRun serializes a run (without its specification; keep the spec's
+// JSON alongside).
+func EncodeRun(r *Run) ([]byte, error) {
+	rj := runJSON{Edges: r.Edges}
+	for _, n := range r.Nodes {
+		rj.Nodes = append(rj.Nodes, nodeJSON{
+			Name:   n.Name,
+			Module: r.Spec.Name(n.Module),
+			Label:  base64.StdEncoding.EncodeToString(n.Label.Encode()),
+		})
+	}
+	return json.Marshal(rj)
+}
+
+// DecodeRun deserializes a run against its specification.
+func DecodeRun(spec *wf.Spec, data []byte) (*Run, error) {
+	var rj runJSON
+	if err := json.Unmarshal(data, &rj); err != nil {
+		return nil, err
+	}
+	r := &Run{Spec: spec, Edges: rj.Edges}
+	for i, nj := range rj.Nodes {
+		m, ok := spec.ModuleByName(nj.Module)
+		if !ok {
+			return nil, fmt.Errorf("derive: run node %d references unknown module %q", i, nj.Module)
+		}
+		raw, err := base64.StdEncoding.DecodeString(nj.Label)
+		if err != nil {
+			return nil, fmt.Errorf("derive: run node %d: bad label encoding: %v", i, err)
+		}
+		lab, err := label.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("derive: run node %d: %v", i, err)
+		}
+		if err := ValidateLabel(spec, lab); err != nil {
+			return nil, fmt.Errorf("derive: run node %d (%s): %v", i, nj.Name, err)
+		}
+		r.Nodes = append(r.Nodes, Node{Module: m, Name: nj.Name, Label: lab})
+	}
+	for _, e := range r.Edges {
+		if e.From < 0 || int(e.From) >= len(r.Nodes) || e.To < 0 || int(e.To) >= len(r.Nodes) {
+			return nil, fmt.Errorf("derive: edge %v out of range", e)
+		}
+	}
+	r.finish()
+	return r, nil
+}

@@ -1,0 +1,39 @@
+package derive
+
+import (
+	"fmt"
+
+	"provrpq/internal/label"
+	"provrpq/internal/wf"
+)
+
+// ValidateLabel checks that every entry of a label is structurally valid
+// for the specification: production entries reference existing productions
+// and body positions, recursion entries reference existing cycles with
+// in-range entry edges and positive iteration numbers. The decoders index
+// specification tables with label entries, so externally loaded labels
+// (DecodeRun) must pass this check before use.
+func ValidateLabel(spec *wf.Spec, l label.Label) error {
+	for i, e := range l {
+		if e.Rec {
+			if e.X < 0 || e.X >= len(spec.Cycles()) {
+				return fmt.Errorf("label entry %d: cycle %d out of range", i, e.X)
+			}
+			c := spec.Cycles()[e.X]
+			if e.Y < 0 || e.Y >= c.Len() {
+				return fmt.Errorf("label entry %d: cycle entry edge %d out of range [0,%d)", i, e.Y, c.Len())
+			}
+			if e.Z < 1 {
+				return fmt.Errorf("label entry %d: iteration %d < 1", i, e.Z)
+			}
+			continue
+		}
+		if e.X < 0 || e.X >= len(spec.Prods) {
+			return fmt.Errorf("label entry %d: production %d out of range", i, e.X)
+		}
+		if e.Y < 0 || e.Y >= len(spec.Prods[e.X].Body.Nodes) {
+			return fmt.Errorf("label entry %d: body position %d out of range for production %d", i, e.Y, e.X)
+		}
+	}
+	return nil
+}

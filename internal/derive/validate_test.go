@@ -1,0 +1,72 @@
+package derive
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"provrpq/internal/label"
+	"provrpq/internal/wf"
+)
+
+func TestValidateLabelAcceptsDerived(t *testing.T) {
+	spec := wf.PaperSpec()
+	r, err := Derive(spec, Options{Seed: 1, TargetEdges: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range r.Nodes {
+		if err := ValidateLabel(spec, n.Label); err != nil {
+			t.Fatalf("derived label %s rejected: %v", n.Label, err)
+		}
+	}
+}
+
+func TestValidateLabelRejectsGarbage(t *testing.T) {
+	spec := wf.PaperSpec()
+	cases := []struct {
+		name string
+		l    label.Label
+		sub  string
+	}{
+		{"bad production", label.Label{label.Prod(99, 0)}, "production 99"},
+		{"bad position", label.Label{label.Prod(0, 99)}, "body position 99"},
+		{"bad cycle", label.Label{label.Rec(7, 0, 1)}, "cycle 7"},
+		{"bad entry edge", label.Label{label.Rec(0, 5, 1)}, "entry edge 5"},
+		{"zero iteration", label.Label{label.Rec(0, 0, 0)}, "iteration 0"},
+		{"nested garbage", label.Label{label.Prod(0, 1), label.Rec(0, 0, 1), label.Prod(1, 42)}, "body position 42"},
+	}
+	for _, c := range cases {
+		err := ValidateLabel(spec, c.l)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.sub)
+		}
+	}
+}
+
+// TestDecodeRunRejectsCorruptLabels: a tampered run file must fail cleanly
+// at load time rather than panic inside the decoders later.
+func TestDecodeRunRejectsCorruptLabels(t *testing.T) {
+	spec := wf.PaperSpec()
+	bad := label.Label{label.Prod(3, 77)}
+	rj := map[string]interface{}{
+		"nodes": []map[string]string{{
+			"name":   "c:1",
+			"module": "c",
+			"label":  base64.StdEncoding.EncodeToString(bad.Encode()),
+		}},
+		"edges": []Edge{},
+	}
+	data, err := json.Marshal(rj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRun(spec, data); err == nil {
+		t.Fatal("corrupt label should be rejected at load time")
+	}
+}

@@ -1,0 +1,58 @@
+// Package index provides the inverted edge-tag index of Section V-A: for
+// each tag γ, the list of node pairs connected by a γ-tagged edge. The
+// baselines (G1's leaf relations, G3's IFQ occurrence lists and G2's rare
+// label statistics) are driven by it.
+package index
+
+import (
+	"sort"
+
+	"provrpq/internal/derive"
+)
+
+// Pair is one edge occurrence (the node pair connected by a tagged edge).
+type Pair struct {
+	From, To derive.NodeID
+}
+
+// Index maps every edge tag of a run to its occurrence list.
+type Index struct {
+	run   *derive.Run
+	byTag map[string][]Pair
+}
+
+// Build scans the run once and materializes the inverted index.
+func Build(r *derive.Run) *Index {
+	ix := &Index{run: r, byTag: map[string][]Pair{}}
+	for _, e := range r.Edges {
+		ix.byTag[e.Tag] = append(ix.byTag[e.Tag], Pair{From: e.From, To: e.To})
+	}
+	return ix
+}
+
+// Pairs returns the occurrences of tag (nil if absent). Callers must not
+// mutate the slice.
+func (ix *Index) Pairs(tag string) []Pair { return ix.byTag[tag] }
+
+// Count returns the selectivity statistic |Pairs(tag)|.
+func (ix *Index) Count(tag string) int { return len(ix.byTag[tag]) }
+
+// Tags returns the indexed tags sorted by ascending occurrence count
+// (rarest first, as the G2 baseline wants).
+func (ix *Index) Tags() []string {
+	tags := make([]string, 0, len(ix.byTag))
+	for t := range ix.byTag {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		ci, cj := len(ix.byTag[tags[i]]), len(ix.byTag[tags[j]])
+		if ci != cj {
+			return ci < cj
+		}
+		return tags[i] < tags[j]
+	})
+	return tags
+}
+
+// Run returns the indexed run.
+func (ix *Index) Run() *derive.Run { return ix.run }

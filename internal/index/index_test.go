@@ -1,0 +1,62 @@
+package index
+
+import (
+	"testing"
+
+	"provrpq/internal/derive"
+	"provrpq/internal/wf"
+)
+
+func TestBuildAndLookup(t *testing.T) {
+	run, err := derive.Derive(wf.PaperSpec(), derive.Options{Seed: 1, TargetEdges: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(run)
+	if ix.Run() != run {
+		t.Error("Run() should return the indexed run")
+	}
+	// Every edge appears exactly once under its tag.
+	total := 0
+	for _, tag := range ix.Tags() {
+		pairs := ix.Pairs(tag)
+		if len(pairs) != ix.Count(tag) {
+			t.Errorf("Count(%s) = %d but %d pairs", tag, ix.Count(tag), len(pairs))
+		}
+		total += len(pairs)
+		for _, p := range pairs {
+			found := false
+			for _, ei := range run.Out(p.From) {
+				e := run.Edges[ei]
+				if e.To == p.To && e.Tag == tag {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("index pair (%d,%d) tag %s not in run", p.From, p.To, tag)
+			}
+		}
+	}
+	if total != run.NumEdges() {
+		t.Errorf("index covers %d edges, run has %d", total, run.NumEdges())
+	}
+}
+
+func TestTagsSortedByRarity(t *testing.T) {
+	run, err := derive.Derive(wf.PaperSpec(), derive.Options{Seed: 2, TargetEdges: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(run)
+	tags := ix.Tags()
+	for i := 1; i < len(tags); i++ {
+		if ix.Count(tags[i-1]) > ix.Count(tags[i]) {
+			t.Fatalf("Tags not sorted by rarity: %s(%d) before %s(%d)",
+				tags[i-1], ix.Count(tags[i-1]), tags[i], ix.Count(tags[i]))
+		}
+	}
+	if ix.Count("no-such-tag") != 0 || ix.Pairs("no-such-tag") != nil {
+		t.Error("missing tags should report zero occurrences")
+	}
+}

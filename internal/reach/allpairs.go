@@ -1,0 +1,237 @@
+package reach
+
+import (
+	"sort"
+
+	"provrpq/internal/label"
+	"provrpq/internal/wf"
+)
+
+// Trie is the tree representation of a list of labeled nodes (Section IV-A):
+// a projection of the compressed parse tree whose leaves are the list
+// entries. It is built in one pass over the label-sorted list; leaves of any
+// subtree occupy a contiguous range of the sorted order, recorded as
+// [Lo, Hi) index ranges into the sorted permutation.
+type Trie struct {
+	Labels []label.Label // sorted
+	Perm   []int         // Perm[sorted position] = caller's original index
+	Root   *TrieNode
+}
+
+// TrieNode is one node of the tree representation.
+type TrieNode struct {
+	// Entry is the label entry on the incoming edge (zero for the root).
+	Entry label.Entry
+	// Children in sorted entry order.
+	Children []*TrieNode
+	// Lo, Hi delimit the subtree's leaves in the sorted order.
+	Lo, Hi int
+}
+
+// IsLeaf reports whether the node represents a full label.
+func (n *TrieNode) IsLeaf() bool { return len(n.Children) == 0 }
+
+// NewTrie builds the tree representation of the given labels (in any order;
+// the constructor sorts them and records the permutation).
+func NewTrie(labels []label.Label) *Trie {
+	t := &Trie{Labels: make([]label.Label, len(labels)), Perm: make([]int, len(labels))}
+	for i := range labels {
+		t.Perm[i] = i
+	}
+	sort.Slice(t.Perm, func(i, j int) bool {
+		return label.Compare(labels[t.Perm[i]], labels[t.Perm[j]]) < 0
+	})
+	for i, p := range t.Perm {
+		t.Labels[i] = labels[p]
+	}
+	t.Root = buildTrie(t.Labels, 0, len(t.Labels), 0)
+	return t
+}
+
+// buildTrie groups the sorted slice [lo,hi) by the entry at the given depth.
+func buildTrie(labels []label.Label, lo, hi, depth int) *TrieNode {
+	n := &TrieNode{Lo: lo, Hi: hi}
+	i := lo
+	// Skip exhausted labels (they are leaves at this node; sorted first).
+	for i < hi && len(labels[i]) <= depth {
+		i++
+	}
+	for i < hi {
+		e := labels[i][depth]
+		j := i + 1
+		for j < hi && len(labels[j]) > depth && labels[j][depth] == e {
+			j++
+		}
+		child := buildTrie(labels, i, j, depth+1)
+		child.Entry = e
+		n.Children = append(n.Children, child)
+		i = j
+	}
+	return n
+}
+
+// EmitFunc receives one result pair by the callers' original indices.
+type EmitFunc func(i, j int)
+
+// AllPairs emits every pair (i, j) with l1[i] ⇝ l2[j] in any run containing
+// all the labeled nodes. It runs in O(|G|³·max(|l1|,|l2|) + N) where N is
+// the output size (Lemma 4.1's side effect: all-pairs reachability in
+// input+output linear time for fixed G).
+func AllPairs(spec *wf.Spec, l1, l2 []label.Label, emit EmitFunc) {
+	t1 := NewTrie(l1)
+	t2 := NewTrie(l2)
+	w := &walker{spec: spec, t1: t1, t2: t2, emit: emit}
+	w.walk(t1.Root, t2.Root)
+}
+
+type walker struct {
+	spec  *wf.Spec
+	t1    *Trie
+	t2    *Trie
+	emit  EmitFunc
+	depth int
+}
+
+// emitRange crosses the leaf ranges of two subtrees.
+func (w *walker) emitRange(a, b *TrieNode) {
+	for i := a.Lo; i < a.Hi; i++ {
+		for j := b.Lo; j < b.Hi; j++ {
+			w.emit(w.t1.Perm[i], w.t2.Perm[j])
+		}
+	}
+}
+
+// walk processes two trie nodes known to represent the same parse-tree node
+// (equal label prefixes).
+func (w *walker) walk(a, b *TrieNode) {
+	// A pair of leaves with the same full label is the same run node:
+	// reachable via the empty path. (Leaves at this node sit in
+	// [Lo, firstChild.Lo); only identical labels can coexist there.)
+	aLeafHi, bLeafHi := a.Hi, b.Hi
+	if len(a.Children) > 0 {
+		aLeafHi = a.Children[0].Lo
+	}
+	if len(b.Children) > 0 {
+		bLeafHi = b.Children[0].Lo
+	}
+	for i := a.Lo; i < aLeafHi; i++ {
+		for j := b.Lo; j < bLeafHi; j++ {
+			w.emit(w.t1.Perm[i], w.t2.Perm[j])
+		}
+	}
+	if len(a.Children) == 0 || len(b.Children) == 0 {
+		return
+	}
+
+	if !a.Children[0].Entry.Rec {
+		w.walkComposite(a, b)
+	} else {
+		w.walkRecursive(a, b)
+	}
+}
+
+// walkComposite is Case 1 of Algorithm 2: children belong to the body of a
+// single production firing.
+func (w *walker) walkComposite(a, b *TrieNode) {
+	for _, ca := range a.Children {
+		for _, cb := range b.Children {
+			if ca.Entry == cb.Entry {
+				w.walk(ca, cb)
+				continue
+			}
+			if ca.Entry.Rec || cb.Entry.Rec || ca.Entry.X != cb.Entry.X {
+				continue
+			}
+			if w.spec.BodyReach(ca.Entry.X, ca.Entry.Y, cb.Entry.Y) {
+				w.emitRange(ca, cb)
+			}
+		}
+	}
+}
+
+// walkRecursive is Case 2 of Algorithm 2: children are iterations of one R
+// node, sorted by iteration number. Same iterations recurse (merge join);
+// earlier iterations reach later ones through their red children; later
+// iterations reach earlier ones' blue children. Every loop below either
+// recurses or emits at least one pair per step, keeping the pass
+// output-bound as in the paper.
+func (w *walker) walkRecursive(a, b *TrieNode) {
+	ac, bc := a.Children, b.Children
+	// Set=: merge join on iteration number.
+	for i, j := 0, 0; i < len(ac) && j < len(bc); {
+		switch {
+		case ac[i].Entry.Z == bc[j].Entry.Z:
+			w.walk(ac[i], bc[j])
+			i++
+			j++
+		case ac[i].Entry.Z < bc[j].Entry.Z:
+			i++
+		default:
+			j++
+		}
+	}
+	// Set<: red children of an earlier a-iteration reach every later
+	// b-iteration entirely.
+	j := 0
+	for _, ca := range ac {
+		var red []*TrieNode
+		for _, g := range ca.Children {
+			if w.isRed(g.Entry) {
+				red = append(red, g)
+			}
+		}
+		if len(red) == 0 {
+			continue
+		}
+		for j < len(bc) && bc[j].Entry.Z <= ca.Entry.Z {
+			j++
+		}
+		for _, cb := range bc[j:] {
+			for _, g := range red {
+				w.emitRange(g, cb)
+			}
+		}
+	}
+	// Set>: every later a-iteration reaches the blue children of earlier
+	// b-iterations.
+	i := 0
+	for _, cb := range bc {
+		var blue []*TrieNode
+		for _, g := range cb.Children {
+			if w.isBlue(g.Entry) {
+				blue = append(blue, g)
+			}
+		}
+		if len(blue) == 0 {
+			continue
+		}
+		for i < len(ac) && ac[i].Entry.Z <= cb.Entry.Z {
+			i++
+		}
+		for _, ca := range ac[i:] {
+			for _, g := range blue {
+				w.emitRange(ca, g)
+			}
+		}
+	}
+}
+
+// isRed reports whether an iteration-child entry (k, c) can reach the cycle
+// successor within production k.
+func (w *walker) isRed(e label.Entry) bool {
+	if e.Rec {
+		return false
+	}
+	rp, cyclePos := w.spec.RecursiveProd(w.spec.Prods[e.X].LHS)
+	return rp == e.X && w.spec.BodyReach(e.X, e.Y, cyclePos)
+}
+
+// isBlue reports whether the cycle successor can reach the iteration-child
+// entry (k, c) within production k.
+func (w *walker) isBlue(e label.Entry) bool {
+	if e.Rec {
+		return false
+	}
+	rp, cyclePos := w.spec.RecursiveProd(w.spec.Prods[e.X].LHS)
+	return rp == e.X && w.spec.BodyReach(e.X, cyclePos, e.Y)
+}

@@ -1,0 +1,160 @@
+package wf
+
+import "fmt"
+
+// Builder constructs a Spec incrementally using module names, which is far
+// more convenient than raw ids for examples, tests and generators. Names are
+// registered on first use; Atomic/Composite declare the kind explicitly and
+// Prod marks its left-hand side composite.
+type Builder struct {
+	modules []Module
+	byName  map[string]ModuleID
+	start   string
+	prods   []Production
+	err     error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{byName: map[string]ModuleID{}}
+}
+
+// Atomic declares one or more atomic modules.
+func (b *Builder) Atomic(names ...string) *Builder {
+	for _, n := range names {
+		b.module(n, false)
+	}
+	return b
+}
+
+// Composite declares one or more composite modules.
+func (b *Builder) Composite(names ...string) *Builder {
+	for _, n := range names {
+		id := b.module(n, true)
+		if id >= 0 {
+			b.modules[id].Composite = true
+		}
+	}
+	return b
+}
+
+// Start sets the start module.
+func (b *Builder) Start(name string) *Builder {
+	b.start = name
+	b.module(name, true)
+	return b
+}
+
+// BodyEdge describes one body edge by node positions and tag.
+type BodyEdge struct {
+	From, To int
+	Tag      string
+}
+
+// Prod appends a production lhs -> body, where nodes lists the body modules
+// by name (position in this list is the body node index used by edges).
+func (b *Builder) Prod(lhs string, nodes []string, edges []BodyEdge) *Builder {
+	l := b.module(lhs, true)
+	if l < 0 {
+		return b
+	}
+	b.modules[l].Composite = true
+	body := Body{}
+	for _, n := range nodes {
+		id := b.module(n, false)
+		if id < 0 {
+			return b
+		}
+		body.Nodes = append(body.Nodes, id)
+	}
+	for _, e := range edges {
+		body.Edges = append(body.Edges, Edge{From: e.From, To: e.To, Tag: e.Tag})
+	}
+	b.prods = append(b.prods, Production{LHS: l, Body: body})
+	return b
+}
+
+// Chain appends a production whose body is the linear chain
+// nodes[0] -> nodes[1] -> ... with each edge tagged by the name of the
+// module at its head (the convention the paper's examples use).
+func (b *Builder) Chain(lhs string, nodes ...string) *Builder {
+	var edges []BodyEdge
+	for i := 0; i+1 < len(nodes); i++ {
+		edges = append(edges, BodyEdge{From: i, To: i + 1, Tag: nodes[i+1]})
+	}
+	return b.Prod(lhs, nodes, edges)
+}
+
+func (b *Builder) module(name string, composite bool) ModuleID {
+	if b.err != nil {
+		return -1
+	}
+	if name == "" {
+		b.err = fmt.Errorf("wf: empty module name")
+		return -1
+	}
+	if id, ok := b.byName[name]; ok {
+		return id
+	}
+	id := ModuleID(len(b.modules))
+	b.modules = append(b.modules, Module{Name: name, Composite: composite})
+	b.byName[name] = id
+	return id
+}
+
+// Build validates and returns the Spec.
+func (b *Builder) Build() (*Spec, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.start == "" {
+		return nil, fmt.Errorf("wf: builder: no start module set")
+	}
+	return New(b.modules, b.byName[b.start], b.prods)
+}
+
+// MustBuild is Build but panics on error; intended for tests and fixtures.
+func (b *Builder) MustBuild() *Spec {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// PaperSpec returns the running example of the paper (Fig. 2a): composite
+// modules S, A, B with productions
+//
+//	W1: S -> c -> A -> B -> b
+//	W2: A -> a -> A -> d   (recursive)
+//	W3: A -> e -> e        (base case)
+//	W4: B -> b -> b
+//
+// Edge tags equal the head module's name, as in the paper's examples.
+func PaperSpec() *Spec {
+	return NewBuilder().
+		Start("S").
+		Composite("S", "A", "B").
+		Atomic("a", "b", "c", "d", "e").
+		Chain("S", "c", "A", "B", "b").
+		Chain("A", "a", "A", "d").
+		Chain("A", "e", "e").
+		Chain("B", "b", "b").
+		MustBuild()
+}
+
+// ForkSpec returns the fork pattern of Fig. 14: a fork distributor "a" is
+// fired recursively, producing runs whose distributors form an a-tagged
+// chain a:1 -a-> a:2 -a-> ... (Fig. 14b), terminated by the aggregator "b".
+// Every execution of M spells a^j on its input-output path, which makes the
+// Kleene-star query a* safe — exactly the workload of Fig. 13g/h.
+func ForkSpec() *Spec {
+	return NewBuilder().
+		Start("S").
+		Composite("S", "M").
+		Atomic("a", "b").
+		Prod("S", []string{"M", "b"}, []BodyEdge{{0, 1, "b"}}).
+		Prod("M", []string{"a", "M"}, []BodyEdge{{0, 1, "a"}}).
+		Prod("M", []string{"a"}, nil).
+		MustBuild()
+}

@@ -1,0 +1,30 @@
+package wf
+
+import "encoding/json"
+
+// specJSON is the serialized form of a Spec: just the grammar; all derived
+// structures (production graph, cycles, closures) are rebuilt on load.
+type specJSON struct {
+	Modules []Module     `json:"modules"`
+	Start   ModuleID     `json:"start"`
+	Prods   []Production `json:"productions"`
+}
+
+// MarshalJSON encodes the grammar portion of the Spec.
+func (s *Spec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(specJSON{Modules: s.Modules, Start: s.Start, Prods: s.Prods})
+}
+
+// UnmarshalJSON decodes and re-validates a Spec.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var sj specJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return err
+	}
+	ns, err := New(sj.Modules, sj.Start, sj.Prods)
+	if err != nil {
+		return err
+	}
+	*s = *ns
+	return nil
+}

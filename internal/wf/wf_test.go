@@ -1,0 +1,333 @@
+package wf
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPaperSpecValid(t *testing.T) {
+	s := PaperSpec()
+	if got := s.Size(); got != (1+4)+(1+3)+(1+2)+(1+2) {
+		t.Errorf("Size() = %d, want 15", got)
+	}
+	if len(s.Prods) != 4 {
+		t.Fatalf("len(Prods) = %d, want 4", len(s.Prods))
+	}
+	a, ok := s.ModuleByName("A")
+	if !ok {
+		t.Fatal("module A not found")
+	}
+	if !s.IsComposite(a) {
+		t.Error("A should be composite")
+	}
+	if !s.IsRecursive(a) {
+		t.Error("A should be recursive")
+	}
+	sMod, _ := s.ModuleByName("S")
+	if s.IsRecursive(sMod) {
+		t.Error("S should not be recursive")
+	}
+	if s.Start != sMod {
+		t.Errorf("Start = %d, want %d", s.Start, sMod)
+	}
+}
+
+func TestPaperSpecCycle(t *testing.T) {
+	s := PaperSpec()
+	cycles := s.Cycles()
+	if len(cycles) != 1 {
+		t.Fatalf("len(Cycles) = %d, want 1", len(cycles))
+	}
+	c := cycles[0]
+	if c.Len() != 1 {
+		t.Fatalf("cycle length = %d, want 1", c.Len())
+	}
+	a, _ := s.ModuleByName("A")
+	if c.Modules[0] != a {
+		t.Errorf("cycle module = %q, want A", s.Name(c.Modules[0]))
+	}
+	k, pos := s.RecursiveProd(a)
+	if k != 1 {
+		t.Errorf("recursive production of A = %d, want 1 (W2)", k)
+	}
+	if pos != 1 {
+		t.Errorf("cycle position = %d, want 1 (middle of a->A->d)", pos)
+	}
+}
+
+func TestBodyReach(t *testing.T) {
+	s := PaperSpec()
+	// W1: c(0) -> A(1) -> B(2) -> b(3)
+	cases := []struct {
+		k, i, j int
+		want    bool
+	}{
+		{0, 0, 1, true},
+		{0, 0, 3, true},
+		{0, 1, 3, true},
+		{0, 3, 0, false},
+		{0, 1, 1, false},
+		{1, 0, 2, true}, // a -> d via A
+		{1, 2, 0, false},
+	}
+	for _, c := range cases {
+		if got := s.BodyReach(c.k, c.i, c.j); got != c.want {
+			t.Errorf("BodyReach(%d,%d,%d) = %v, want %v", c.k, c.i, c.j, got, c.want)
+		}
+	}
+	if s.Source(0) != 0 || s.Sink(0) != 3 {
+		t.Errorf("W1 source/sink = %d/%d, want 0/3", s.Source(0), s.Sink(0))
+	}
+}
+
+func TestNotStrictlyLinear(t *testing.T) {
+	// Fig. 5: two cycles sharing S (S -> a S, S -> b S c collapsed to two
+	// self-referencing productions => two parallel P(G) self-edges on S).
+	_, err := NewBuilder().
+		Start("S").
+		Atomic("a", "b", "c").
+		Chain("S", "a", "S").
+		Chain("S", "b", "S").
+		Chain("S", "c").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "strictly linear") {
+		t.Errorf("expected strict-linearity error, got %v", err)
+	}
+}
+
+func TestTwoOccurrencesOfRecursiveModuleRejected(t *testing.T) {
+	// A body containing the cycle module twice creates parallel P(G) edges
+	// and hence two non-disjoint cycles.
+	_, err := NewBuilder().
+		Start("S").
+		Atomic("a").
+		Chain("S", "a", "S", "S").
+		Chain("S", "a").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "strictly linear") {
+		t.Errorf("expected strict-linearity error, got %v", err)
+	}
+}
+
+func TestMultiModuleCycleAccepted(t *testing.T) {
+	s, err := NewBuilder().
+		Start("S").
+		Atomic("x", "y", "z").
+		Chain("S", "x", "A").
+		Chain("A", "x", "B", "y").
+		Chain("A", "z").
+		Chain("B", "y", "A", "x").
+		Chain("B", "z", "z").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(s.Cycles()) != 1 {
+		t.Fatalf("len(Cycles) = %d, want 1", len(s.Cycles()))
+	}
+	c := s.Cycles()[0]
+	if c.Len() != 2 {
+		t.Errorf("cycle length = %d, want 2 (A <-> B)", c.Len())
+	}
+	a, _ := s.ModuleByName("A")
+	b, _ := s.ModuleByName("B")
+	if !s.IsRecursive(a) || !s.IsRecursive(b) {
+		t.Error("A and B should both be recursive")
+	}
+	// Cycle order must follow P(G) edges.
+	_, posA := s.CycleOf(a)
+	if c.ModuleAt(posA+1) != b {
+		t.Error("successor of A on the cycle should be B")
+	}
+}
+
+func TestIntersectingCyclesRejected(t *testing.T) {
+	// A -> B -> A and A -> C -> A share vertex A.
+	_, err := NewBuilder().
+		Start("A").
+		Atomic("t").
+		Chain("A", "t", "B").
+		Chain("A", "t", "C").
+		Chain("A", "t").
+		Chain("B", "t", "A").
+		Chain("B", "t").
+		Chain("C", "t", "A").
+		Chain("C", "t").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "strictly linear") {
+		t.Errorf("expected strict-linearity error, got %v", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() (*Spec, error)
+		wantSub string
+	}{
+		{
+			"cyclic body",
+			func() (*Spec, error) {
+				return NewBuilder().Start("S").Atomic("a", "b").
+					Prod("S", []string{"a", "b"}, []BodyEdge{{0, 1, "x"}, {1, 0, "y"}}).Build()
+			},
+			"cyclic",
+		},
+		{
+			"two sources",
+			func() (*Spec, error) {
+				return NewBuilder().Start("S").Atomic("a", "b", "c").
+					Prod("S", []string{"a", "b", "c"}, []BodyEdge{{0, 2, "x"}, {1, 2, "y"}}).Build()
+			},
+			"multiple source",
+		},
+		{
+			"two sinks",
+			func() (*Spec, error) {
+				return NewBuilder().Start("S").Atomic("a", "b", "c").
+					Prod("S", []string{"a", "b", "c"}, []BodyEdge{{0, 1, "x"}, {0, 2, "y"}}).Build()
+			},
+			"multiple sink",
+		},
+		{
+			"self loop",
+			func() (*Spec, error) {
+				return NewBuilder().Start("S").Atomic("a").
+					Prod("S", []string{"a"}, []BodyEdge{{0, 0, "x"}}).Build()
+			},
+			"self-loop",
+		},
+		{
+			"empty body",
+			func() (*Spec, error) {
+				return NewBuilder().Start("S").Prod("S", nil, nil).Build()
+			},
+			"empty body",
+		},
+		{
+			"unproductive",
+			func() (*Spec, error) {
+				// S -> a A, A -> a A only: A never terminates.
+				return NewBuilder().Start("S").Atomic("a").
+					Chain("S", "a", "A").
+					Chain("A", "a", "A").
+					Build()
+			},
+			"finite execution",
+		},
+		{
+			"composite without production",
+			func() (*Spec, error) {
+				return NewBuilder().Start("S").Composite("A").Atomic("a").
+					Chain("S", "a").Build()
+			},
+			"no production",
+		},
+		{
+			"duplicate edge",
+			func() (*Spec, error) {
+				return NewBuilder().Start("S").Atomic("a", "b").
+					Prod("S", []string{"a", "b"}, []BodyEdge{{0, 1, "x"}, {0, 1, "x"}}).Build()
+			},
+			"duplicate edge",
+		},
+		{
+			"disconnected node",
+			func() (*Spec, error) {
+				// c has no edges at all: it is a second source (and sink).
+				return NewBuilder().Start("S").Atomic("a", "b", "c").
+					Prod("S", []string{"a", "b", "c"}, []BodyEdge{{0, 1, "x"}}).Build()
+			},
+			"", // any error acceptable; structure is ill-formed some way
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.build()
+			if err == nil {
+				t.Fatal("expected error, got nil")
+			}
+			if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParallelEdgesWithDistinctTags(t *testing.T) {
+	s, err := NewBuilder().Start("S").Atomic("a", "b").
+		Prod("S", []string{"a", "b"}, []BodyEdge{{0, 1, "x"}, {0, 1, "y"}}).Build()
+	if err != nil {
+		t.Fatalf("parallel edges with distinct tags should be valid: %v", err)
+	}
+	if len(s.Prods[0].Body.Edges) != 2 {
+		t.Error("expected both edges retained")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := PaperSpec()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Size() != s.Size() || len(back.Prods) != len(s.Prods) || back.Start != s.Start {
+		t.Error("round-trip changed the spec")
+	}
+	if len(back.Cycles()) != 1 {
+		t.Error("derived structures not rebuilt on unmarshal")
+	}
+	a, _ := back.ModuleByName("A")
+	if !back.IsRecursive(a) {
+		t.Error("recursion lost in round trip")
+	}
+}
+
+func TestTags(t *testing.T) {
+	s := PaperSpec()
+	tags := s.Tags()
+	// Chain tags edges by head-module name; chain sources (a, c, e) never
+	// appear as tags in PaperSpec.
+	want := []string{"A", "B", "b", "d", "e"}
+	if len(tags) != len(want) {
+		t.Fatalf("Tags() = %v, want %v", tags, want)
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("Tags() = %v, want %v", tags, want)
+		}
+	}
+}
+
+func TestForkSpec(t *testing.T) {
+	s := ForkSpec()
+	m, _ := s.ModuleByName("M")
+	if !s.IsRecursive(m) {
+		t.Error("M should be recursive")
+	}
+	if len(s.Cycles()) != 1 {
+		t.Errorf("len(Cycles) = %d, want 1", len(s.Cycles()))
+	}
+}
+
+func TestPGEdgeLabels(t *testing.T) {
+	s := PaperSpec()
+	pg := s.ProdGraph()
+	// Every body position appears exactly once as a P(G) edge.
+	count := map[[2]int]int{}
+	for _, e := range pg.Edges {
+		count[[2]int{e.Prod, e.Pos}]++
+	}
+	for k, p := range s.Prods {
+		for i := range p.Body.Nodes {
+			if count[[2]int{k, i}] != 1 {
+				t.Errorf("P(G) edge for (%d,%d) occurs %d times", k, i, count[[2]int{k, i}])
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package workload provides the paper's evaluation datasets and query
+// generators (Section V-A).
+//
+// myExperiment's BioAID and QBLast workflow specifications are not
+// redistributable here, so BioAID() and QBLast() synthesize specifications
+// that match the statistics the paper publishes — module/production counts,
+// recursive production counts, grammar size, and the deep-vs-branchy
+// contrast — using realistic workflow idioms: nested sub-workflow chains,
+// loop recursions over fixed pipelines, fork recursions (Fig. 14) and, for
+// QBLast, a two-module mutual recursion. The substitution preserves the
+// evaluated behaviour because every algorithm in this repository consumes
+// only the grammar structure.
+package workload
+
+import (
+	"fmt"
+
+	"provrpq/internal/wf"
+)
+
+// Dataset bundles a specification with the tag pools the query generators
+// draw from.
+type Dataset struct {
+	Name string
+	Spec *wf.Spec
+	// ForkModule is the fork recursion itself; ForkFavor lists the modules
+	// the Fig. 13g/h workload extends (the fork plus the loop that keeps
+	// starting new fork chains) and ForkCaps bounds each fork chain so a
+	// run holds many moderate chains rather than one enormous one.
+	ForkModule string
+	ForkFavor  []string
+	ForkCaps   map[string]int
+	// ForkTag is the tag on the fork chain's edges (the a of a*).
+	ForkTag string
+	// HighSelGroups are tag sequences along one top-level path, in path
+	// order, whose first tag has almost no upstream nodes and whose last
+	// has almost no downstream nodes: IFQs anchored at both ends match
+	// under ten pairs (the "highly selective" queries of Fig. 13e/f).
+	HighSelGroups [][]string
+	// LowSelGroups are per-branch pipeline tag sequences in path order;
+	// the tags occur once per loop iteration, so in-order IFQs over one
+	// group are safe and match many pairs (the "lowly selective" queries).
+	LowSelGroups [][]string
+	// HighSelTags and LowSelTags are the flattened groups (for statistics).
+	HighSelTags []string
+	LowSelTags  []string
+}
+
+func flatten(groups [][]string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, g := range groups {
+		for _, t := range g {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// pipeline appends a single-production composite whose body is a chain of
+// atoms; tags equal head-atom names. uniq atoms get the given name prefix;
+// the first `repeats` atoms are appended again at the end (re-validation
+// steps), so the body has uniq+repeats nodes using uniq distinct atoms.
+func pipeline(b *wf.Builder, name, prefix string, uniq, repeats int) []string {
+	atoms := make([]string, uniq)
+	for i := range atoms {
+		atoms[i] = fmt.Sprintf("%s_%d", prefix, i+1)
+	}
+	nodes := append([]string{}, atoms...)
+	for i := 0; i < repeats; i++ {
+		nodes = append(nodes, atoms[i])
+	}
+	b.Chain(name, nodes...)
+	// Edge tags are head-atom names: atoms[1:] plus the repeated heads.
+	var tags []string
+	tags = append(tags, atoms[1:]...)
+	for i := 0; i < repeats; i++ {
+		tags = append(tags, atoms[i])
+	}
+	return tags
+}
+
+// loop appends a loop recursion: rec body pipe -> self (tagged nextTag),
+// base body just the pipe. Every iteration executes the pipeline once, so
+// pipeline tags occur once per iteration.
+func loop(b *wf.Builder, name, pipe, nextTag string) {
+	b.Prod(name, []string{pipe, name}, []wf.BodyEdge{{From: 0, To: 1, Tag: nextTag}})
+	b.Prod(name, []string{pipe}, nil)
+}
+
+// fork appends the Fig. 14 fork recursion: distributors chained by forkTag.
+func fork(b *wf.Builder, name, dist, forkTag string) {
+	b.Prod(name, []string{dist, name}, []wf.BodyEdge{{From: 0, To: 1, Tag: forkTag}})
+	b.Prod(name, []string{dist}, nil)
+}
+
+// forkLoop appends the loop that repeatedly starts fresh fork chains. Both
+// bodies route the fork's output over an "fl"-tagged edge (to the next
+// chain, or to the stop marker), so every execution of the loop spells
+// a^j fl ... — keeping the Kleene-star query a* safe.
+func forkLoop(b *wf.Builder, name, forkName, stop string) {
+	b.Prod(name, []string{forkName, name}, []wf.BodyEdge{{From: 0, To: 1, Tag: "fl"}})
+	b.Prod(name, []string{forkName, stop}, []wf.BodyEdge{{From: 0, To: 1, Tag: "fl"}})
+}
+
+// BioAID returns the deep dataset: 112 modules (16 composite), 23
+// productions (7 recursive), grammar size 166 — the statistics the paper
+// reports for the myExperiment BioAID workflow.
+func BioAID() *Dataset {
+	b := wf.NewBuilder().Start("S")
+	b.Composite("S", "C1", "C2", "F", "FL", "L1", "L2", "L3", "L4", "L5",
+		"P1", "P2", "P3", "P4", "P5", "P6")
+
+	// Pipelines P1-P5 sit under loop recursions; P6 is called directly from
+	// C2. uniq/repeat splits make the totals match the published statistics
+	// exactly (asserted in tests): 87 unique pipeline atoms, 105 pipeline
+	// body nodes.
+	var lowSel []string
+	uniq := []int{14, 14, 14, 15, 15, 14}
+	reps := []int{4, 4, 4, 2, 2, 2}
+	order := []int{1, 3, 4, 5, 6, 2} // execution order of pipelines along S
+	tagsOf := map[int][]string{}
+	for i := 0; i < 6; i++ {
+		tagsOf[i+1] = pipeline(b, fmt.Sprintf("P%d", i+1), fmt.Sprintf("p%d", i+1), uniq[i], reps[i])
+	}
+	for _, li := range order {
+		lowSel = append(lowSel, tagsOf[li]...)
+	}
+	for i := 1; i <= 5; i++ {
+		loop(b, fmt.Sprintf("L%d", i), fmt.Sprintf("P%d", i), fmt.Sprintf("next%d", i))
+	}
+	fork(b, "F", "a", "a")
+	// The fork loop re-enters the fork, so runs can hold many fork chains
+	// (Fig. 14b): each FL iteration starts a fresh chain.
+	forkLoop(b, "FL", "F", "fstop")
+
+	// Deep skeleton: S chains through L1, C1, the fork loop, C2 and L2; C1
+	// nests two loops, C2 nests a loop and the direct pipeline P6.
+	b.Chain("S", "s_head", "L1", "C1", "FL", "C2", "L2", "s_tail")
+	b.Chain("C1", "c1_in", "L3", "c1_mid", "L4", "c1_out")
+	b.Chain("C2", "c2_in", "L5", "c2_mid", "P6", "c2_out")
+
+	highGroups := [][]string{
+		// The S chain, in path order: "L1" sits on the very first edge
+		// (only s_head upstream) and "s_tail" on the very last.
+		{"L1", "C1", "FL", "C2", "L2", "s_tail"},
+	}
+	lowGroups := [][]string{lowSel} // one serial branch: all pipelines chain
+	return &Dataset{
+		Name:          "BioAID",
+		Spec:          b.MustBuild(),
+		ForkModule:    "F",
+		ForkFavor:     []string{"F", "FL"},
+		ForkCaps:      map[string]int{"F": 150},
+		ForkTag:       "a",
+		HighSelGroups: highGroups,
+		LowSelGroups:  lowGroups,
+		HighSelTags:   flatten(highGroups),
+		LowSelTags:    flatten(lowGroups),
+	}
+}
+
+// QBLast returns the branchy dataset: 77 modules (11 composite), 15
+// productions (5 recursive), grammar size 105.
+func QBLast() *Dataset {
+	b := wf.NewBuilder().Start("S")
+	b.Composite("S", "C1", "C2", "C3", "F", "FL", "L1", "A", "B", "P1", "P2")
+
+	p1Tags := pipeline(b, "P1", "q1", 24, 4)
+	p2Tags := pipeline(b, "P2", "q2", 22, 3)
+	loop(b, "L1", "P1", "next1")
+	fork(b, "F", "a", "a")
+	forkLoop(b, "FL", "F", "fstop")
+
+	// Mutual recursion A <-> B (a 2-cycle of P(G)); only B has a base case.
+	b.Chain("A", "a1", "B", "a2")
+	b.Chain("B", "b1", "A", "b2")
+	b.Chain("B", "b3", "b4")
+
+	// Branchy skeleton: diamonds instead of chains.
+	b.Prod("S", []string{"src", "C1", "C2", "C3", "snk"}, []wf.BodyEdge{
+		{From: 0, To: 1, Tag: "C1"}, {From: 0, To: 2, Tag: "C2"}, {From: 0, To: 3, Tag: "C3"},
+		{From: 1, To: 4, Tag: "j1"}, {From: 2, To: 4, Tag: "j2"}, {From: 3, To: 4, Tag: "j3"},
+	})
+	b.Prod("C1", []string{"c1s", "L1", "FL", "c1t"}, []wf.BodyEdge{
+		{From: 0, To: 1, Tag: "L1"}, {From: 0, To: 2, Tag: "FL"},
+		{From: 1, To: 3, Tag: "m1"}, {From: 2, To: 3, Tag: "m2"},
+	})
+	b.Prod("C2", []string{"c2s", "P2", "A", "c2t"}, []wf.BodyEdge{
+		{From: 0, To: 1, Tag: "P2"}, {From: 0, To: 2, Tag: "A"},
+		{From: 1, To: 3, Tag: "m3"}, {From: 2, To: 3, Tag: "m4"},
+	})
+	b.Prod("C3", []string{"c3s", "x1", "x2", "x3", "x4", "c3t"}, []wf.BodyEdge{
+		{From: 0, To: 1, Tag: "x1"}, {From: 0, To: 2, Tag: "x2"},
+		{From: 1, To: 3, Tag: "x3"}, {From: 2, To: 4, Tag: "x4"},
+		{From: 3, To: 5, Tag: "j4"}, {From: 4, To: 5, Tag: "j5"},
+	})
+
+	highGroups := [][]string{
+		// Each group follows one diamond branch src → Ci → snk: the first
+		// tag leaves src, the last enters snk.
+		{"C1", "m1", "j1"},
+		// "A" is omitted: that tag recurs inside the B recursion, which
+		// makes IFQs over it unsafe.
+		{"C2", "m4", "j2"},
+		{"C2", "P2", "m3", "j2"},
+		{"C3", "x1", "x3", "j4"},
+		{"C3", "x2", "x4", "j5"},
+	}
+	lowGroups := [][]string{p1Tags, p2Tags} // parallel branches: keep separate
+	return &Dataset{
+		Name:          "QBLast",
+		Spec:          b.MustBuild(),
+		ForkModule:    "F",
+		ForkFavor:     []string{"F", "FL"},
+		ForkCaps:      map[string]int{"F": 150},
+		ForkTag:       "a",
+		HighSelGroups: highGroups,
+		LowSelGroups:  lowGroups,
+		HighSelTags:   flatten(highGroups),
+		LowSelTags:    flatten(lowGroups),
+	}
+}
+
+// Synthetic returns a spec of approximately the requested grammar size
+// (Fig. 13a varies 400–1200): a top-level chain of loop-over-pipeline
+// blocks, each contributing a fixed size, padded by the final pipeline.
+func Synthetic(size int, seed int64) *Dataset {
+	const blockSize = 40 // loop (2 prods, 3 nodes) + pipeline (~33 nodes) + S slot
+	if size < 60 {
+		size = 60
+	}
+	blocks := (size - 10) / blockSize
+	if blocks < 1 {
+		blocks = 1
+	}
+	b := wf.NewBuilder().Start("S")
+	var lowSel []string
+	sBody := []string{"syn_head"}
+	for i := 1; i <= blocks; i++ {
+		ln := fmt.Sprintf("SL%d", i)
+		pn := fmt.Sprintf("SP%d", i)
+		uniq := 30
+		if i == blocks {
+			// Absorb the rounding remainder in the last pipeline.
+			extra := size - 10 - blocks*blockSize
+			uniq += extra
+			if uniq < 2 {
+				uniq = 2
+			}
+		}
+		lowSel = append(lowSel, pipeline(b, pn, fmt.Sprintf("sp%d", i), uniq, 2)...)
+		loop(b, ln, pn, fmt.Sprintf("snext%d", i))
+		sBody = append(sBody, ln)
+	}
+	sBody = append(sBody, "syn_tail")
+	b.Chain("S", sBody...)
+	_ = seed
+	highGroups := [][]string{append([]string{}, sBody[1:]...)}
+	lowGroups := [][]string{lowSel}
+	return &Dataset{
+		Name:          fmt.Sprintf("Synthetic%d", size),
+		Spec:          b.MustBuild(),
+		ForkModule:    "",
+		HighSelGroups: highGroups,
+		LowSelGroups:  lowGroups,
+		HighSelTags:   flatten(highGroups),
+		LowSelTags:    flatten(lowGroups),
+	}
+}

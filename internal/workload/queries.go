@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+
+	"provrpq/internal/automata"
+)
+
+// IFQ renders the infrequent-symbol query _* a1 _* a2 ... ak _* (Section
+// V-A, query class 1). k = 0 yields plain reachability.
+func IFQ(syms ...string) string {
+	var b strings.Builder
+	b.WriteString("_*")
+	for _, s := range syms {
+		b.WriteString(".")
+		b.WriteString(s)
+		b.WriteString("._*")
+	}
+	return b.String()
+}
+
+// SafeIFQ draws a k-symbol IFQ that is safe for the dataset: symbols are an
+// increasing subsequence of one path-coherent tag group (so the query's
+// symbol order matches a real path and repeated loop iterations saturate
+// the query states consistently). lowSel selects the per-iteration pools
+// (many matches); otherwise the query is anchored at its group's first and
+// last tags, which have almost no upstream/downstream nodes, making it
+// highly selective (Fig. 13e/f's under-ten-pairs queries).
+func (d *Dataset) SafeIFQ(r *rand.Rand, k int, lowSel bool) string {
+	groups := d.HighSelGroups
+	if lowSel {
+		groups = d.LowSelGroups
+	}
+	pool := groups[r.Intn(len(groups))]
+	if k > len(pool) {
+		k = len(pool)
+	}
+	var syms []string
+	if !lowSel && k >= 2 {
+		// Anchor both ends; fill the middle with an increasing subsequence.
+		middle := pool[1 : len(pool)-1]
+		syms = append(syms, pool[0])
+		syms = append(syms, orderedSample(r, middle, k-2)...)
+		syms = append(syms, pool[len(pool)-1])
+	} else {
+		syms = orderedSample(r, pool, k)
+	}
+	return IFQ(syms...)
+}
+
+// orderedSample picks k elements of pool preserving their order.
+func orderedSample(r *rand.Rand, pool []string, k int) []string {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	idx := r.Perm(len(pool))[:k]
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			if idx[j] < idx[i] {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+	}
+	out := make([]string, k)
+	for i, p := range idx {
+		out[i] = pool[p]
+	}
+	return out
+}
+
+// StarQuery returns the Kleene-star workload a* over the fork tag
+// (Section V-A, query class 2; Fig. 13g/h).
+func (d *Dataset) StarQuery() string { return d.ForkTag + "*" }
+
+// RandomQuery generates a query by randomly combining edge tags with
+// concatenation, alternation and Kleene star (Section V-E). The pool mixes
+// pipeline tags, top-level tags and recursion tags (loop next-edges, the
+// fork tag), so both safe and unsafe queries arise.
+func (d *Dataset) RandomQuery(r *rand.Rand, depth int) string {
+	pool := d.randomPool()
+	return d.randomNode(r, pool, depth).String()
+}
+
+func (d *Dataset) randomPool() []string {
+	pool := append([]string{}, d.HighSelTags...)
+	pool = append(pool, d.LowSelTags...)
+	for _, t := range d.Spec.Tags() {
+		if strings.HasPrefix(t, "next") || t == d.ForkTag {
+			pool = append(pool, t)
+		}
+	}
+	return pool
+}
+
+func (d *Dataset) randomNode(r *rand.Rand, pool []string, depth int) *automata.Node {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(5) {
+		case 0:
+			return automata.Wild()
+		default:
+			return automata.Sym(pool[r.Intn(len(pool))])
+		}
+	}
+	switch r.Intn(7) {
+	case 0, 1:
+		return automata.Concat(d.randomNode(r, pool, depth-1), d.randomNode(r, pool, depth-1))
+	case 2:
+		// An IFQ fragment, the paper's main ingredient.
+		k := 1 + r.Intn(3)
+		syms := make([]*automata.Node, 0, 2*k+1)
+		syms = append(syms, automata.Star(automata.Wild()))
+		for i := 0; i < k; i++ {
+			syms = append(syms, automata.Sym(pool[r.Intn(len(pool))]), automata.Star(automata.Wild()))
+		}
+		return automata.Concat(syms...)
+	case 3:
+		return automata.Alt(d.randomNode(r, pool, depth-1), d.randomNode(r, pool, depth-1))
+	case 4:
+		return automata.Star(automata.Sym(pool[r.Intn(len(pool))]))
+	case 5:
+		return automata.Plus(d.randomNode(r, pool, depth-1))
+	default:
+		return automata.Concat(
+			d.randomNode(r, pool, depth-1),
+			automata.Star(automata.Wild()),
+			d.randomNode(r, pool, depth-1),
+		)
+	}
+}

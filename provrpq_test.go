@@ -1,0 +1,272 @@
+package provrpq
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// introSpec builds the workflow of the paper's introduction: data of type x,
+// a repeated analysis by technique a1 or a2, a result of type s, arbitrary
+// steps, then a publication p.
+func introSpec(t *testing.T) *Spec {
+	t.Helper()
+	spec, err := NewSpecBuilder().
+		Start("W").
+		Chain("W", "ingest", "Analysis", "post", "publish").
+		Prod("Analysis", []string{"tool1", "Analysis", "result"},
+			[]BodyEdge{{From: 0, To: 1, Tag: "a1"}, {From: 1, To: 2, Tag: "s"}}).
+		Prod("Analysis", []string{"tool2", "result"},
+			[]BodyEdge{{From: 0, To: 1, Tag: "s"}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	spec := introSpec(t)
+	run, err := spec.Derive(DeriveOptions{Seed: 4, TargetEdges: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.NumNodes() == 0 || run.NumEdges() == 0 {
+		t.Fatal("empty run")
+	}
+	eng := NewEngine(run)
+
+	q := MustParseQuery("_*.s._*.publish")
+	safe, err := eng.IsSafe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := eng.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("expected matches: every run ends with a publish after results")
+	}
+	// Cross-check one pair against Pairwise.
+	got, err := eng.Pairwise(q, pairs[0].From, pairs[0].To)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Errorf("Pairwise disagrees with Evaluate on %v (safe=%v)", pairs[0], safe)
+	}
+}
+
+func TestAllPairsStrategiesConsistent(t *testing.T) {
+	spec := introSpec(t)
+	run, err := spec.Derive(DeriveOptions{Seed: 7, TargetEdges: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(run)
+	q := MustParseQuery("_*.s._*")
+	safe, err := eng.IsSafe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !safe {
+		t.Fatalf("%s should be safe here", q)
+	}
+	l1 := run.NodesOfModule("tool1")
+	l2 := run.NodesOfModule("publish")
+	var counts []int
+	for _, st := range []Strategy{Auto, StrategyRPL, StrategyOptRPL, StrategyG1} {
+		pairs, err := eng.AllPairs(q, l1, l2, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, len(pairs))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Fatalf("strategies disagree: %v", counts)
+		}
+	}
+}
+
+func TestUnsafeQueryFallbacks(t *testing.T) {
+	spec := introSpec(t)
+	run, err := spec.Derive(DeriveOptions{Seed: 2, TargetEdges: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(run)
+	// a1 occurs only in the recursive production: unsafe.
+	q := MustParseQuery("_*.a1._*")
+	safe, err := eng.IsSafe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Fatal("_*.a1._* should be unsafe for the intro workflow")
+	}
+	if _, err := eng.AllPairs(q, run.AllNodes(), run.AllNodes(), StrategyOptRPL); err == nil {
+		t.Error("OptRPL on an unsafe query should error")
+	}
+	auto, err := eng.AllPairs(q, run.AllNodes(), run.AllNodes(), Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := eng.AllPairs(q, run.AllNodes(), run.AllNodes(), StrategyG1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto) != len(g1) {
+		t.Errorf("Auto (%d pairs) and G1 (%d pairs) disagree on unsafe query", len(auto), len(g1))
+	}
+	// Pairwise falls back to G2.
+	if len(auto) > 0 {
+		ok, err := eng.Pairwise(q, auto[0].From, auto[0].To)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Error("Pairwise fallback disagrees with Evaluate")
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	spec := introSpec(t)
+	run, err := spec.Derive(DeriveOptions{Seed: 1, TargetEdges: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(run)
+	safe, subtrees, err := eng.Explain(MustParseQuery("a1.(_*.s._*)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Error("a1.(_*.s._*) should be unsafe: only recursive Analysis executions start with a1")
+	}
+	_ = subtrees // decomposition depends on the cost model; presence tested in core
+}
+
+func TestReachability(t *testing.T) {
+	spec := introSpec(t)
+	run, err := spec.Derive(DeriveOptions{Seed: 3, TargetEdges: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(run)
+	ingest := run.NodesOfModule("ingest")
+	publish := run.NodesOfModule("publish")
+	if len(ingest) != 1 || len(publish) != 1 {
+		t.Fatalf("expected unique ingest/publish, got %d/%d", len(ingest), len(publish))
+	}
+	ok, err := eng.Reachable(ingest[0], publish[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("ingest should reach publish")
+	}
+	back, err := eng.Reachable(publish[0], ingest[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back {
+		t.Error("publish should not reach ingest")
+	}
+	pairs, err := eng.AllPairsReachable(run.AllNodes(), publish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != run.NumNodes() {
+		t.Errorf("all %d nodes should reach the final publish; got %d", run.NumNodes(), len(pairs))
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := introSpec(t)
+	run, err := spec.Derive(DeriveOptions{Seed: 5, TargetEdges: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	runPath := filepath.Join(dir, "run.json")
+	if err := SaveSpec(specPath, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRun(runPath, run); err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := LoadSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := LoadRun(runPath, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.NumNodes() != run.NumNodes() || run2.NumEdges() != run.NumEdges() {
+		t.Fatal("round trip changed the run")
+	}
+	// Query results survive the round trip.
+	q := MustParseQuery("_*.s._*")
+	p1, err := NewEngine(run).Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewEngine(run2).Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("results differ after round trip: %d vs %d", len(p1), len(p2))
+	}
+	if _, err := LoadSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+	if err := os.WriteFile(specPath, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(specPath); err == nil {
+		t.Error("loading corrupt JSON should fail")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	spec := introSpec(t)
+	run, err := spec.Derive(DeriveOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := run.NodeByName("ingest:1")
+	if !ok {
+		t.Fatal("ingest:1 missing")
+	}
+	if run.NodeModule(id) != "ingest" {
+		t.Errorf("NodeModule = %s", run.NodeModule(id))
+	}
+	if run.NodeName(id) != "ingest:1" {
+		t.Errorf("NodeName = %s", run.NodeName(id))
+	}
+	if run.NodeLabel(id) == "" {
+		t.Error("NodeLabel empty")
+	}
+	if len(run.Edges()) != run.NumEdges() {
+		t.Error("Edges() length mismatch")
+	}
+	eng := NewEngine(run)
+	if _, err := eng.Reachable(NodeID(-1), id); err == nil {
+		t.Error("out-of-range node should error")
+	}
+	if _, err := eng.Reachable(id, NodeID(run.NumNodes())); err == nil {
+		t.Error("out-of-range node should error")
+	}
+}
+
+func TestQueryParseErrorsSurface(t *testing.T) {
+	if _, err := ParseQuery("a.("); err == nil {
+		t.Error("bad query should fail to parse")
+	}
+}

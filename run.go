@@ -1,0 +1,106 @@
+package provrpq
+
+import (
+	"fmt"
+	"os"
+
+	"provrpq/internal/derive"
+)
+
+// NodeID identifies a node (an atomic module execution) of a Run.
+type NodeID int
+
+// Run is a labeled workflow execution: a DAG of atomic module executions
+// with tagged data edges. Every node carries its derivation-based
+// reachability label, assigned when the node was derived.
+type Run struct {
+	r    *derive.Run
+	spec *Spec
+}
+
+// Spec returns the specification the run was derived from.
+func (r *Run) Spec() *Spec { return r.spec }
+
+// NumNodes returns the node count.
+func (r *Run) NumNodes() int { return r.r.NumNodes() }
+
+// NumEdges returns the edge count (the paper's run-size measure).
+func (r *Run) NumEdges() int { return r.r.NumEdges() }
+
+// NodeName returns the display id of a node ("a:1" style).
+func (r *Run) NodeName(n NodeID) string { return r.r.Nodes[n].Name }
+
+// NodeModule returns the module name of a node.
+func (r *Run) NodeModule(n NodeID) string { return r.r.Spec.Name(r.r.Nodes[n].Module) }
+
+// NodeLabel returns the paper-notation rendering of a node's reachability
+// label, e.g. "(1,3)(4,1)".
+func (r *Run) NodeLabel(n NodeID) string { return r.r.Nodes[n].Label.String() }
+
+// NodeByName resolves a display id.
+func (r *Run) NodeByName(name string) (NodeID, bool) {
+	id, ok := r.r.NodeByName(name)
+	return NodeID(id), ok
+}
+
+// NodesOfModule returns all executions of the named module.
+func (r *Run) NodesOfModule(name string) []NodeID {
+	return fromDerive(r.r.NodesOfModule(name))
+}
+
+// AllNodes returns every node id.
+func (r *Run) AllNodes() []NodeID { return fromDerive(r.r.AllNodes()) }
+
+// Edge describes one tagged data edge.
+type Edge struct {
+	From, To NodeID
+	Tag      string
+}
+
+// Edges returns the run's edges.
+func (r *Run) Edges() []Edge {
+	out := make([]Edge, len(r.r.Edges))
+	for i, e := range r.r.Edges {
+		out[i] = Edge{From: NodeID(e.From), To: NodeID(e.To), Tag: e.Tag}
+	}
+	return out
+}
+
+// SaveRun writes the run to a JSON file (labels varint-packed; pair it with
+// SaveSpec for the grammar).
+func SaveRun(path string, r *Run) error {
+	data, err := derive.EncodeRun(r.r)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadRun reads a run from a JSON file against its specification.
+func LoadRun(path string, spec *Spec) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := derive.DecodeRun(spec.s, data)
+	if err != nil {
+		return nil, fmt.Errorf("provrpq: %s: %w", path, err)
+	}
+	return &Run{r: dr, spec: spec}, nil
+}
+
+func fromDerive(ids []derive.NodeID) []NodeID {
+	out := make([]NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = NodeID(id)
+	}
+	return out
+}
+
+func toDerive(ids []NodeID) []derive.NodeID {
+	out := make([]derive.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = derive.NodeID(id)
+	}
+	return out
+}
