@@ -1,6 +1,7 @@
 package provrpq_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -65,7 +66,7 @@ func BenchmarkPairwiseSafeDecode(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if !env.Safe {
+	if !env.Safe() {
 		b.Fatal("query should be safe")
 	}
 	n := run.NumNodes()
@@ -76,10 +77,11 @@ func BenchmarkPairwiseSafeDecode(b *testing.B) {
 			run.Label(derive.NodeID(r.Intn(n))),
 		}
 	}
+	dec := env.NewDecoder() // hold one decoder: no pool traffic in the timed loop
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := pairs[i%len(pairs)]
-		env.PairwiseUnchecked(p[0], p[1])
+		dec.PairwiseUnchecked(p[0], p[1])
 	}
 }
 
@@ -188,6 +190,109 @@ func BenchmarkEngineEvaluateSafe(b *testing.B) {
 	}
 }
 
+// Parallel-scaling benches for the sharded all-pairs scans: the same
+// 16K-edge scan at 1, 2 and 4 workers (workers=1 is the serial scan). The
+// result sets are asserted identical across worker counts.
+
+// forkLoopSpec mirrors the datasets' fork workload through the public API:
+// an outer loop FL starts fresh fork chains F (capped at derive time), and
+// both FL bodies route the fork's output over an "fl" edge so every FL
+// execution spells a^j fl… and the Kleene star a* stays safe.
+func forkLoopSpec(b testing.TB) *provrpq.Spec {
+	b.Helper()
+	spec, err := provrpq.NewSpecBuilder().
+		Start("S").
+		Prod("S", []string{"in", "FL", "out"}, []provrpq.BodyEdge{
+			{From: 0, To: 1, Tag: "s"}, {From: 1, To: 2, Tag: "t"},
+		}).
+		Prod("FL", []string{"F", "FL"}, []provrpq.BodyEdge{{From: 0, To: 1, Tag: "fl"}}).
+		Prod("FL", []string{"F", "fstop"}, []provrpq.BodyEdge{{From: 0, To: 1, Tag: "fl"}}).
+		Prod("F", []string{"a", "F"}, []provrpq.BodyEdge{{From: 0, To: 1, Tag: "a"}}).
+		Prod("F", []string{"a"}, nil).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec
+}
+
+// BenchmarkParallelAllPairs16K measures Engine.AllPairs over fork
+// distributor nodes of a 16K-edge run: the RPL nested-loop scan is pure
+// decode work, OptRPL is reach-filter plus decode. The lists are capped at
+// 2048 nodes to keep one iteration in the seconds range (the run itself
+// stays at 16K edges). Wall-clock speedup needs real cores: on a
+// single-CPU host the worker counts time-share and only overhead shows.
+func BenchmarkParallelAllPairs16K(b *testing.B) {
+	spec := forkLoopSpec(b)
+	run, err := spec.Derive(provrpq.DeriveOptions{
+		Seed: 1, TargetEdges: 16000,
+		FavorModules: []string{"F", "FL"},
+		FavorCaps:    map[string]int{"F": 150},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	anodes := run.NodesOfModule("a")
+	if len(anodes) > 2048 {
+		anodes = anodes[:2048]
+	}
+	q := provrpq.MustParseQuery("a*")
+	for _, strat := range []struct {
+		name string
+		s    provrpq.Strategy
+	}{{"RPL", provrpq.StrategyRPL}, {"OptRPL", provrpq.StrategyOptRPL}} {
+		serialLen := -1
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", strat.name, w), func(b *testing.B) {
+				eng := provrpq.NewEngineOpts(run, provrpq.EngineOptions{Workers: w})
+				if _, err := eng.IsSafe(q); err != nil { // warm the plan
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pairs, err := eng.AllPairs(q, anodes, anodes, strat.s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if serialLen < 0 {
+						serialLen = len(pairs)
+					} else if len(pairs) != serialLen {
+						b.Fatalf("workers=%d found %d pairs, serial found %d", w, len(pairs), serialLen)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelEvaluate16K measures the general evaluator (the engine's
+// Evaluate path) on a safe low-selectivity IFQ over every node pair of a
+// 16K-edge BioAID run, with the safe-subtree scan sharded across workers.
+func BenchmarkParallelEvaluate16K(b *testing.B) {
+	d, run := bioRun(b, 16000)
+	ix := index.Build(run)
+	r := rand.New(rand.NewSource(6))
+	q := automata.MustParse(d.SafeIFQ(r, 3, true))
+	serialLen := -1
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			gen := core.NewGeneralOpts(run, ix, core.CostBased, core.GeneralOptions{Workers: w})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rel, _, err := gen.Eval(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if serialLen < 0 {
+					serialLen = rel.Len()
+				} else if rel.Len() != serialLen {
+					b.Fatalf("workers=%d found %d pairs, serial found %d", w, rel.Len(), serialLen)
+				}
+			}
+		})
+	}
+}
+
 // Ablation benches for the design choices DESIGN.md calls out.
 
 // BenchmarkAblationRangeCache isolates the chain-range memo: pairwise a*
@@ -221,10 +326,11 @@ func BenchmarkAblationRangeCache(b *testing.B) {
 				b.Fatal(err)
 			}
 			env.DisableRangeCache = disable
+			dec := env.NewDecoder() // created after the flag; no pool traffic while timing
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p := pairs[i%len(pairs)]
-				env.PairwiseUnchecked(p[0], p[1])
+				dec.PairwiseUnchecked(p[0], p[1])
 			}
 		})
 	}

@@ -17,13 +17,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure id to run (13a..13h, 15a, 15b)")
+	fig := flag.String("fig", "", "figure id to run (13a..13h, 15a, 15b, par)")
 	all := flag.Bool("all", false, "run every figure")
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
 	seed := flag.Int64("seed", 1, "workload seed")
+	workers := flag.Int("parallel", 0, "extra worker count for the parallel-scaling figure (par)")
 	flag.Parse()
 
-	cfg := bench.Config{W: os.Stdout, Quick: *quick, Seed: *seed}
+	cfg := bench.Config{W: os.Stdout, Quick: *quick, Seed: *seed, Workers: *workers}
 	var ids []string
 	switch {
 	case *all:
@@ -31,7 +32,7 @@ func main() {
 	case *fig != "":
 		ids = []string{*fig}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: rpqbench -fig <id> | -all [-quick] [-seed N]")
+		fmt.Fprintln(os.Stderr, "usage: rpqbench -fig <id> | -all [-quick] [-seed N] [-parallel N]")
 		fmt.Fprintln(os.Stderr, "figures:", bench.Figures())
 		os.Exit(2)
 	}

@@ -2,12 +2,15 @@ package provrpq
 
 import (
 	"fmt"
+	"sync"
 
 	"provrpq/internal/automata"
 	"provrpq/internal/baseline"
 	"provrpq/internal/core"
 	"provrpq/internal/index"
 	"provrpq/internal/label"
+	"provrpq/internal/parallel"
+	"provrpq/internal/plancache"
 	"provrpq/internal/reach"
 )
 
@@ -58,21 +61,105 @@ const (
 	StrategyG1
 )
 
-// Engine evaluates queries over one run. It caches compiled query
-// environments (minimal DFA, λ matrices, safety verdict, decode artifacts)
-// and the run's inverted edge index; an Engine is not safe for concurrent
-// use.
-type Engine struct {
-	run  *Run
-	envs map[string]*core.Env
-	ix   *index.Index
-	gen  *core.General
-	lbls []label.Label
+// PlanCache is a shared cache of compiled query plans (minimal DFA, λ
+// matrices, safety verdict, decode artifacts). A compiled plan depends only
+// on (specification, query) — never on a run — so engines over different
+// runs of one specification share plans through a common cache. A PlanCache
+// is safe for concurrent use; concurrent compiles of the same query are
+// deduplicated and the cache is LRU-bounded.
+type PlanCache struct {
+	c *plancache.Cache
 }
 
-// NewEngine prepares an engine over a run.
+// NewPlanCache returns a plan cache bounded to capacity compiled plans
+// (<= 0 selects the default bound).
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{c: plancache.New(capacity)}
+}
+
+// Len returns the number of resident compiled plans.
+func (p *PlanCache) Len() int { return p.c.Len() }
+
+// sharedPlans is the process-wide default plan cache: every engine not
+// given an explicit cache compiles into (and out of) this one.
+var sharedPlans = plancache.New(0)
+
+// crossParallelCutoff is the pair-count floor below which the unsafe-query
+// cross-product stays serial, matching the cutoffs of the safe scans.
+const crossParallelCutoff = 2048
+
+// EngineOptions configure an Engine beyond its run.
+type EngineOptions struct {
+	// Workers bounds the worker pool of parallel all-pairs evaluation
+	// (AllPairs, AllPairsReachable, Evaluate): 0 means one worker per CPU,
+	// 1 forces serial scans.
+	Workers int
+	// PlanCache overrides the process-wide shared compiled-plan cache.
+	PlanCache *PlanCache
+}
+
+// Engine evaluates queries over one run. Compiled query environments
+// (minimal DFA, λ matrices, safety verdict, decode artifacts) come from a
+// plan cache shared across engines — by default one process-wide cache —
+// and the run's inverted edge index and general evaluator are built lazily
+// exactly once.
+//
+// An Engine is safe for concurrent use: any number of goroutines may call
+// any mix of its methods. All-pairs scans additionally fan the per-pair
+// work out across a bounded worker pool (EngineOptions.Workers); per-shard
+// results are merged back in shard order, so a parallel scan always returns
+// the same pair set as a serial one, in an order that is deterministic for
+// a given worker count (the RPL nested-loop scan preserves the serial order
+// exactly).
+type Engine struct {
+	run     *Run
+	lbls    []label.Label
+	plans   *plancache.Cache
+	workers int
+
+	// envMemo fronts the shared plan cache with a per-engine, lock-free
+	// hit path (the pairwise decode is nanosecond-scale; a contended
+	// process-wide mutex per call would serialize it). It also pins every
+	// plan this engine has resolved, so an LRU eviction in the shared
+	// cache never invalidates an engine's working set — in particular a
+	// RelaxSafety upgrade survives for the engine that performed it.
+	envMemo sync.Map // query string -> *core.Env
+
+	ixOnce sync.Once
+	ix     *index.Index
+
+	genOnce sync.Once
+	gen     *core.General
+
+	g2mu sync.Mutex
+	g2s  map[string]*g2entry
+}
+
+// g2entry lazily builds one G2 evaluator per query; the sync.Once makes
+// concurrent first uses build it exactly once.
+type g2entry struct {
+	once sync.Once
+	g2   *baseline.G2
+}
+
+// NewEngine prepares an engine over a run with default options (shared
+// process-wide plan cache, one worker per CPU).
 func NewEngine(run *Run) *Engine {
-	e := &Engine{run: run, envs: map[string]*core.Env{}}
+	return NewEngineOpts(run, EngineOptions{})
+}
+
+// NewEngineOpts prepares an engine with explicit options.
+func NewEngineOpts(run *Run, opts EngineOptions) *Engine {
+	plans := sharedPlans
+	if opts.PlanCache != nil {
+		plans = opts.PlanCache.c
+	}
+	e := &Engine{
+		run:     run,
+		plans:   plans,
+		workers: parallel.Workers(opts.Workers),
+		g2s:     map[string]*g2entry{},
+	}
 	for _, n := range run.r.Nodes {
 		e.lbls = append(e.lbls, n.Label)
 	}
@@ -84,29 +171,46 @@ func (e *Engine) Run() *Run { return e.run }
 
 func (e *Engine) env(q *Query) (*core.Env, error) {
 	key := q.node.String()
-	if env, ok := e.envs[key]; ok {
-		return env, nil
+	if v, ok := e.envMemo.Load(key); ok {
+		return v.(*core.Env), nil
 	}
-	env, err := core.Compile(e.run.r.Spec, q.node)
+	env, err := e.plans.Get(e.run.r.Spec, q.node)
 	if err != nil {
 		return nil, err
 	}
-	e.envs[key] = env
-	return env, nil
+	v, _ := e.envMemo.LoadOrStore(key, env)
+	return v.(*core.Env), nil
 }
 
 func (e *Engine) index() *index.Index {
-	if e.ix == nil {
-		e.ix = index.Build(e.run.r)
-	}
+	e.ixOnce.Do(func() { e.ix = index.Build(e.run.r) })
 	return e.ix
 }
 
 func (e *Engine) general() *core.General {
-	if e.gen == nil {
-		e.gen = core.NewGeneral(e.run.r, e.index(), core.CostBased)
-	}
+	e.genOnce.Do(func() {
+		e.gen = core.NewGeneralOpts(e.run.r, e.index(), core.CostBased, core.GeneralOptions{
+			Envs:    e.plans,
+			Workers: e.workers,
+		})
+	})
 	return e.gen
+}
+
+// g2For returns the engine's cached G2 evaluator for the query, building it
+// on first use (it depends on the run's index, so it cannot live in the
+// spec-keyed plan cache).
+func (e *Engine) g2For(q *Query) *baseline.G2 {
+	key := q.node.String()
+	e.g2mu.Lock()
+	en, ok := e.g2s[key]
+	if !ok {
+		en = &g2entry{}
+		e.g2s[key] = en
+	}
+	e.g2mu.Unlock()
+	en.once.Do(func() { en.g2 = baseline.NewG2(e.index(), q.node) })
+	return en.g2
 }
 
 // IsSafe reports whether the query is safe for the run's specification
@@ -116,7 +220,7 @@ func (e *Engine) IsSafe(q *Query) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return env.Safe, nil
+	return env.Safe(), nil
 }
 
 // IsSafeRelaxed additionally tries *context-restricted safety*, an
@@ -124,8 +228,12 @@ func (e *Engine) IsSafe(q *Query) (bool, error) {
 // that can actually arrive at a module's input on some run path. Strictly
 // more queries qualify (e.g. a query whose ambiguity involves a state no
 // path upstream of the module can produce). When relaxation succeeds, the
-// cached environment becomes safe, so subsequent Pairwise and AllPairs
-// calls on the same query use the constant-time label decode.
+// compiled environment becomes safe, so subsequent Pairwise and AllPairs
+// calls on the same query use the constant-time label decode — permanently
+// for this engine (its plan memo pins the upgraded plan), and for other
+// engines sharing the plan cache while the plan stays resident there. The
+// upgrade is published atomically; concurrent readers see either the
+// strict or the fully relaxed verdict.
 func (e *Engine) IsSafeRelaxed(q *Query) (bool, error) {
 	env, err := e.env(q)
 	if err != nil {
@@ -136,7 +244,8 @@ func (e *Engine) IsSafeRelaxed(q *Query) (bool, error) {
 
 // Pairwise answers u —R→ v. Safe queries are answered in constant time from
 // the two node labels (Theorem 1); unsafe queries fall back to a rare-label
-// product search over the run (Option G2).
+// product search over the run (Option G2), whose compiled evaluator is
+// cached per query alongside the plan.
 func (e *Engine) Pairwise(q *Query, u, v NodeID) (bool, error) {
 	if err := e.checkNode(u); err != nil {
 		return false, err
@@ -148,10 +257,10 @@ func (e *Engine) Pairwise(q *Query, u, v NodeID) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if env.Safe {
+	if env.Safe() {
 		return env.Pairwise(e.lbls[u], e.lbls[v])
 	}
-	g2 := baseline.NewG2(e.index(), q.node)
+	g2 := e.g2For(q)
 	return g2.Pairwise(toDerive([]NodeID{u})[0], toDerive([]NodeID{v})[0]), nil
 }
 
@@ -167,7 +276,8 @@ func (e *Engine) Reachable(u, v NodeID) (bool, error) {
 }
 
 // AllPairsReachable returns all reachable pairs of l1 × l2 in time linear
-// in the lists and the output (Lemma 4.1's side effect).
+// in the lists and the output (Lemma 4.1's side effect), sharded across the
+// engine's worker pool.
 func (e *Engine) AllPairsReachable(l1, l2 []NodeID) ([]Pair, error) {
 	la, err := e.labelsOf(l1)
 	if err != nil {
@@ -178,7 +288,7 @@ func (e *Engine) AllPairsReachable(l1, l2 []NodeID) ([]Pair, error) {
 		return nil, err
 	}
 	var out []Pair
-	reach.AllPairs(e.run.r.Spec, la, lb, func(i, j int) {
+	reach.AllPairsParallel(e.run.r.Spec, la, lb, e.workers, func(i, j int) {
 		out = append(out, Pair{From: l1[i], To: l2[j]})
 	})
 	return out, nil
@@ -201,14 +311,14 @@ func (e *Engine) AllPairs(q *Query, l1, l2 []NodeID, strategy Strategy) ([]Pair,
 	var out []Pair
 	switch strategy {
 	case StrategyRPL, StrategyOptRPL:
-		if !env.Safe {
+		if !env.Safe() {
 			return nil, fmt.Errorf("provrpq: query %s is unsafe; RPL/OptRPL require a safe query", q)
 		}
 		st := core.OptRPL
 		if strategy == StrategyRPL {
 			st = core.RPL
 		}
-		err := env.AllPairsSafe(la, lb, st, func(i, j int) {
+		err := env.AllPairsSafeParallel(la, lb, st, e.workers, func(i, j int) {
 			out = append(out, Pair{From: l1[i], To: l2[j]})
 		})
 		return out, err
@@ -219,8 +329,8 @@ func (e *Engine) AllPairs(q *Query, l1, l2 []NodeID, strategy Strategy) ([]Pair,
 		})
 		return out, nil
 	default: // Auto
-		if env.Safe {
-			err := env.AllPairsSafe(la, lb, core.OptRPL, func(i, j int) {
+		if env.Safe() {
+			err := env.AllPairsSafeParallel(la, lb, core.OptRPL, e.workers, func(i, j int) {
 				out = append(out, Pair{From: l1[i], To: l2[j]})
 			})
 			return out, err
@@ -229,21 +339,39 @@ func (e *Engine) AllPairs(q *Query, l1, l2 []NodeID, strategy Strategy) ([]Pair,
 		if err != nil {
 			return nil, err
 		}
+		// Cross the lists against the materialized relation in parallel:
+		// Rel is read-only here, and contiguous shards of l1 merged in
+		// order reproduce the serial nested-loop output order. Small
+		// products stay serial — goroutine fan-out costs more than the
+		// map lookups it would split.
 		du, dv := toDerive(l1), toDerive(l2)
-		for i, u := range l1 {
-			for j, v := range l2 {
-				if rel.Has(du[i], dv[j]) {
-					out = append(out, Pair{From: u, To: v})
+		if len(l1)*len(l2) < crossParallelCutoff {
+			for i, u := range l1 {
+				for j, v := range l2 {
+					if rel.Has(du[i], dv[j]) {
+						out = append(out, Pair{From: u, To: v})
+					}
 				}
 			}
+			return out, nil
 		}
+		parallel.Gather(len(l1), e.workers, func(_, lo, hi int, emit func(Pair)) {
+			for i := lo; i < hi; i++ {
+				for j := range l2 {
+					if rel.Has(du[i], dv[j]) {
+						emit(Pair{From: l1[i], To: l2[j]})
+					}
+				}
+			}
+		}, func(p Pair) { out = append(out, p) })
 		return out, nil
 	}
 }
 
 // Evaluate returns the query's full result relation over all node pairs,
 // decomposing unsafe queries into maximal safe subtrees plus a relational
-// remainder (Section IV-B), with the cost model choosing per subtree.
+// remainder (Section IV-B), with the cost model choosing per subtree. Safe
+// subtree scans run on the engine's worker pool.
 func (e *Engine) Evaluate(q *Query) ([]Pair, error) {
 	rel, _, err := e.general().Eval(q.node)
 	if err != nil {

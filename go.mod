@@ -1,0 +1,3 @@
+module provrpq
+
+go 1.24

@@ -28,11 +28,15 @@ type Config struct {
 	Quick bool
 	// Seed randomizes workload generation deterministically.
 	Seed int64
+	// Workers extends the worker sweep of the parallel figure ("par")
+	// beyond its default 1/2/4/8 ladder.
+	Workers int
 }
 
-// Figures lists the available experiment ids in paper order.
+// Figures lists the available experiment ids in paper order; "par" is the
+// parallel-scaling experiment beyond the paper.
 func Figures() []string {
-	return []string{"13a", "13b", "13c", "13d", "13e", "13f", "13g", "13h", "15a", "15b"}
+	return []string{"13a", "13b", "13c", "13d", "13e", "13f", "13g", "13h", "15a", "15b", "par"}
 }
 
 // Run dispatches one figure by id.
@@ -58,6 +62,8 @@ func Run(id string, cfg Config) error {
 		return Fig15a(cfg)
 	case "15b":
 		return Fig15b(cfg)
+	case "par":
+		return FigPar(cfg)
 	}
 	return fmt.Errorf("bench: unknown figure %q (have %v)", id, Figures())
 }
@@ -183,11 +189,12 @@ func Fig13c(cfg Config) error {
 			if err != nil {
 				panic(err)
 			}
+			dec := env.NewDecoder() // hold one decoder: no pool traffic in the timed loop
 			for _, p := range pairs {
-				env.PairwiseUnchecked(run.Label(p[0]), run.Label(p[1]))
+				dec.PairwiseUnchecked(run.Label(p[0]), run.Label(p[1]))
 			}
 		})
-		if !env.Safe {
+		if !env.Safe() {
 			return fmt.Errorf("bench: query %s unexpectedly unsafe", query)
 		}
 
@@ -254,8 +261,9 @@ func Fig13d(cfg Config) error {
 			if err != nil {
 				panic(err)
 			}
+			dec := env.NewDecoder() // hold one decoder: no pool traffic in the timed loop
 			for _, p := range pairs {
-				env.PairwiseUnchecked(run.Label(p[0]), run.Label(p[1]))
+				dec.PairwiseUnchecked(run.Label(p[0]), run.Label(p[1]))
 			}
 		})
 		g3, ok := baseline.NewG3(ix, q)
@@ -329,7 +337,7 @@ func allPairsIFQ(cfg Config, d *workload.Dataset) error {
 		if err != nil {
 			return err
 		}
-		if !env.Safe {
+		if !env.Safe() {
 			return fmt.Errorf("bench: IFQ %s unexpectedly unsafe", c.q)
 		}
 		matches := 0
@@ -396,7 +404,7 @@ func kleene(cfg Config, d *workload.Dataset) error {
 		if err != nil {
 			return err
 		}
-		if !env.Safe {
+		if !env.Safe() {
 			return fmt.Errorf("bench: %s unexpectedly unsafe on %s", d.StarQuery(), d.Name)
 		}
 		anodes := run.NodesOfModule("a")
@@ -473,7 +481,7 @@ func general(cfg Config, d *workload.Dataset) error {
 			continue
 		}
 		env, err := core.Compile(d.Spec, qn)
-		if err != nil || env.Safe {
+		if err != nil || env.Safe() {
 			continue
 		}
 		unsafe = append(unsafe, qn)

@@ -3,7 +3,9 @@ package core
 // artifacts holds the decode structures derived from the query-intersected
 // specification G_R (Section III-B): per-production port-transition matrices
 // and per-cycle chain step matrices. They are valid only for safe queries,
-// because composite body nodes are summarized by their λ matrices.
+// because composite body nodes are summarized by their λ matrices. Once
+// built the tables are never written again, so any number of decoders can
+// read them concurrently.
 type artifacts struct {
 	// in[k][c]: from the input port of production k's body to the input
 	// port of body node c (identity at the source).
@@ -22,12 +24,6 @@ type artifacts struct {
 	// cycle-successor position). stepOut is the dual for output ports.
 	stepIn  [][]Mat
 	stepOut [][]Mat
-
-	chainCache map[chainKey]*powSeq
-	// rangeCache memoizes chainIn/chainOut range products; the decode fast
-	// path calls them with label-derived arguments that repeat heavily
-	// across an all-pairs scan.
-	rangeCache map[rangeKey]Mat
 }
 
 // rangeKey identifies one chain range product.
@@ -37,27 +33,28 @@ type rangeKey struct {
 	from, to int
 }
 
-// ensureArtifacts builds the decode structures; callers must have verified
-// e.Safe.
-func (e *Env) ensureArtifacts() *artifacts {
-	if e.art != nil {
-		return e.art
-	}
-	if !e.Safe {
+// artifactsFor returns the state's decode structures, building them exactly
+// once; callers must have verified st.safe.
+func (e *Env) artifactsFor(st *envState) *artifacts {
+	if !st.safe {
 		panic("core: decode artifacts requested for an unsafe query")
 	}
-	a := &artifacts{chainCache: map[chainKey]*powSeq{}}
-	if !e.DisableRangeCache {
-		a.rangeCache = map[rangeKey]Mat{}
-	}
+	st.artOnce.Do(func() { st.art = e.buildArtifacts(st.lambda) })
+	return st.art
+}
+
+// buildArtifacts materializes the port-transition tables against one λ
+// table.
+func (e *Env) buildArtifacts(lam []Mat) *artifacts {
+	a := &artifacts{}
 	s := e.Spec
 	a.in = make([][]Mat, len(s.Prods))
 	a.out = make([][]Mat, len(s.Prods))
 	a.mid = make([][]Mat, len(s.Prods))
 	for k := range s.Prods {
-		a.in[k] = e.bodyInMats(k)
-		a.out[k] = e.bodyOutMats(k)
-		a.mid[k] = e.bodyMidMats(k)
+		a.in[k] = e.bodyInMats(lam, k)
+		a.out[k] = e.bodyOutMats(lam, k)
+		a.mid[k] = e.bodyMidMats(lam, k)
 	}
 	a.stepIn = make([][]Mat, len(s.Cycles()))
 	a.stepOut = make([][]Mat, len(s.Cycles()))
@@ -72,7 +69,6 @@ func (e *Env) ensureArtifacts() *artifacts {
 			a.stepOut[c.ID][p] = a.out[k][cyclePos]
 		}
 	}
-	e.art = a
 	return a
 }
 
@@ -80,7 +76,7 @@ func (e *Env) ensureArtifacts() *artifacts {
 // production k, the matrix from the output port of c1 to the input port of
 // c2. Backward DP per target: W[x] = ∪ over edges (x,y,tag) of
 // T_tag · (y == c2 ? I : λ(y) · W[y]).
-func (e *Env) bodyMidMats(k int) []Mat {
+func (e *Env) bodyMidMats(lam []Mat, k int) []Mat {
 	p := &e.Spec.Prods[k]
 	n := len(p.Body.Nodes)
 	topo := e.bodyTopo(k)
@@ -102,7 +98,7 @@ func (e *Env) bodyMidMats(k int) []Mat {
 					if w[be.To].IsZero() {
 						continue
 					}
-					tail = e.Lambda[p.Body.Nodes[be.To]].Mul(w[be.To])
+					tail = lam[p.Body.Nodes[be.To]].Mul(w[be.To])
 				}
 				w[x].OrInPlace(e.tagMat(be.Tag).Mul(tail))
 			}
@@ -113,6 +109,48 @@ func (e *Env) bodyMidMats(k int) []Mat {
 	}
 	return mid
 }
+
+// Decoder answers pairwise decodes against one compiled environment. It
+// owns the mutable memo tables of the decode hot path (the chain-power and
+// range-product caches), so a Decoder is NOT safe for concurrent use —
+// parallel scans give every worker goroutine its own. The underlying
+// artifacts and λ tables are shared and immutable.
+type Decoder struct {
+	e   *Env
+	st  *envState
+	art *artifacts
+
+	chainCache map[chainKey]*powSeq
+	// rangeCache memoizes chainIn/chainOut range products; the decode fast
+	// path calls them with label-derived arguments that repeat heavily
+	// across an all-pairs scan. nil when Env.DisableRangeCache is set.
+	rangeCache map[rangeKey]Mat
+}
+
+// NewDecoder returns a fresh decoder over the environment's current state.
+// It panics when the query is not (relaxed-)safe.
+func (e *Env) NewDecoder() *Decoder { return e.newDecoder(e.state.Load()) }
+
+func (e *Env) newDecoder(st *envState) *Decoder {
+	d := &Decoder{e: e, st: st, art: e.artifactsFor(st), chainCache: map[chainKey]*powSeq{}}
+	if !e.DisableRangeCache {
+		d.rangeCache = map[rangeKey]Mat{}
+	}
+	return d
+}
+
+// decoder borrows a pooled decoder for the current state; release returns
+// it. The pool keeps memo tables warm across the convenience entry points
+// without sharing them between goroutines.
+func (e *Env) decoder() *Decoder {
+	st := e.state.Load()
+	if !st.safe {
+		return nil
+	}
+	return st.decPool.Get().(*Decoder)
+}
+
+func (e *Env) release(d *Decoder) { d.st.decPool.Put(d) }
 
 // chainKey identifies a cached power sequence: cycle, flavor (in/out),
 // starting cycle position and direction.
@@ -171,16 +209,16 @@ func (p *powSeq) power(e int) Mat {
 // entered at cycle position t — the product of stepIn factors for
 // iterations fromIter..toIter ascending. fromIter > toIter yields the
 // identity.
-func (a *artifacts) chainIn(nq, s, t, fromIter, toIter int) Mat {
-	if a.rangeCache == nil {
-		return a.chainProd(nq, a.stepIn[s], chainKey{cycle: s, out: false}, t, fromIter, toIter, false)
+func (d *Decoder) chainIn(s, t, fromIter, toIter int) Mat {
+	if d.rangeCache == nil {
+		return d.chainProd(d.art.stepIn[s], chainKey{cycle: s, out: false}, t, fromIter, toIter, false)
 	}
 	k := rangeKey{out: false, s: s, t: t, from: fromIter, to: toIter}
-	if m, ok := a.rangeCache[k]; ok {
+	if m, ok := d.rangeCache[k]; ok {
 		return m
 	}
-	m := a.chainProd(nq, a.stepIn[s], chainKey{cycle: s, out: false}, t, fromIter, toIter, false)
-	a.rangeCache[k] = m
+	m := d.chainProd(d.art.stepIn[s], chainKey{cycle: s, out: false}, t, fromIter, toIter, false)
+	d.rangeCache[k] = m
 	return m
 }
 
@@ -188,16 +226,16 @@ func (a *artifacts) chainIn(nq, s, t, fromIter, toIter int) Mat {
 // to the output port of iteration toIter of the chain — the product of
 // stepOut factors for iterations fromIter..toIter descending. fromIter <
 // toIter yields the identity.
-func (a *artifacts) chainOut(nq, s, t, fromIter, toIter int) Mat {
-	if a.rangeCache == nil {
-		return a.chainProd(nq, a.stepOut[s], chainKey{cycle: s, out: true}, t, fromIter, toIter, true)
+func (d *Decoder) chainOut(s, t, fromIter, toIter int) Mat {
+	if d.rangeCache == nil {
+		return d.chainProd(d.art.stepOut[s], chainKey{cycle: s, out: true}, t, fromIter, toIter, true)
 	}
 	k := rangeKey{out: true, s: s, t: t, from: fromIter, to: toIter}
-	if m, ok := a.rangeCache[k]; ok {
+	if m, ok := d.rangeCache[k]; ok {
 		return m
 	}
-	m := a.chainProd(nq, a.stepOut[s], chainKey{cycle: s, out: true}, t, fromIter, toIter, true)
-	a.rangeCache[k] = m
+	m := d.chainProd(d.art.stepOut[s], chainKey{cycle: s, out: true}, t, fromIter, toIter, true)
+	d.rangeCache[k] = m
 	return m
 }
 
@@ -205,7 +243,8 @@ func (a *artifacts) chainOut(nq, s, t, fromIter, toIter int) Mat {
 // toIter (ascending or descending), where pos(m) = (t + m - 1) mod L. Long
 // runs are folded into powers of the full-loop product, cached per starting
 // position.
-func (a *artifacts) chainProd(nq int, step []Mat, key chainKey, t, fromIter, toIter int, desc bool) Mat {
+func (d *Decoder) chainProd(step []Mat, key chainKey, t, fromIter, toIter int, desc bool) Mat {
+	nq := d.e.NQ
 	L := len(step)
 	count := toIter - fromIter + 1
 	if desc {
@@ -239,7 +278,7 @@ func (a *artifacts) chainProd(nq int, step []Mat, key chainKey, t, fromIter, toI
 	e := remaining / L
 	key.startPos = pos(m)
 	key.desc = desc
-	ps, ok := a.chainCache[key]
+	ps, ok := d.chainCache[key]
 	if !ok {
 		loop := Identity(nq)
 		mm := m
@@ -248,7 +287,7 @@ func (a *artifacts) chainProd(nq int, step []Mat, key chainKey, t, fromIter, toI
 			mm += dir
 		}
 		ps = newPowSeq(loop)
-		a.chainCache[key] = ps
+		d.chainCache[key] = ps
 	}
 	return prod.Mul(ps.power(e))
 }

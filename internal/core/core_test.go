@@ -38,11 +38,11 @@ func TestSafetyVerdictsPaperSpec(t *testing.T) {
 	}
 	for _, c := range cases {
 		e := compile(t, spec, c.q)
-		if e.Safe != c.safe {
+		if e.Safe() != c.safe {
 			t.Errorf("Safe(%q) = %v, want %v (witness module %d prod %d)",
-				c.q, e.Safe, c.safe, e.UnsafeModule, e.UnsafeProd)
+				c.q, e.Safe(), c.safe, e.UnsafeModule(), e.UnsafeProd())
 		}
-		if !e.Safe && (e.UnsafeModule < 0 || e.UnsafeProd < 0) {
+		if !e.Safe() && (e.UnsafeModule() < 0 || e.UnsafeProd() < 0) {
 			t.Errorf("unsafe verdict for %q lacks a witness", c.q)
 		}
 	}
@@ -67,8 +67,8 @@ func TestSafetyVerdictsForkSpec(t *testing.T) {
 	}
 	for _, c := range cases {
 		e := compile(t, spec, c.q)
-		if e.Safe != c.safe {
-			t.Errorf("Safe(%q) = %v, want %v", c.q, e.Safe, c.safe)
+		if e.Safe() != c.safe {
+			t.Errorf("Safe(%q) = %v, want %v", c.q, e.Safe(), c.safe)
 		}
 	}
 }
@@ -89,7 +89,7 @@ func TestLambdaPaperSpecR3(t *testing.T) {
 	// execution of A passes an e edge) and λ(B) must keep states unchanged.
 	spec := wf.PaperSpec()
 	e := compile(t, spec, "_*.e._*")
-	if !e.Safe {
+	if !e.Safe() {
 		t.Fatal("R3 should be safe")
 	}
 	if e.NQ != 2 {
@@ -105,13 +105,13 @@ func TestLambdaPaperSpecR3(t *testing.T) {
 	aMod, _ := spec.ModuleByName("A")
 	bMod, _ := spec.ModuleByName("B")
 	sMod, _ := spec.ModuleByName("S")
-	if la := e.Lambda[aMod]; !la.Get(q0, qf) || la.Get(q0, q0) || !la.Get(qf, qf) {
+	if la := e.Lambda()[aMod]; !la.Get(q0, qf) || la.Get(q0, q0) || !la.Get(qf, qf) {
 		t.Errorf("λ(A) = %s: want q0->qf only from q0", la)
 	}
-	if lb := e.Lambda[bMod]; !lb.Get(q0, q0) || lb.Get(q0, qf) || !lb.Get(qf, qf) {
+	if lb := e.Lambda()[bMod]; !lb.Get(q0, q0) || lb.Get(q0, qf) || !lb.Get(qf, qf) {
 		t.Errorf("λ(B) = %s: want state-preserving", lb)
 	}
-	if ls := e.Lambda[sMod]; !ls.Get(q0, qf) || ls.Get(q0, q0) {
+	if ls := e.Lambda()[sMod]; !ls.Get(q0, qf) || ls.Get(q0, q0) {
 		t.Errorf("λ(S) = %s: S's executions always pass e", ls)
 	}
 }
@@ -228,7 +228,7 @@ func TestPairwiseMatchesOracle(t *testing.T) {
 		safeCount := 0
 		for _, q := range suite.queries {
 			env := compile(t, suite.spec, q)
-			if !env.Safe {
+			if !env.Safe() {
 				continue
 			}
 			safeCount++
@@ -270,7 +270,7 @@ func TestDeepRecursionChainPowers(t *testing.T) {
 	}
 	for _, q := range []string{"a*", "_*"} {
 		env := compile(t, spec, q)
-		if !env.Safe {
+		if !env.Safe() {
 			t.Fatalf("%q unexpectedly unsafe", q)
 		}
 		oracle := baseline.NewOracle(run, automata.MustParse(q))
@@ -304,7 +304,7 @@ func TestVectorAndMatrixDecodeAgree(t *testing.T) {
 	spec := wf.PaperSpec()
 	for _, qs := range []string{"_*.e._*", "_*", "_*.e._*.b._*", "b.b"} {
 		env := compile(t, spec, qs)
-		if !env.Safe {
+		if !env.Safe() {
 			t.Fatalf("%q unexpectedly unsafe", qs)
 		}
 		run, err := derive.Derive(spec, derive.Options{Seed: 11, TargetEdges: 150})
@@ -372,7 +372,7 @@ func TestSafetyMeansExecutionMatricesAgree(t *testing.T) {
 	spec := wf.PaperSpec()
 	for _, q := range []string{"_*.e._*", "_*", "_*.b._*", "_+"} {
 		env := compile(t, spec, q)
-		if !env.Safe {
+		if !env.Safe() {
 			t.Fatalf("%q unexpectedly unsafe", q)
 		}
 		for m := range spec.Modules {
@@ -386,9 +386,9 @@ func TestSafetyMeansExecutionMatricesAgree(t *testing.T) {
 					t.Fatal(err)
 				}
 				got := executionMatrix(env, run)
-				if !got.Eq(env.Lambda[mod]) {
+				if !got.Eq(env.Lambda()[mod]) {
 					t.Fatalf("query %q module %s seed %d: execution matrix %s != λ %s",
-						q, spec.Name(mod), seed, got, env.Lambda[mod])
+						q, spec.Name(mod), seed, got, env.Lambda()[mod])
 				}
 			}
 		}

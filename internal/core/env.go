@@ -16,10 +16,24 @@
 //
 // General (unsafe) queries are decomposed into maximal safe subtrees plus a
 // relational remainder (Section IV-B "Our approach") in general.go.
+//
+// # Concurrency
+//
+// A compiled Env depends only on (Spec, query), never on a run, so it is
+// shared freely: after Compile returns, every exported method is safe for
+// concurrent use by any number of goroutines. The safety verdict, λ table
+// and decode artifacts live in an immutable state record behind an atomic
+// pointer; RelaxSafety is the only transition, publishing a complete
+// replacement state at most once. The mutable per-scan memo tables
+// (chain-power and range caches) are owned by Decoder values — one per
+// goroutine in parallel scans, pooled per state for the convenience entry
+// points — so the decode hot path never locks.
 package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"provrpq/internal/automata"
 	"provrpq/internal/wf"
@@ -27,52 +41,90 @@ import (
 
 // Env is a query compiled against a specification: the minimal DFA, the
 // per-module dependency matrices λ, the safety verdict, and (for safe
-// queries) the decode artifacts.
+// queries) the decode artifacts. An Env is immutable up to the single
+// RelaxSafety transition and safe for concurrent use; see the package
+// comment.
 type Env struct {
 	Spec  *wf.Spec
 	Query *automata.Node
 	DFA   *automata.DFA
 	// NQ is the minimal DFA's state count.
 	NQ int
-	// Lambda[m] is the input-to-output transition matrix shared by all
-	// executions of module m. Valid only when Safe (for unsafe queries the
-	// matrices of some module differ across executions).
-	Lambda []Mat
-	// Safe reports whether the query is safe w.r.t. the specification
-	// (Definition 13, checked on the minimal DFA per Lemma 3.2).
-	Safe bool
-	// UnsafeModule and UnsafeProd witness the violation when !Safe: the
-	// production whose matrix disagreed with the module's established λ.
-	UnsafeModule wf.ModuleID
-	UnsafeProd   int
 	// DisableRangeCache turns off the chain-range product memo (ablation
 	// knob: the decode falls back to recomputing loop-power products per
-	// pair).
+	// pair). It must be set before the first decode and never concurrently
+	// with one.
 	DisableRangeCache bool
 
-	art *artifacts // built lazily for safe queries
+	// state holds everything the safety verdict governs. It is replaced
+	// wholesale (never mutated) when RelaxSafety upgrades the verdict.
+	state atomic.Pointer[envState]
+
+	// relaxMu serializes RelaxSafety; relaxTried (guarded by it) makes a
+	// failed relaxation sticky so the fixpoint never reruns.
+	relaxMu    sync.Mutex
+	relaxTried bool
+}
+
+// envState is one published safety verdict: the λ table that produced it
+// and, for safe verdicts, the lazily built decode artifacts plus a pool of
+// decoders warmed against them. All fields except the sync.Once-guarded art
+// are written before the state is published and read-only afterwards.
+type envState struct {
+	lambda       []Mat
+	safe         bool
+	unsafeModule wf.ModuleID
+	unsafeProd   int
+
+	artOnce sync.Once
+	art     *artifacts
+	decPool sync.Pool // of *Decoder bound to this state
 }
 
 // Compile builds the query environment: minimal DFA over the specification's
 // tag alphabet, λ computation, and the safety verdict. It errors only on
 // structural impossibilities (too many DFA states); unsafe queries compile
-// fine and report Safe == false.
+// fine and report Safe() == false.
 func Compile(spec *wf.Spec, query *automata.Node) (*Env, error) {
 	dfa := automata.CompileDFA(query, spec.Tags())
 	if dfa.NumStates() > 64 {
 		return nil, fmt.Errorf("core: minimal DFA has %d states; this implementation supports at most 64", dfa.NumStates())
 	}
 	e := &Env{
-		Spec:         spec,
-		Query:        query,
-		DFA:          dfa,
-		NQ:           dfa.NumStates(),
-		UnsafeModule: -1,
-		UnsafeProd:   -1,
+		Spec:  spec,
+		Query: query,
+		DFA:   dfa,
+		NQ:    dfa.NumStates(),
 	}
-	e.computeLambda()
+	e.publish(e.computeLambda())
 	return e, nil
 }
+
+// publish installs a state record and arms its decoder pool.
+func (e *Env) publish(st *envState) {
+	st.decPool.New = func() any { return e.newDecoder(st) }
+	e.state.Store(st)
+}
+
+// Safe reports whether the query is safe w.r.t. the specification
+// (Definition 13, checked on the minimal DFA per Lemma 3.2), or has been
+// upgraded by RelaxSafety.
+func (e *Env) Safe() bool { return e.state.Load().safe }
+
+// Lambda returns the per-module input-to-output transition matrices shared
+// by all executions of each module. The table is valid only when Safe (for
+// unsafe queries the matrices of some module differ across executions).
+// Callers must not mutate the returned matrices.
+func (e *Env) Lambda() []Mat { return e.state.Load().lambda }
+
+// UnsafeModule and UnsafeProd witness the violation when !Safe(): the
+// production whose matrix disagreed with the module's established λ. Both
+// return -1 when the query is safe.
+func (e *Env) UnsafeModule() wf.ModuleID { return e.state.Load().unsafeModule }
+
+// UnsafeProd returns the production index of the unsafety witness, -1 when
+// safe.
+func (e *Env) UnsafeProd() int { return e.state.Load().unsafeProd }
 
 // tagMat returns the single-symbol transition matrix T of an edge tag:
 // T[q][δ(q,tag)] = 1.
@@ -90,15 +142,20 @@ func (e *Env) tagMat(tag string) Mat {
 // verifiable production of a module defines λ, later ones must agree or the
 // DFA is unsafe. Productivity of the grammar (enforced by wf.New) guarantees
 // every module's λ is eventually defined.
-func (e *Env) computeLambda() {
+func (e *Env) computeLambda() *envState {
 	s := e.Spec
-	e.Lambda = make([]Mat, len(s.Modules))
+	st := &envState{
+		lambda:       make([]Mat, len(s.Modules)),
+		safe:         true,
+		unsafeModule: -1,
+		unsafeProd:   -1,
+	}
+	lam := st.lambda
 	for i := range s.Modules {
 		if !s.IsComposite(wf.ModuleID(i)) {
-			e.Lambda[i] = Identity(e.NQ)
+			lam[i] = Identity(e.NQ)
 		}
 	}
-	e.Safe = true
 	pending := make([]bool, len(s.Prods))
 	for i := range pending {
 		pending[i] = true
@@ -112,7 +169,7 @@ func (e *Env) computeLambda() {
 			p := &s.Prods[k]
 			ready := true
 			for _, m := range p.Body.Nodes {
-				if e.Lambda[m] == nil {
+				if lam[m] == nil {
 					ready = false
 					break
 				}
@@ -122,35 +179,36 @@ func (e *Env) computeLambda() {
 			}
 			pending[k] = false
 			changed = true
-			cand := e.prodLambda(k)
+			cand := e.prodLambda(lam, k)
 			switch {
-			case e.Lambda[p.LHS] == nil:
-				e.Lambda[p.LHS] = cand
-			case !e.Lambda[p.LHS].Eq(cand):
-				if e.Safe {
-					e.Safe = false
-					e.UnsafeModule = p.LHS
-					e.UnsafeProd = k
+			case lam[p.LHS] == nil:
+				lam[p.LHS] = cand
+			case !lam[p.LHS].Eq(cand):
+				if st.safe {
+					st.safe = false
+					st.unsafeModule = p.LHS
+					st.unsafeProd = k
 				}
 			}
 		}
 	}
+	return st
 }
 
 // prodLambda computes the input-to-output matrix of one production body by
 // a forward DP over the (acyclic) fine-grained body: D[c] maps states at
 // the body input to states at node c's input; traversing node c applies
 // λ(module(c)) and an edge (c, c2, tag) applies the tag's transition.
-func (e *Env) prodLambda(k int) Mat {
-	in := e.bodyInMats(k)
+func (e *Env) prodLambda(lam []Mat, k int) Mat {
+	in := e.bodyInMats(lam, k)
 	sink := e.Spec.Sink(k)
-	return in[sink].Mul(e.Lambda[e.Spec.Prods[k].Body.Nodes[sink]])
+	return in[sink].Mul(lam[e.Spec.Prods[k].Body.Nodes[sink]])
 }
 
 // bodyInMats returns, for every body node c of production k, the matrix
 // from the body input (input port of the source node) to the input port of
-// c. Requires λ for all body modules.
-func (e *Env) bodyInMats(k int) []Mat {
+// c, composed through the given λ table. Requires λ for all body modules.
+func (e *Env) bodyInMats(lam []Mat, k int) []Mat {
 	p := &e.Spec.Prods[k]
 	n := len(p.Body.Nodes)
 	d := make([]Mat, n)
@@ -162,7 +220,7 @@ func (e *Env) bodyInMats(k int) []Mat {
 				d[c] = NewMat(e.NQ) // unreachable from source: impossible in well-formed bodies
 			}
 		}
-		out := d[c].Mul(e.Lambda[p.Body.Nodes[c]])
+		out := d[c].Mul(lam[p.Body.Nodes[c]])
 		for _, be := range p.Body.Edges {
 			if be.From != c {
 				continue
@@ -180,7 +238,7 @@ func (e *Env) bodyInMats(k int) []Mat {
 
 // bodyOutMats returns, for every body node c, the matrix from the output
 // port of c to the body output (output port of the sink node).
-func (e *Env) bodyOutMats(k int) []Mat {
+func (e *Env) bodyOutMats(lam []Mat, k int) []Mat {
 	p := &e.Spec.Prods[k]
 	n := len(p.Body.Nodes)
 	u := make([]Mat, n)
@@ -197,7 +255,7 @@ func (e *Env) bodyOutMats(k int) []Mat {
 				continue
 			}
 			// out(c) -tag-> in(To) -λ-> out(To) -u[To]-> out(sink)
-			step := e.tagMat(be.Tag).Mul(e.Lambda[p.Body.Nodes[be.To]]).Mul(u[be.To])
+			step := e.tagMat(be.Tag).Mul(lam[p.Body.Nodes[be.To]]).Mul(u[be.To])
 			u[c].OrInPlace(step)
 		}
 	}

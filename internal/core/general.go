@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"provrpq/internal/automata"
 	"provrpq/internal/baseline"
 	"provrpq/internal/derive"
 	"provrpq/internal/index"
 	"provrpq/internal/label"
+	"provrpq/internal/wf"
 )
 
 // GeneralStrategy selects how the general evaluator treats safe subtrees.
@@ -28,16 +30,42 @@ const (
 	RelationalOnly
 )
 
+// EnvSource supplies compiled query environments. It must be safe for
+// concurrent use; internal/plancache implements it with a shared,
+// singleflight-deduplicated LRU.
+type EnvSource interface {
+	Get(spec *wf.Spec, query *automata.Node) (*Env, error)
+}
+
+// GeneralOptions tune a General evaluator.
+type GeneralOptions struct {
+	// Envs, when non-nil, supplies compiled subquery environments (so
+	// evaluators over different runs of one spec share plans). When nil the
+	// evaluator compiles and caches privately.
+	Envs EnvSource
+	// Workers bounds the worker pool of safe-subtree all-pairs scans:
+	// 0 means one worker per CPU, 1 forces serial scans.
+	Workers int
+}
+
 // General evaluates arbitrary — in particular unsafe — regular path queries
 // over one run by composing safe-subtree results with relational joins.
+// A General is safe for concurrent use.
 type General struct {
 	run      *derive.Run
 	ix       *index.Index
 	g1       *baseline.G1
 	strategy GeneralStrategy
-	envs     map[string]*Env
-	labels   []label.Label // per node id
-	ids      []derive.NodeID
+	workers  int
+
+	source EnvSource
+	// envs fronts the source (or the private compiles when source is nil)
+	// with a lock-free hit path; it also pins every plan the evaluator has
+	// resolved against shared-cache eviction.
+	envs sync.Map // query string -> *Env
+
+	labels []label.Label // per node id
+	ids    []derive.NodeID
 }
 
 // EvalReport describes how a query was decomposed.
@@ -50,14 +78,21 @@ type EvalReport struct {
 	Safe bool
 }
 
-// NewGeneral builds a general evaluator over a run and its index.
+// NewGeneral builds a general evaluator over a run and its index with
+// default options (private plan cache, serial scans).
 func NewGeneral(run *derive.Run, ix *index.Index, strategy GeneralStrategy) *General {
+	return NewGeneralOpts(run, ix, strategy, GeneralOptions{Workers: 1})
+}
+
+// NewGeneralOpts builds a general evaluator with explicit options.
+func NewGeneralOpts(run *derive.Run, ix *index.Index, strategy GeneralStrategy, opts GeneralOptions) *General {
 	g := &General{
 		run:      run,
 		ix:       ix,
 		g1:       baseline.NewG1(ix),
 		strategy: strategy,
-		envs:     map[string]*Env{},
+		workers:  opts.Workers,
+		source:   opts.Envs,
 	}
 	for _, id := range run.AllNodes() {
 		g.ids = append(g.ids, id)
@@ -75,7 +110,7 @@ func (g *General) Eval(q *automata.Node) (*baseline.Rel, *EvalReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	rep.Safe = env.Safe
+	rep.Safe = env.Safe()
 	rel, err := g.eval(q, rep)
 	if err != nil {
 		return nil, nil, err
@@ -93,7 +128,7 @@ func (g *General) Plan(q *automata.Node) (*EvalReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.Safe = env.Safe
+	rep.Safe = env.Safe()
 	if err := g.plan(q, rep); err != nil {
 		return nil, err
 	}
@@ -107,7 +142,7 @@ func (g *General) plan(q *automata.Node, rep *EvalReport) error {
 		if err != nil {
 			return err
 		}
-		if env.Safe && (g.strategy != CostBased || g.safeCheaper(q)) {
+		if env.Safe() && (g.strategy != CostBased || g.safeCheaper(q)) {
 			rep.SafeSubtrees = append(rep.SafeSubtrees, q.String())
 			return nil
 		}
@@ -123,15 +158,23 @@ func (g *General) plan(q *automata.Node, rep *EvalReport) error {
 
 func (g *General) envFor(q *automata.Node) (*Env, error) {
 	key := q.String()
-	if e, ok := g.envs[key]; ok {
-		return e, nil
+	if v, ok := g.envs.Load(key); ok {
+		return v.(*Env), nil
 	}
-	e, err := Compile(g.run.Spec, q)
+	var e *Env
+	var err error
+	if g.source != nil {
+		e, err = g.source.Get(g.run.Spec, q)
+	} else {
+		e, err = Compile(g.run.Spec, q)
+	}
 	if err != nil {
 		return nil, err
 	}
-	g.envs[key] = e
-	return e, nil
+	// A concurrent resolve of the same subquery may have won; keep the
+	// first so every caller shares one Env.
+	v, _ := g.envs.LoadOrStore(key, e)
+	return v.(*Env), nil
 }
 
 func (g *General) eval(q *automata.Node, rep *EvalReport) (*baseline.Rel, error) {
@@ -141,7 +184,7 @@ func (g *General) eval(q *automata.Node, rep *EvalReport) (*baseline.Rel, error)
 		if err != nil {
 			return nil, err
 		}
-		if env.Safe && (g.strategy != CostBased || g.safeCheaper(q)) {
+		if env.Safe() && (g.strategy != CostBased || g.safeCheaper(q)) {
 			rep.SafeSubtrees = append(rep.SafeSubtrees, q.String())
 			return g.safeEval(env)
 		}
@@ -198,10 +241,11 @@ func (g *General) eval(q *automata.Node, rep *EvalReport) (*baseline.Rel, error)
 	return nil, fmt.Errorf("core: unknown query node kind %d", q.Kind)
 }
 
-// safeEval computes the subquery's relation over all node pairs with optRPL.
+// safeEval computes the subquery's relation over all node pairs with optRPL,
+// sharded across the evaluator's worker pool.
 func (g *General) safeEval(env *Env) (*baseline.Rel, error) {
 	out := baseline.NewRel()
-	err := env.AllPairsSafe(g.labels, g.labels, OptRPL, func(i, j int) {
+	err := env.AllPairsSafeParallel(g.labels, g.labels, OptRPL, g.workers, func(i, j int) {
 		out.Add(g.ids[i], g.ids[j])
 	})
 	return out, err

@@ -17,10 +17,13 @@ var ErrUnsafe = fmt.Errorf("core: query is not safe for this specification")
 // O(depth · |Q|³/64) — independent of the run size. It requires a safe
 // query.
 func (e *Env) Pairwise(a, b label.Label) (bool, error) {
-	if !e.Safe {
+	d := e.decoder()
+	if d == nil {
 		return false, ErrUnsafe
 	}
-	return e.PairwiseUnchecked(a, b), nil
+	ok := d.PairwiseUnchecked(a, b)
+	e.release(d)
+	return ok, nil
 }
 
 // PairwiseMatrix answers the query via full transition-matrix products
@@ -28,34 +31,51 @@ func (e *Env) Pairwise(a, b label.Label) (bool, error) {
 // matrix form also yields every (q,q') transition and is kept for
 // diagnostics and as a cross-check in the tests.
 func (e *Env) PairwiseMatrix(a, b label.Label) (bool, error) {
-	if !e.Safe {
+	d := e.decoder()
+	if d == nil {
 		return false, ErrUnsafe
 	}
-	m := e.pairwiseMat(a, b)
+	m := d.pairwiseMat(a, b)
+	e.release(d)
 	if m == nil {
 		return false, nil
 	}
 	return m[e.DFA.Start]&e.AcceptMask() != 0, nil
 }
 
-// PairwiseUnchecked is Pairwise for callers that already verified e.Safe
-// (the hot path of the all-pairs scans). It propagates only the start
-// state's reachable-state set (a row vector) through the decode factors, so
-// each factor costs O(|Q|) word operations instead of a matrix product —
-// this is what makes the per-pair cost tens of nanoseconds.
+// PairwiseUnchecked is Pairwise for callers that already verified e.Safe().
+// It borrows a pooled decoder; hot loops (the all-pairs scans, parallel
+// workers) should instead hold their own Decoder and call its
+// PairwiseUnchecked directly.
 func (e *Env) PairwiseUnchecked(a, b label.Label) bool {
+	d := e.decoder()
+	if d == nil {
+		panic("core: PairwiseUnchecked on an unsafe query")
+	}
+	ok := d.PairwiseUnchecked(a, b)
+	e.release(d)
+	return ok
+}
+
+// PairwiseUnchecked answers the safe pairwise query on the decoder's
+// environment (the hot path of the all-pairs scans). It propagates only the
+// start state's reachable-state set (a row vector) through the decode
+// factors, so each factor costs O(|Q|) word operations instead of a matrix
+// product — this is what makes the per-pair cost tens of nanoseconds.
+func (d *Decoder) PairwiseUnchecked(a, b label.Label) bool {
+	e := d.e
 	if label.Equal(a, b) {
 		return e.MatchesEmpty()
 	}
-	d := label.LCP(a, b)
-	if d >= len(a) || d >= len(b) {
+	dd := label.LCP(a, b)
+	if dd >= len(a) || dd >= len(b) {
 		return false
 	}
-	ea, eb := a[d], b[d]
+	ea, eb := a[dd], b[dd]
 	if ea.Rec != eb.Rec {
 		return false
 	}
-	art := e.ensureArtifacts()
+	art := d.art
 	sv := uint64(1) << uint(e.DFA.Start)
 
 	apply := func(m Mat) {
@@ -74,7 +94,7 @@ func (e *Env) PairwiseUnchecked(a, b label.Label) bool {
 			if !en.Rec {
 				apply(art.out[en.X][en.Y])
 			} else {
-				apply(art.chainOut(e.NQ, en.X, en.Y, en.Z-1, 1))
+				apply(d.chainOut(en.X, en.Y, en.Z-1, 1))
 			}
 			if sv == 0 {
 				return false
@@ -88,7 +108,7 @@ func (e *Env) PairwiseUnchecked(a, b label.Label) bool {
 			if !en.Rec {
 				apply(art.in[en.X][en.Y])
 			} else {
-				apply(art.chainIn(e.NQ, en.X, en.Y, 1, en.Z-1))
+				apply(d.chainIn(en.X, en.Y, 1, en.Z-1))
 			}
 			if sv == 0 {
 				return false
@@ -107,11 +127,11 @@ func (e *Env) PairwiseUnchecked(a, b label.Label) bool {
 		if mid.IsZero() {
 			return false
 		}
-		if !upApply(a, d+1) {
+		if !upApply(a, dd+1) {
 			return false
 		}
 		apply(mid)
-		if sv == 0 || !downApply(b, d+1) {
+		if sv == 0 || !downApply(b, dd+1) {
 			return false
 		}
 		return sv&e.AcceptMask() != 0
@@ -123,7 +143,7 @@ func (e *Env) PairwiseUnchecked(a, b label.Label) bool {
 	i, j := ea.Z, eb.Z
 	switch {
 	case i < j:
-		ki, cu, ok := childEntry(a, d)
+		ki, cu, ok := childEntry(a, dd)
 		if !ok {
 			return false
 		}
@@ -136,20 +156,20 @@ func (e *Env) PairwiseUnchecked(a, b label.Label) bool {
 		if mid.IsZero() {
 			return false
 		}
-		if !upApply(a, d+2) {
+		if !upApply(a, dd+2) {
 			return false
 		}
 		apply(mid)
 		if sv == 0 {
 			return false
 		}
-		apply(art.chainIn(e.NQ, s, t, i+1, j-1))
-		if sv == 0 || !downApply(b, d+1) {
+		apply(d.chainIn(s, t, i+1, j-1))
+		if sv == 0 || !downApply(b, dd+1) {
 			return false
 		}
 		return sv&e.AcceptMask() != 0
 	case i > j:
-		kj, cv, ok := childEntry(b, d)
+		kj, cv, ok := childEntry(b, dd)
 		if !ok {
 			return false
 		}
@@ -162,15 +182,15 @@ func (e *Env) PairwiseUnchecked(a, b label.Label) bool {
 		if mid.IsZero() {
 			return false
 		}
-		if !upApply(a, d+1) {
+		if !upApply(a, dd+1) {
 			return false
 		}
-		apply(art.chainOut(e.NQ, s, t, i-1, j+1))
+		apply(d.chainOut(s, t, i-1, j+1))
 		if sv == 0 {
 			return false
 		}
 		apply(mid)
-		if sv == 0 || !downApply(b, d+2) {
+		if sv == 0 || !downApply(b, dd+2) {
 			return false
 		}
 		return sv&e.AcceptMask() != 0
@@ -181,19 +201,20 @@ func (e *Env) PairwiseUnchecked(a, b label.Label) bool {
 // pairwiseMat computes the full transition matrix M with M[q][q'] = "some
 // u→v path moves the DFA from q to q'", or nil when no path exists. The
 // identity is returned for u == v (the empty path).
-func (e *Env) pairwiseMat(a, b label.Label) Mat {
+func (d *Decoder) pairwiseMat(a, b label.Label) Mat {
+	e := d.e
 	if label.Equal(a, b) {
 		return Identity(e.NQ)
 	}
-	d := label.LCP(a, b)
-	if d >= len(a) || d >= len(b) {
+	dd := label.LCP(a, b)
+	if dd >= len(a) || dd >= len(b) {
 		return nil // prefix labels cannot coexist as run leaves
 	}
-	ea, eb := a[d], b[d]
+	ea, eb := a[dd], b[dd]
 	if ea.Rec != eb.Rec {
 		return nil
 	}
-	art := e.ensureArtifacts()
+	art := d.art
 	if !ea.Rec {
 		// Composite divergence: same node expanded with one production.
 		if ea.X != eb.X {
@@ -205,7 +226,7 @@ func (e *Env) pairwiseMat(a, b label.Label) Mat {
 		if mid.IsZero() {
 			return nil
 		}
-		return e.upTo(a, d+1).Mul(mid).Mul(e.downTo(b, d+1))
+		return d.upTo(a, dd+1).Mul(mid).Mul(d.downTo(b, dd+1))
 	}
 	// Recursive divergence: same R node, different iterations.
 	if ea.X != eb.X || ea.Y != eb.Y {
@@ -217,7 +238,7 @@ func (e *Env) pairwiseMat(a, b label.Label) Mat {
 	case i < j:
 		// u climbs to its child unit's output inside iteration i, crosses
 		// into the cycle-successor, rides the chain down to iteration j.
-		ki, cu, ok := childEntry(a, d)
+		ki, cu, ok := childEntry(a, dd)
 		if !ok {
 			return nil
 		}
@@ -230,13 +251,13 @@ func (e *Env) pairwiseMat(a, b label.Label) Mat {
 		if mid.IsZero() {
 			return nil
 		}
-		m := e.upTo(a, d+2).Mul(mid)
-		m = m.Mul(art.chainIn(e.NQ, s, t, i+1, j-1))
-		return m.Mul(e.downTo(b, d+1))
+		m := d.upTo(a, dd+2).Mul(mid)
+		m = m.Mul(d.chainIn(s, t, i+1, j-1))
+		return m.Mul(d.downTo(b, dd+1))
 	case i > j:
 		// u exits iterations i..j+1 through their outputs, then crosses to
 		// v's child unit within iteration j's body.
-		kj, cv, ok := childEntry(b, d)
+		kj, cv, ok := childEntry(b, dd)
 		if !ok {
 			return nil
 		}
@@ -249,8 +270,8 @@ func (e *Env) pairwiseMat(a, b label.Label) Mat {
 		if mid.IsZero() {
 			return nil
 		}
-		m := e.upTo(a, d+1).Mul(art.chainOut(e.NQ, s, t, i-1, j+1))
-		return m.Mul(mid).Mul(e.downTo(b, d+2))
+		m := d.upTo(a, dd+1).Mul(d.chainOut(s, t, i-1, j+1))
+		return m.Mul(mid).Mul(d.downTo(b, dd+2))
 	}
 	return nil // same iteration yet divergent at the R entry: malformed
 }
@@ -268,17 +289,16 @@ func childEntry(l label.Label, d int) (k, c int, ok bool) {
 // the unit at entry index start-1's child — i.e. it folds the label entries
 // l[len-1] .. l[start] bottom-up through OutMat factors (production entries)
 // and descending chain products (recursion entries).
-func (e *Env) upTo(l label.Label, start int) Mat {
-	art := e.ensureArtifacts()
-	m := Identity(e.NQ)
+func (d *Decoder) upTo(l label.Label, start int) Mat {
+	m := Identity(d.e.NQ)
 	for lvl := len(l) - 1; lvl >= start; lvl-- {
 		en := l[lvl]
 		if !en.Rec {
-			m = m.Mul(art.out[en.X][en.Y])
+			m = m.Mul(d.art.out[en.X][en.Y])
 		} else {
 			// From the output of iteration en.Z to the output of iteration
 			// 1 (the R unit's output).
-			m = m.Mul(art.chainOut(e.NQ, en.X, en.Y, en.Z-1, 1))
+			m = m.Mul(d.chainOut(en.X, en.Y, en.Z-1, 1))
 		}
 	}
 	return m
@@ -287,17 +307,16 @@ func (e *Env) upTo(l label.Label, start int) Mat {
 // downTo composes the descent from the input port of the unit at entry
 // index start's parent down to the leaf's input port — folding entries
 // l[start] .. l[len-1] through InMat factors and ascending chain products.
-func (e *Env) downTo(l label.Label, start int) Mat {
-	art := e.ensureArtifacts()
-	m := Identity(e.NQ)
+func (d *Decoder) downTo(l label.Label, start int) Mat {
+	m := Identity(d.e.NQ)
 	for lvl := start; lvl < len(l); lvl++ {
 		en := l[lvl]
 		if !en.Rec {
-			m = m.Mul(art.in[en.X][en.Y])
+			m = m.Mul(d.art.in[en.X][en.Y])
 		} else {
 			// From the input of iteration 1 (the R unit's input) to the
 			// input of iteration en.Z.
-			m = m.Mul(art.chainIn(e.NQ, en.X, en.Y, 1, en.Z-1))
+			m = m.Mul(d.chainIn(en.X, en.Y, 1, en.Z-1))
 		}
 	}
 	return m

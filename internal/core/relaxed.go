@@ -30,10 +30,38 @@ import (
 // then fully usable for pairwise/all-pairs decoding (its λ rows outside
 // the arriving sets are normalized to the union semantics, which the
 // decode never consults from a start-state vector).
+//
+// RelaxSafety is safe for concurrent use: the relaxation fixpoint runs at
+// most once per Env, concurrent callers block on it, and a successful
+// upgrade is published atomically as a complete replacement state — readers
+// observe either the strict verdict or the fully relaxed one, never a
+// mixture. A failed relaxation leaves the strict verdict (and its witness)
+// untouched.
 func (e *Env) RelaxSafety() bool {
-	if e.Safe {
+	if e.state.Load().safe {
 		return true
 	}
+	e.relaxMu.Lock()
+	defer e.relaxMu.Unlock()
+	if e.state.Load().safe {
+		return true
+	}
+	if e.relaxTried {
+		return false
+	}
+	e.relaxTried = true
+	lam, ok := e.relaxedLambda()
+	if !ok {
+		return false
+	}
+	e.publish(&envState{lambda: lam, safe: true, unsafeModule: -1, unsafeProd: -1})
+	return true
+}
+
+// relaxedLambda runs the context-restricted worklist and returns the
+// union-semantics λ table when the query is relaxed-safe. It reads only the
+// Env's immutable compile-time fields.
+func (e *Env) relaxedLambda() ([]Mat, bool) {
 	lambdaU := e.unionLambda()
 	arrive := e.arrivingStates(lambdaU)
 
@@ -46,14 +74,6 @@ func (e *Env) RelaxSafety() bool {
 			lam[i] = Identity(e.NQ)
 		}
 	}
-	saveLambda := e.Lambda
-	e.Lambda = lam
-	defer func() {
-		if !e.Safe {
-			e.Lambda = saveLambda
-		}
-	}()
-
 	pending := make([]bool, len(s.Prods))
 	for i := range pending {
 		pending[i] = true
@@ -81,7 +101,7 @@ func (e *Env) RelaxSafety() bool {
 			}
 			pending[k] = false
 			changed = true
-			cand := e.prodLambda(k)
+			cand := e.prodLambda(lam, k)
 			if !defined[p.LHS] {
 				// Define as the union semantics so downstream compositions
 				// see every possible transition; determinism is enforced
@@ -96,16 +116,12 @@ func (e *Env) RelaxSafety() bool {
 				if cand[q] != lambdaU[p.LHS][q] {
 					// Some execution of LHS lacks a transition that another
 					// provides, on an arriving row: genuinely unsafe.
-					return false
+					return nil, false
 				}
 			}
 		}
 	}
-	e.Safe = true
-	e.UnsafeModule = -1
-	e.UnsafeProd = -1
-	e.art = nil // rebuild decode artifacts against the union λ
-	return true
+	return lam, true
 }
 
 // unionLambda computes λ∪(M) for every module: the union over all
@@ -121,13 +137,10 @@ func (e *Env) unionLambda() []Mat {
 			lam[i] = Identity(e.NQ)
 		}
 	}
-	saved := e.Lambda
-	e.Lambda = lam
-	defer func() { e.Lambda = saved }()
 	for changed := true; changed; {
 		changed = false
 		for k := range s.Prods {
-			cand := e.prodLambda(k)
+			cand := e.prodLambda(lam, k)
 			lhs := s.Prods[k].LHS
 			for q := 0; q < e.NQ; q++ {
 				if cand[q]&^lam[lhs][q] != 0 {
@@ -152,15 +165,11 @@ func (e *Env) arrivingStates(lambdaU []Mat) []uint64 {
 	for i := range arrive {
 		arrive[i] = start
 	}
-	saved := e.Lambda
-	e.Lambda = lambdaU
-	defer func() { e.Lambda = saved }()
-
 	for changed := true; changed; {
 		changed = false
 		for k := range s.Prods {
 			p := &s.Prods[k]
-			ins := e.bodyInMats(k) // uses λ∪ via e.Lambda
+			ins := e.bodyInMats(lambdaU, k) // composed through λ∪
 			src := arrive[p.LHS]
 			for c, m := range p.Body.Nodes {
 				// States arriving at position c given src arriving at the

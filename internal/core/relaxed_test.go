@@ -28,8 +28,8 @@ func TestRelaxSafetyAcceptsMore(t *testing.T) {
 	}
 	for _, c := range cases {
 		env := compile(t, spec, c.q)
-		if env.Safe != c.strict {
-			t.Errorf("strict Safe(%q) = %v, want %v", c.q, env.Safe, c.strict)
+		if env.Safe() != c.strict {
+			t.Errorf("strict Safe(%q) = %v, want %v", c.q, env.Safe(), c.strict)
 			continue
 		}
 		got := env.RelaxSafety()
@@ -73,7 +73,7 @@ func TestRelaxedDecodeMatchesOracle(t *testing.T) {
 // no-op returning true.
 func TestRelaxSafetyIdempotentOnSafe(t *testing.T) {
 	env := compile(t, wf.PaperSpec(), "_*.e._*")
-	if !env.Safe || !env.RelaxSafety() || !env.Safe {
+	if !env.Safe() || !env.RelaxSafety() || !env.Safe() {
 		t.Error("RelaxSafety on safe env should stay safe")
 	}
 }
@@ -86,11 +86,11 @@ func TestRelaxSafetyPreservesUnsafeWitness(t *testing.T) {
 	if env.RelaxSafety() {
 		t.Fatal("a+ should stay unsafe")
 	}
-	if env.Safe {
+	if env.Safe() {
 		t.Error("failed relaxation must leave Safe=false")
 	}
 	// The original strict λ table must still be in place for diagnostics.
-	if env.Lambda == nil {
+	if env.Lambda() == nil {
 		t.Error("lambda table lost after failed relaxation")
 	}
 }

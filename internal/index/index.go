@@ -2,6 +2,8 @@
 // each tag γ, the list of node pairs connected by a γ-tagged edge. The
 // baselines (G1's leaf relations, G3's IFQ occurrence lists and G2's rare
 // label statistics) are driven by it.
+//
+// An Index is immutable after Build and therefore safe for concurrent use.
 package index
 
 import (

@@ -1,0 +1,151 @@
+// Package plancache shares compiled query environments across engines.
+//
+// The paper's key observation makes this sound: a compiled core.Env depends
+// only on the pair (specification, query) — never on a run — so every run
+// of one specification can answer a query from the same compiled plan. The
+// cache is keyed by specification identity (a *wf.Spec is immutable after
+// wf.New) and the canonical query string, deduplicates concurrent compiles
+// of the same key singleflight-style (one goroutine compiles, the rest
+// block on the result), and bounds its footprint with LRU eviction.
+package plancache
+
+import (
+	"container/list"
+	"sync"
+
+	"provrpq/internal/automata"
+	"provrpq/internal/core"
+	"provrpq/internal/wf"
+)
+
+// DefaultCapacity bounds the process-wide shared cache: compiled plans are
+// small (a DFA plus per-production bit matrices), so a generous bound costs
+// little and keeps hot queries resident under churn.
+const DefaultCapacity = 1024
+
+// Key identifies one compiled plan.
+type Key struct {
+	Spec  *wf.Spec
+	Query string
+}
+
+// entry is one cache slot. once guards the compile so concurrent Gets of a
+// missing key run it exactly once; elem is the slot's LRU list node; done
+// (guarded by the cache mutex) marks the compile finished — eviction skips
+// in-flight slots so concurrent Gets of one key always share one Env.
+type entry struct {
+	key  Key
+	once sync.Once
+	env  *core.Env
+	err  error
+	elem *list.Element
+	done bool
+}
+
+// Cache is a concurrency-safe, LRU-bounded map from (spec, query) to
+// compiled environments.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[Key]*entry
+	lru     *list.List // front = most recently used; values are *entry
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// New returns a cache bounded to capacity plans (<= 0 selects
+// DefaultCapacity).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{cap: capacity, entries: map[Key]*entry{}, lru: list.New()}
+}
+
+// Get returns the compiled environment for (spec, query), compiling it at
+// most once per resident key no matter how many goroutines ask
+// concurrently. Compile errors are not cached: the failed slot is dropped
+// so a later Get retries. Get implements core.EnvSource.
+func (c *Cache) Get(spec *wf.Spec, query *automata.Node) (*core.Env, error) {
+	key := Key{Spec: spec, Query: query.String()}
+
+	c.mu.Lock()
+	en, ok := c.entries[key]
+	if ok {
+		c.hits++
+		c.lru.MoveToFront(en.elem)
+	} else {
+		c.misses++
+		en = &entry{key: key}
+		en.elem = c.lru.PushFront(en)
+		c.entries[key] = en
+		for len(c.entries) > c.cap && c.evictOldestLocked(en) {
+		}
+	}
+	c.mu.Unlock()
+
+	// Compile outside the cache lock: other keys stay available while a
+	// slow compile runs, and duplicate callers of this key block here.
+	en.once.Do(func() { en.env, en.err = core.Compile(spec, query) })
+	if en.err != nil {
+		c.drop(en)
+		return nil, en.err
+	}
+	c.mu.Lock()
+	en.done = true
+	c.mu.Unlock()
+	return en.env, nil
+}
+
+// evictOldestLocked removes the least-recently-used completed slot, never
+// the one just inserted (keep) and never a slot whose compile is still in
+// flight — evicting those would let a concurrent Get of the same key
+// compile a second, distinct Env. With every slot in flight nothing is
+// evicted and the cache temporarily exceeds its bound (by at most the
+// number of concurrent compiles). It reports whether a slot was evicted.
+// Callers hold c.mu.
+func (c *Cache) evictOldestLocked(keep *entry) bool {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		en := el.Value.(*entry)
+		if en == keep || !en.done {
+			continue
+		}
+		c.lru.Remove(el)
+		delete(c.entries, en.key)
+		c.evictions++
+		return true
+	}
+	return false
+}
+
+// drop removes a slot if it is still resident (used for failed compiles).
+func (c *Cache) drop(en *entry) {
+	c.mu.Lock()
+	if cur, ok := c.entries[en.key]; ok && cur == en {
+		c.lru.Remove(en.elem)
+		delete(c.entries, en.key)
+	}
+	c.mu.Unlock()
+}
+
+// Len returns the resident plan count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Metrics reports cumulative cache traffic.
+type Metrics struct {
+	Hits, Misses, Evictions uint64
+	Len                     int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Metrics{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: len(c.entries)}
+}

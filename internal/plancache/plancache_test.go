@@ -1,0 +1,157 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"provrpq/internal/automata"
+	"provrpq/internal/wf"
+)
+
+func TestGetSharesOnePlan(t *testing.T) {
+	spec := wf.PaperSpec()
+	c := New(8)
+	q := automata.MustParse("_*.e._*")
+	e1, err := c.Get(spec, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A semantically equal but distinct parse must hit the same slot.
+	e2, err := c.Get(spec, automata.MustParse("_*.e._*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("same (spec, query) returned different plans")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Len != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / len 1", st)
+	}
+}
+
+func TestDistinctSpecsDoNotCollide(t *testing.T) {
+	c := New(8)
+	q := automata.MustParse("_*")
+	e1, err := c.Get(wf.PaperSpec(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Get(wf.ForkSpec(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 == e2 {
+		t.Error("plans for different specs must be distinct")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUBound(t *testing.T) {
+	spec := wf.PaperSpec()
+	c := New(3)
+	queries := []string{"_*", "_+", "_*.e._*", "_*.b._*", "ε"}
+	for _, qs := range queries {
+		if _, err := c.Get(spec, automata.MustParse(qs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want capacity 3", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	// The most recent key must still be resident (a hit, not a recompile).
+	before := c.Stats().Hits
+	if _, err := c.Get(spec, automata.MustParse("ε")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != before+1 {
+		t.Error("most recently inserted key was evicted")
+	}
+}
+
+func TestLRUKeepsRecentlyUsed(t *testing.T) {
+	spec := wf.PaperSpec()
+	c := New(2)
+	a, b, x := automata.MustParse("_*"), automata.MustParse("_+"), automata.MustParse("ε")
+	if _, err := c.Get(spec, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(spec, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(spec, a); err != nil { // touch a: b becomes LRU
+		t.Fatal(err)
+	}
+	if _, err := c.Get(spec, x); err != nil { // evicts b
+		t.Fatal(err)
+	}
+	before := c.Stats().Misses
+	if _, err := c.Get(spec, a); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Misses != before {
+		t.Error("recently used key was evicted instead of the LRU one")
+	}
+}
+
+func TestErrorNotCached(t *testing.T) {
+	spec := wf.PaperSpec()
+	c := New(8)
+	// A query whose minimal DFA exceeds 64 states fails to compile: e.g. a
+	// long chain of optionals multiplies states. b?^70 gives > 64 states.
+	qs := ""
+	for i := 0; i < 70; i++ {
+		qs += "b?."
+	}
+	qs += "b"
+	bad := automata.MustParse(qs)
+	if _, err := c.Get(spec, bad); err == nil {
+		t.Skip("query unexpectedly compiled; pick a bigger one")
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed compile left %d resident entries", c.Len())
+	}
+}
+
+// TestConcurrentGetSingleflight hammers one cold key from many goroutines
+// and asserts they all receive the identical plan. Run with -race.
+func TestConcurrentGetSingleflight(t *testing.T) {
+	spec := wf.PaperSpec()
+	c := New(16)
+	const goroutines = 32
+	var wg sync.WaitGroup
+	var first atomic.Pointer[struct{ p any }]
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := c.Get(spec, automata.MustParse("_*.e._*.b._*"))
+			if err != nil {
+				errs <- err
+				return
+			}
+			v := &struct{ p any }{p: e}
+			if !first.CompareAndSwap(nil, v) && first.Load().p != e {
+				errs <- fmt.Errorf("goroutine saw a different plan")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (singleflight)", st.Misses)
+	}
+}

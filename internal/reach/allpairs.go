@@ -78,8 +78,13 @@ type EmitFunc func(i, j int)
 // the output size (Lemma 4.1's side effect: all-pairs reachability in
 // input+output linear time for fixed G).
 func AllPairs(spec *wf.Spec, l1, l2 []label.Label, emit EmitFunc) {
-	t1 := NewTrie(l1)
-	t2 := NewTrie(l2)
+	AllPairsTries(spec, NewTrie(l1), NewTrie(l2), emit)
+}
+
+// AllPairsTries is AllPairs over prebuilt tries; indices refer to the
+// original (pre-sort) label lists. A built Trie is read-only, so the same
+// trie may back any number of concurrent walks.
+func AllPairsTries(spec *wf.Spec, t1, t2 *Trie, emit EmitFunc) {
 	w := &walker{spec: spec, t1: t1, t2: t2, emit: emit}
 	w.walk(t1.Root, t2.Root)
 }

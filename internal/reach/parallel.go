@@ -1,0 +1,32 @@
+package reach
+
+import (
+	"provrpq/internal/label"
+	"provrpq/internal/parallel"
+	"provrpq/internal/wf"
+)
+
+// parallelCutoff is the l1 size below which AllPairsParallel stays serial:
+// the per-shard trie build has to be worth the goroutine fan-out.
+const parallelCutoff = 512
+
+// AllPairsParallel is AllPairs sharded across a bounded worker pool of the
+// given size (0 means one worker per CPU, 1 forces the serial walk). The
+// first list is split into contiguous shards, each walked against a shared
+// trie of l2 by its own goroutine; per-shard emits are buffered and merged
+// in shard order, so for a fixed worker count the emit sequence is
+// deterministic and the pair set always equals the serial one.
+func AllPairsParallel(spec *wf.Spec, l1, l2 []label.Label, workers int, emit EmitFunc) {
+	workers = parallel.Workers(workers)
+	if workers <= 1 || len(l1) < parallelCutoff {
+		AllPairs(spec, l1, l2, emit)
+		return
+	}
+	t2 := NewTrie(l2)
+	parallel.Gather(len(l1), workers, func(_, lo, hi int, out func([2]int)) {
+		t1 := NewTrie(l1[lo:hi])
+		AllPairsTries(spec, t1, t2, func(i, j int) {
+			out([2]int{lo + i, j})
+		})
+	}, func(p [2]int) { emit(p[0], p[1]) })
+}

@@ -86,7 +86,7 @@ func TestStarQuerySafe(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !env.Safe {
+		if !env.Safe() {
 			t.Errorf("%s: %s should be safe (Fig. 13g/h uses RPL on it)", d.Name, d.StarQuery())
 		}
 	}
@@ -103,7 +103,7 @@ func TestSafeIFQsAreSafe(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					if !env.Safe {
+					if !env.Safe() {
 						t.Errorf("%s: SafeIFQ %q (k=%d, low=%v) is not safe", d.Name, q, k, low)
 					}
 				}
@@ -183,7 +183,7 @@ func TestRandomQueriesMixSafeAndUnsafe(t *testing.T) {
 			// Oversized DFAs can occur for pathological random queries.
 			continue
 		}
-		if env.Safe {
+		if env.Safe() {
 			safe++
 		} else {
 			unsafe++
@@ -212,7 +212,7 @@ func TestSyntheticSizes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !env.Safe {
+		if !env.Safe() {
 			t.Errorf("Synthetic(%d): %q should be safe", size, q)
 		}
 	}

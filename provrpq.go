@@ -27,6 +27,20 @@
 // Query syntax: tags are identifiers; '.' concatenates (juxtaposition also
 // works), '|' alternates, postfix '*', '+', '?' repeat, '_' matches any
 // single tag, 'ε' (or "<eps>") the empty path, parentheses group.
+//
+// # Concurrency
+//
+// Engine, Spec, Run and Query are safe for concurrent use: any number of
+// goroutines may share one Engine (or several) and call any mix of its
+// methods. Compiled query plans depend only on (specification, query), so
+// they live in a plan cache shared across engines — process-wide by
+// default, or an explicit NewPlanCache passed through EngineOptions —
+// with concurrent compiles of the same query deduplicated. All-pairs scans
+// (AllPairs, AllPairsReachable, Evaluate) shard their per-pair work across
+// a bounded worker pool sized by EngineOptions.Workers (default: one
+// worker per CPU); per-shard results are merged in shard order, so a
+// parallel scan returns exactly the pair set a serial one would, in an
+// order that is deterministic for a given worker count.
 package provrpq
 
 import (
