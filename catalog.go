@@ -1,0 +1,186 @@
+package provrpq
+
+import (
+	"fmt"
+
+	"provrpq/internal/catalog"
+	"provrpq/internal/parallel"
+)
+
+// ErrAlreadyRegistered marks a catalog registration under a taken name;
+// match with errors.Is to distinguish duplicates from invalid input.
+var ErrAlreadyRegistered = catalog.ErrExists
+
+// Catalog is a concurrency-safe registry of named specifications and named
+// runs — the multi-run serving layer. Every run gets one lazily-built
+// Engine, and all of a catalog's engines share one plan cache, so a query
+// compiled for one run is a cache hit on every other run of the same
+// specification. A Catalog is safe for concurrent use: registrations,
+// lookups and evaluations may be interleaved freely from any number of
+// goroutines.
+type Catalog struct {
+	plans   *PlanCache
+	workers int
+	reg     *catalog.Registry[*Spec, *Run, *Engine]
+}
+
+// CatalogOptions configure a Catalog.
+type CatalogOptions struct {
+	// PlanCache overrides the catalog's dedicated compiled-plan cache
+	// (nil builds a private cache with the default bound).
+	PlanCache *PlanCache
+	// Workers bounds each engine's parallel all-pairs scans (0 means one
+	// worker per CPU).
+	Workers int
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog(opts CatalogOptions) *Catalog {
+	plans := opts.PlanCache
+	if plans == nil {
+		plans = NewPlanCache(0)
+	}
+	c := &Catalog{plans: plans, workers: opts.Workers}
+	c.reg = catalog.New[*Spec, *Run, *Engine](func(r *Run) *Engine {
+		return NewEngineOpts(r, EngineOptions{Workers: c.workers, PlanCache: c.plans})
+	})
+	return c
+}
+
+// RegisterSpec registers a specification under a unique name.
+func (c *Catalog) RegisterSpec(name string, s *Spec) error {
+	if s == nil || s.s == nil {
+		return fmt.Errorf("provrpq: catalog: nil specification %q", name)
+	}
+	return c.reg.PutSpec(name, s)
+}
+
+// Spec returns the specification registered under name.
+func (c *Catalog) Spec(name string) (*Spec, bool) { return c.reg.Spec(name) }
+
+// SpecNames returns all registered specification names, sorted.
+func (c *Catalog) SpecNames() []string { return c.reg.SpecNames() }
+
+// AddRun registers a run under a unique name, bound to the named
+// registered specification. The run must actually be of that
+// specification — derived from it or decoded against it — because
+// label decoding and plan sharing depend on specification identity.
+func (c *Catalog) AddRun(name, specName string, r *Run) error {
+	s, ok := c.reg.Spec(specName)
+	if !ok {
+		return fmt.Errorf("provrpq: catalog: run %q references unregistered specification %q", name, specName)
+	}
+	if r == nil || r.r == nil {
+		return fmt.Errorf("provrpq: catalog: nil run %q", name)
+	}
+	if r.r.Spec != s.s {
+		return fmt.Errorf("provrpq: catalog: run %q was not derived from or decoded against specification %q", name, specName)
+	}
+	return c.reg.PutRun(name, specName, r)
+}
+
+// DeriveRun derives a fresh run of the named specification and registers
+// it under runName.
+func (c *Catalog) DeriveRun(runName, specName string, opts DeriveOptions) (*Run, error) {
+	s, ok := c.reg.Spec(specName)
+	if !ok {
+		return nil, fmt.Errorf("provrpq: catalog: unknown specification %q", specName)
+	}
+	// Check name availability before paying for the derivation (which can
+	// be millions of edges); PutRun re-checks under the lock for the race.
+	if c.reg.HasRun(runName) {
+		return nil, fmt.Errorf("provrpq: catalog: run %q: %w", runName, ErrAlreadyRegistered)
+	}
+	r, err := s.Derive(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.reg.PutRun(runName, specName, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Run returns the run registered under name.
+func (c *Catalog) Run(name string) (*Run, bool) { return c.reg.Run(name) }
+
+// RunSpecName returns the name of the specification a run is bound to.
+func (c *Catalog) RunSpecName(name string) (string, bool) { return c.reg.RunSpec(name) }
+
+// RunNames returns all registered run names, sorted.
+func (c *Catalog) RunNames() []string { return c.reg.RunNames() }
+
+// RunsOfSpec returns the names of the runs bound to the named
+// specification, sorted.
+func (c *Catalog) RunsOfSpec(specName string) []string { return c.reg.RunsOf(specName) }
+
+// Engine returns the named run's engine, building it on first use.
+// Concurrent first calls for one run share a single build.
+func (c *Catalog) Engine(runName string) (*Engine, error) {
+	e, ok := c.reg.Engine(runName)
+	if !ok {
+		return nil, fmt.Errorf("provrpq: catalog: unknown run %q", runName)
+	}
+	return e, nil
+}
+
+// BatchResult is one (run, query) cell of an EvaluateBatch answer. Err is
+// per-item: one failing cell (unknown run, failing compile) never blocks
+// the rest of the batch.
+type BatchResult struct {
+	Run   string
+	Query string
+	Pairs []Pair
+	Err   error
+}
+
+// EvaluateBatch evaluates every query against every named run — the full
+// runNames × queries product, fanned out across the catalog's worker pool
+// with one compiled plan per (specification, query) shared by all runs of
+// that specification. A nil or empty runNames selects every registered
+// run. Results arrive run-major (all queries of runNames[0], then
+// runNames[1], …), each cell carrying its own error; the result order is
+// deterministic and independent of the worker count.
+func (c *Catalog) EvaluateBatch(runNames []string, queries []*Query) []BatchResult {
+	if len(runNames) == 0 {
+		runNames = c.reg.RunNames()
+	}
+	nq := len(queries)
+	out := make([]BatchResult, len(runNames)*nq)
+	if len(out) == 0 {
+		return nil
+	}
+	parallel.Do(len(out), parallel.Workers(c.workers), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			runName, q := runNames[i/nq], queries[i%nq]
+			res := BatchResult{Run: runName, Query: q.String()}
+			eng, err := c.Engine(runName)
+			if err != nil {
+				res.Err = err
+			} else {
+				res.Pairs, res.Err = eng.Evaluate(q)
+			}
+			out[i] = res
+		}
+	})
+	return out
+}
+
+// CatalogStats is a point-in-time snapshot of a catalog's size, its
+// plan-cache traffic and its resolved per-engine worker-pool width.
+type CatalogStats struct {
+	Specs, Runs int
+	PlanCache   CacheStats
+	Workers     int
+}
+
+// Stats snapshots the catalog.
+func (c *Catalog) Stats() CatalogStats {
+	ns, nr := c.reg.Len()
+	return CatalogStats{
+		Specs:     ns,
+		Runs:      nr,
+		PlanCache: c.plans.Stats(),
+		Workers:   parallel.Workers(c.workers),
+	}
+}

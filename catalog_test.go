@@ -1,0 +1,216 @@
+package provrpq
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// catalogFixture registers one spec and three runs of it.
+func catalogFixture(t *testing.T) (*Catalog, []string) {
+	t.Helper()
+	cat := NewCatalog(CatalogOptions{})
+	if err := cat.RegisterSpec("intro", introSpec(t)); err != nil {
+		t.Fatal(err)
+	}
+	var runs []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("run-%d", i)
+		if _, err := cat.DeriveRun(name, "intro", DeriveOptions{Seed: int64(i + 1), TargetEdges: 100 + 50*i}); err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, name)
+	}
+	return cat, runs
+}
+
+func TestCatalogRegistration(t *testing.T) {
+	cat, runs := catalogFixture(t)
+	if got := cat.SpecNames(); len(got) != 1 || got[0] != "intro" {
+		t.Fatalf("SpecNames = %v", got)
+	}
+	if got := cat.RunNames(); len(got) != 3 {
+		t.Fatalf("RunNames = %v", got)
+	}
+	if got := cat.RunsOfSpec("intro"); len(got) != 3 {
+		t.Fatalf("RunsOfSpec = %v", got)
+	}
+	if sp, ok := cat.RunSpecName(runs[0]); !ok || sp != "intro" {
+		t.Fatalf("RunSpecName = %q, %v", sp, ok)
+	}
+	if err := cat.RegisterSpec("intro", introSpec(t)); err == nil {
+		t.Error("duplicate spec name should fail")
+	}
+	if err := cat.RegisterSpec("nil", nil); err == nil {
+		t.Error("nil spec should fail")
+	}
+	if _, err := cat.DeriveRun("run-0", "intro", DeriveOptions{Seed: 9}); err == nil {
+		t.Error("duplicate run name should fail")
+	}
+	if _, err := cat.DeriveRun("x", "ghost", DeriveOptions{}); err == nil {
+		t.Error("deriving from unknown spec should fail")
+	}
+	if _, err := cat.Engine("ghost"); err == nil {
+		t.Error("unknown run engine should fail")
+	}
+
+	// AddRun rejects a run of a *different* spec object: identity matters
+	// for label decoding and plan sharing.
+	other := introSpec(t)
+	foreign, err := other.Derive(DeriveOptions{Seed: 1, TargetEdges: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddRun("foreign", "intro", foreign); err == nil {
+		t.Error("run of a different spec instance should be rejected")
+	}
+
+	// A run decoded against the registered spec is accepted.
+	spec, _ := cat.Spec("intro")
+	native, err := spec.Derive(DeriveOptions{Seed: 42, TargetEdges: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeRun(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeRun(spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddRun("uploaded", "intro", decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Engine("uploaded"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCatalogEngineIdentity verifies one lazily-built engine per run.
+func TestCatalogEngineIdentity(t *testing.T) {
+	cat, runs := catalogFixture(t)
+	e1, err := cat.Engine(runs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := cat.Engine(runs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("repeated Engine calls should return the same engine")
+	}
+	run, ok := cat.Run(runs[0])
+	if !ok || e1.Run() != run {
+		t.Error("engine is not over the registered run")
+	}
+}
+
+// TestEvaluateBatch checks the batch fan-out against direct Engine
+// evaluation, per-item errors, and plan-cache sharing across runs.
+func TestEvaluateBatch(t *testing.T) {
+	cat, runs := catalogFixture(t)
+	queries := []*Query{
+		MustParseQuery("_*.s._*.publish"),
+		MustParseQuery("ingest._*"),
+		MustParseQuery("_*.a1._*"), // unsafe: exercises the decomposition path
+	}
+	results := cat.EvaluateBatch(runs, queries)
+	if len(results) != len(runs)*len(queries) {
+		t.Fatalf("got %d results, want %d", len(results), len(runs)*len(queries))
+	}
+	for i, res := range results {
+		wantRun, wantQ := runs[i/len(queries)], queries[i%len(queries)]
+		if res.Run != wantRun || res.Query != wantQ.String() {
+			t.Fatalf("result %d is (%s, %s), want (%s, %s)", i, res.Run, res.Query, wantRun, wantQ)
+		}
+		if res.Err != nil {
+			t.Fatalf("result %d failed: %v", i, res.Err)
+		}
+		eng, err := cat.Engine(res.Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := eng.Evaluate(wantQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(direct) != len(res.Pairs) {
+			t.Fatalf("result %d: batch %d pairs, direct %d", i, len(res.Pairs), len(direct))
+		}
+		for j := range direct {
+			if direct[j] != res.Pairs[j] {
+				t.Fatalf("result %d pair %d: batch %v, direct %v", i, j, res.Pairs[j], direct[j])
+			}
+		}
+	}
+
+	// Empty run list = all runs; unknown runs fail per-item, not globally.
+	all := cat.EvaluateBatch(nil, queries[:1])
+	if len(all) != 3 {
+		t.Fatalf("nil runs should select all 3 runs, got %d results", len(all))
+	}
+	mixed := cat.EvaluateBatch([]string{runs[0], "ghost"}, queries[:1])
+	if mixed[0].Err != nil {
+		t.Errorf("known run errored: %v", mixed[0].Err)
+	}
+	if mixed[1].Err == nil {
+		t.Error("unknown run should carry a per-item error")
+	}
+
+	// Three runs of one spec share plans: each query compiles once
+	// (a miss) and hits on every other run.
+	stats := cat.Stats()
+	if stats.Specs != 1 || stats.Runs != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.PlanCache.Hits <= stats.PlanCache.Misses {
+		t.Errorf("plan cache should hit more than it misses across runs of one spec: %+v", stats.PlanCache)
+	}
+	if stats.Workers < 1 {
+		t.Errorf("resolved workers = %d", stats.Workers)
+	}
+}
+
+// TestCatalogConcurrent hammers a catalog from many goroutines mixing
+// registration, engine resolution and batch evaluation (run with -race).
+func TestCatalogConcurrent(t *testing.T) {
+	cat, runs := catalogFixture(t)
+	queries := []*Query{MustParseQuery("_*.s._*"), MustParseQuery("ingest._*.publish")}
+	want := map[string]int{}
+	for _, rn := range runs {
+		eng, err := cat.Engine(rn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			pairs, err := eng.Evaluate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[rn+"|"+q.String()] = len(pairs)
+		}
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				for _, res := range cat.EvaluateBatch(runs, queries) {
+					if res.Err != nil {
+						t.Errorf("goroutine %d: %v", g, res.Err)
+						return
+					}
+					if n := want[res.Run+"|"+res.Query]; n != len(res.Pairs) {
+						t.Errorf("goroutine %d: (%s, %s) = %d pairs, want %d", g, res.Run, res.Query, len(res.Pairs), n)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -5,6 +5,7 @@
 //	rpqcli -spec wf.spec.json -run wf.run.json -query "_*.emit._*"
 //	rpqcli -spec ... -run ... -query "a*" -from a:1 -to a:9
 //	rpqcli -spec ... -run ... -query "a*" -explain
+//	rpqcli -spec ... -run ... -query "a*" -stats
 package main
 
 import (
@@ -23,7 +24,16 @@ func main() {
 	to := flag.String("to", "", "pairwise target node")
 	explain := flag.Bool("explain", false, "print the evaluation plan instead of results")
 	limit := flag.Int("limit", 20, "max result pairs to print (0 = all)")
+	stats := flag.Bool("stats", false, "print plan-cache statistics after evaluating")
 	flag.Parse()
+
+	if *stats {
+		defer func() {
+			s := provrpq.DefaultPlanCache().Stats()
+			fmt.Printf("plan cache: %d plans resident, %d hits, %d misses, %d evictions\n",
+				s.Plans, s.Hits, s.Misses, s.Evictions)
+		}()
+	}
 
 	if *specPath == "" || *runPath == "" || *queryStr == "" {
 		fmt.Fprintln(os.Stderr, "usage: rpqcli -spec S.json -run R.json -query Q [-from u -to v | -explain]")

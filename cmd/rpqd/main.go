@@ -1,0 +1,119 @@
+// Command rpqd serves a multi-run provenance catalog over HTTP/JSON.
+//
+// Usage:
+//
+//	rpqd -addr :8080
+//	rpqd -addr 127.0.0.1:0 -spec wf=wf.spec.json -run r1=wf=wf.run.json
+//	rpqd -timeout 10s -max-inflight 128 -workers 4 -plan-cache 4096
+//
+// Specs and runs can be preloaded with repeatable -spec name=path and
+// -run name=spec=path flags, or registered at runtime via POST /v1/specs
+// and POST /v1/runs. The daemon prints its actual listen address on
+// startup (useful with port 0) and shuts down gracefully on SIGINT or
+// SIGTERM, draining in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"provrpq"
+	"provrpq/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
+	timeout := flag.Duration("timeout", server.DefaultTimeout, "per-request handling deadline")
+	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "max concurrently-served requests (negative = unlimited)")
+	workers := flag.Int("workers", 0, "per-engine scan workers (0 = one per CPU)")
+	planCap := flag.Int("plan-cache", 0, "plan-cache capacity in compiled plans (0 = default)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for graceful shutdown")
+
+	type specFlag struct{ name, path string }
+	type runFlag struct{ name, spec, path string }
+	var specFlags []specFlag
+	var runFlags []runFlag
+	flag.Func("spec", "preload a specification, name=path (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		specFlags = append(specFlags, specFlag{name, path})
+		return nil
+	})
+	flag.Func("run", "preload a run, name=spec=path (repeatable)", func(v string) error {
+		parts := strings.SplitN(v, "=", 3)
+		if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+			return fmt.Errorf("want name=spec=path, got %q", v)
+		}
+		runFlags = append(runFlags, runFlag{parts[0], parts[1], parts[2]})
+		return nil
+	})
+	flag.Parse()
+
+	cat := provrpq.NewCatalog(provrpq.CatalogOptions{
+		PlanCache: provrpq.NewPlanCache(*planCap),
+		Workers:   *workers,
+	})
+	for _, sf := range specFlags {
+		spec, err := provrpq.LoadSpec(sf.path)
+		fatal(err)
+		fatal(cat.RegisterSpec(sf.name, spec))
+		fmt.Printf("rpqd: loaded specification %q from %s\n", sf.name, sf.path)
+	}
+	for _, rf := range runFlags {
+		spec, ok := cat.Spec(rf.spec)
+		if !ok {
+			fatal(fmt.Errorf("run %q references unknown specification %q (order -spec before -run)", rf.name, rf.spec))
+		}
+		run, err := provrpq.LoadRun(rf.path, spec)
+		fatal(err)
+		fatal(cat.AddRun(rf.name, rf.spec, run))
+		fmt.Printf("rpqd: loaded run %q (%d nodes, %d edges) from %s\n", rf.name, run.NumNodes(), run.NumEdges(), rf.path)
+	}
+
+	srv := server.New(cat, server.Options{Timeout: *timeout, MaxInFlight: *maxInFlight})
+	ln, err := net.Listen("tcp", *addr)
+	fatal(err)
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("rpqd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+		stop()
+		fmt.Println("rpqd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "rpqd: forced shutdown:", err)
+			_ = httpSrv.Close()
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+		fmt.Println("rpqd: bye")
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpqd:", err)
+		os.Exit(1)
+	}
+}

@@ -80,9 +80,32 @@ func NewPlanCache(capacity int) *PlanCache {
 // Len returns the number of resident compiled plans.
 func (p *PlanCache) Len() int { return p.c.Len() }
 
+// CacheStats is a point-in-time snapshot of a plan cache's traffic. Hits,
+// Misses and Evictions are cumulative; Plans is the resident plan count.
+// A healthy multi-run workload shows Hits well above Misses: every run of
+// a specification after the first answers from already-compiled plans.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Plans                   int
+}
+
+// Stats snapshots the cache counters.
+func (p *PlanCache) Stats() CacheStats {
+	m := p.c.Stats()
+	return CacheStats{Hits: m.Hits, Misses: m.Misses, Evictions: m.Evictions, Plans: m.Len}
+}
+
 // sharedPlans is the process-wide default plan cache: every engine not
 // given an explicit cache compiles into (and out of) this one.
 var sharedPlans = plancache.New(0)
+
+// defaultPlanCache wraps sharedPlans for public observation.
+var defaultPlanCache = &PlanCache{c: sharedPlans}
+
+// DefaultPlanCache returns the process-wide shared plan cache used by
+// every engine not configured with an explicit cache, for stats
+// inspection (e.g. rpqcli -stats) or for passing to a Catalog.
+func DefaultPlanCache() *PlanCache { return defaultPlanCache }
 
 // crossParallelCutoff is the pair-count floor below which the unsafe-query
 // cross-product stays serial, matching the cutoffs of the safe scans.

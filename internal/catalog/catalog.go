@@ -1,0 +1,185 @@
+// Package catalog provides the concurrency-safe registry underneath the
+// root package's Catalog: named specifications, named runs (each bound to
+// one specification), and one lazily-built engine per run.
+//
+// The registry is generic over the spec, run and engine types so it can
+// serve the root package without importing it (the root package imports
+// this one). The engine builder runs at most once per run — concurrent
+// first lookups of one run block on a single build, sync.Once-style —
+// and builds execute outside the registry lock, so a slow engine build
+// never stalls lookups of other runs.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrExists marks a registration under a name that is already taken
+// (match with errors.Is to distinguish duplicates from invalid input).
+var ErrExists = errors.New("name already registered")
+
+// Registry is a concurrency-safe map of named specs and named runs. Each
+// run belongs to exactly one registered spec and owns at most one engine,
+// built on first demand by the constructor-supplied build function. Names
+// are opaque non-empty strings; registration is first-writer-wins (a
+// duplicate name is an error, never a silent replace).
+type Registry[S, R, E any] struct {
+	build func(R) E
+
+	mu    sync.RWMutex
+	specs map[string]S
+	runs  map[string]*runEntry[R, E]
+}
+
+// runEntry is one registered run. once guards the engine build so
+// concurrent Engine calls construct it exactly once.
+type runEntry[R, E any] struct {
+	spec string
+	run  R
+	once sync.Once
+	eng  E
+}
+
+// New returns an empty registry whose engines are built by build.
+func New[S, R, E any](build func(R) E) *Registry[S, R, E] {
+	return &Registry[S, R, E]{
+		build: build,
+		specs: map[string]S{},
+		runs:  map[string]*runEntry[R, E]{},
+	}
+}
+
+// PutSpec registers a specification under name.
+func (g *Registry[S, R, E]) PutSpec(name string, s S) error {
+	if name == "" {
+		return fmt.Errorf("catalog: empty specification name")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.specs[name]; ok {
+		return fmt.Errorf("catalog: specification %q: %w", name, ErrExists)
+	}
+	g.specs[name] = s
+	return nil
+}
+
+// Spec returns the specification registered under name.
+func (g *Registry[S, R, E]) Spec(name string) (S, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s, ok := g.specs[name]
+	return s, ok
+}
+
+// SpecNames returns all registered specification names, sorted.
+func (g *Registry[S, R, E]) SpecNames() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.specs))
+	for n := range g.specs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PutRun registers a run under name, bound to the named specification,
+// which must already be registered.
+func (g *Registry[S, R, E]) PutRun(name, spec string, r R) error {
+	if name == "" {
+		return fmt.Errorf("catalog: empty run name")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.specs[spec]; !ok {
+		return fmt.Errorf("catalog: run %q references unregistered specification %q", name, spec)
+	}
+	if _, ok := g.runs[name]; ok {
+		return fmt.Errorf("catalog: run %q: %w", name, ErrExists)
+	}
+	g.runs[name] = &runEntry[R, E]{spec: spec, run: r}
+	return nil
+}
+
+// HasRun reports whether a run is registered under name.
+func (g *Registry[S, R, E]) HasRun(name string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.runs[name]
+	return ok
+}
+
+// Run returns the run registered under name.
+func (g *Registry[S, R, E]) Run(name string) (R, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	en, ok := g.runs[name]
+	if !ok {
+		var zero R
+		return zero, false
+	}
+	return en.run, true
+}
+
+// RunSpec returns the specification name a run is bound to.
+func (g *Registry[S, R, E]) RunSpec(name string) (string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	en, ok := g.runs[name]
+	if !ok {
+		return "", false
+	}
+	return en.spec, true
+}
+
+// RunNames returns all registered run names, sorted.
+func (g *Registry[S, R, E]) RunNames() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.runs))
+	for n := range g.runs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunsOf returns the names of the runs bound to the named specification,
+// sorted.
+func (g *Registry[S, R, E]) RunsOf(spec string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []string
+	for n, en := range g.runs {
+		if en.spec == spec {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engine returns the named run's engine, building it on first use. The
+// build runs outside the registry lock; concurrent callers of one run
+// share a single build and all receive the same engine.
+func (g *Registry[S, R, E]) Engine(name string) (E, bool) {
+	g.mu.RLock()
+	en, ok := g.runs[name]
+	g.mu.RUnlock()
+	if !ok {
+		var zero E
+		return zero, false
+	}
+	en.once.Do(func() { en.eng = g.build(en.run) })
+	return en.eng, true
+}
+
+// Len reports the number of registered specifications and runs.
+func (g *Registry[S, R, E]) Len() (specs, runs int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.specs), len(g.runs)
+}

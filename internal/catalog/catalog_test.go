@@ -1,0 +1,169 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The registry is exercised with plain string specs/runs and a counting
+// engine builder; the root package tests cover the wiring to real Engines.
+
+func newTest() (*Registry[string, string, int], *atomic.Int64) {
+	var builds atomic.Int64
+	seq := atomic.Int64{}
+	r := New[string, string, int](func(run string) int {
+		builds.Add(1)
+		return int(seq.Add(1))
+	})
+	return r, &builds
+}
+
+func TestRegistryBasics(t *testing.T) {
+	g, _ := newTest()
+	if err := g.PutSpec("w", "specW"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PutSpec("w", "again"); err == nil {
+		t.Fatal("duplicate spec name should fail")
+	}
+	if err := g.PutSpec("", "x"); err == nil {
+		t.Fatal("empty spec name should fail")
+	}
+	if err := g.PutRun("r1", "nope", "run1"); err == nil {
+		t.Fatal("run with unknown spec should fail")
+	}
+	if err := g.PutRun("r1", "w", "run1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PutRun("r1", "w", "dup"); err == nil {
+		t.Fatal("duplicate run name should fail")
+	}
+	if err := g.PutRun("", "w", "x"); err == nil {
+		t.Fatal("empty run name should fail")
+	}
+
+	if s, ok := g.Spec("w"); !ok || s != "specW" {
+		t.Fatalf("Spec(w) = %q, %v", s, ok)
+	}
+	if r, ok := g.Run("r1"); !ok || r != "run1" {
+		t.Fatalf("Run(r1) = %q, %v", r, ok)
+	}
+	if sp, ok := g.RunSpec("r1"); !ok || sp != "w" {
+		t.Fatalf("RunSpec(r1) = %q, %v", sp, ok)
+	}
+	if _, ok := g.Run("ghost"); ok {
+		t.Fatal("unknown run should not resolve")
+	}
+	if _, ok := g.Engine("ghost"); ok {
+		t.Fatal("unknown engine should not resolve")
+	}
+	ns, nr := g.Len()
+	if ns != 1 || nr != 1 {
+		t.Fatalf("Len = (%d, %d), want (1, 1)", ns, nr)
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	g, _ := newTest()
+	for _, s := range []string{"zeta", "alpha", "mid"} {
+		if err := g.PutSpec(s, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.SpecNames()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SpecNames = %v, want %v", got, want)
+		}
+	}
+	for i, r := range []string{"r-c", "r-a", "r-b"} {
+		spec := []string{"zeta", "alpha", "alpha"}[i]
+		if err := g.PutRun(r, spec, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs := g.RunNames()
+	if len(runs) != 3 || runs[0] != "r-a" || runs[2] != "r-c" {
+		t.Fatalf("RunNames = %v", runs)
+	}
+	of := g.RunsOf("alpha")
+	if len(of) != 2 || of[0] != "r-a" || of[1] != "r-b" {
+		t.Fatalf("RunsOf(alpha) = %v", of)
+	}
+	if len(g.RunsOf("zeta")) != 1 {
+		t.Fatalf("RunsOf(zeta) = %v", g.RunsOf("zeta"))
+	}
+}
+
+// TestEngineBuiltOnce hammers one run's engine from many goroutines: the
+// builder must fire exactly once and every caller must see the same engine.
+func TestEngineBuiltOnce(t *testing.T) {
+	g, builds := newTest()
+	if err := g.PutSpec("w", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PutRun("r", "w", "run"); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 64
+	got := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, ok := g.Engine("r")
+			if !ok {
+				t.Error("Engine(r) not found")
+				return
+			}
+			got[i] = e
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builder fired %d times, want 1", n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d saw engine %d, goroutine 0 saw %d", i, got[i], got[0])
+		}
+	}
+}
+
+// TestConcurrentRegistration races registrations against lookups and
+// engine builds across many distinct names (run under -race in CI).
+func TestConcurrentRegistration(t *testing.T) {
+	g, builds := newTest()
+	if err := g.PutSpec("w", "s"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("run-%d", i)
+			if err := g.PutRun(name, "w", name); err != nil {
+				t.Errorf("PutRun(%s): %v", name, err)
+				return
+			}
+			if _, ok := g.Engine(name); !ok {
+				t.Errorf("Engine(%s) missing right after PutRun", name)
+			}
+			g.RunNames()
+			g.RunsOf("w")
+		}(i)
+	}
+	wg.Wait()
+	if _, nr := g.Len(); nr != n {
+		t.Fatalf("registered %d runs, want %d", nr, n)
+	}
+	if b := builds.Load(); b != n {
+		t.Fatalf("builder fired %d times, want %d", b, n)
+	}
+}

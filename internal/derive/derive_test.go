@@ -346,6 +346,13 @@ func TestDecodeRunErrors(t *testing.T) {
 	if _, err := DecodeRun(spec, []byte(`{"nodes":[{"name":"a:1","module":"a","label":"!!!"}]}`)); err == nil {
 		t.Error("bad base64 should fail")
 	}
+	twoNodes := `{"nodes":[{"name":"a:1","module":"a","label":""},{"name":"a:2","module":"a","label":""}],`
+	if _, err := DecodeRun(spec, []byte(twoNodes+`"edges":[{"From":0,"To":1,"Tag":"zzz"}]}`)); err == nil {
+		t.Error("edge tag outside the specification's alphabet should fail")
+	}
+	if _, err := DecodeRun(spec, []byte(twoNodes+`"edges":[{"From":0,"To":-1,"Tag":"zzz"}]}`)); err == nil {
+		t.Error("negative edge endpoint should fail")
+	}
 }
 
 func mustBuild(t *testing.T, b *wf.Builder) *wf.Spec {

@@ -61,9 +61,18 @@ func DecodeRun(spec *wf.Spec, data []byte) (*Run, error) {
 		}
 		r.Nodes = append(r.Nodes, Node{Module: m, Name: nj.Name, Label: lab})
 	}
-	for _, e := range r.Edges {
+	alphabet := map[string]bool{}
+	for _, t := range spec.Tags() {
+		alphabet[t] = true
+	}
+	for i, e := range r.Edges {
 		if e.From < 0 || int(e.From) >= len(r.Nodes) || e.To < 0 || int(e.To) >= len(r.Nodes) {
-			return nil, fmt.Errorf("derive: edge %v out of range", e)
+			return nil, fmt.Errorf("derive: edge %d (%d -[%s]-> %d): endpoint out of range [0,%d)",
+				i, e.From, e.Tag, e.To, len(r.Nodes))
+		}
+		if !alphabet[e.Tag] {
+			return nil, fmt.Errorf("derive: edge %d (%s -> %s): tag %q not in the specification's alphabet",
+				i, r.Nodes[e.From].Name, r.Nodes[e.To].Name, e.Tag)
 		}
 	}
 	r.finish()

@@ -1,0 +1,561 @@
+// Package server exposes a Catalog over HTTP/JSON — the paper's serving
+// scenario: provenance labels are computed once at derivation time, then
+// many clients answer many queries from stored labels alone.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/specs     register a specification   {"name", "spec"}
+//	GET  /v1/specs     list specifications
+//	POST /v1/runs      upload or derive a run     {"name", "spec", "run"|"derive"}
+//	GET  /v1/runs      list runs
+//	POST /v1/evaluate  full evaluation on one run {"run", "query", "count_only"?}
+//	POST /v1/pairwise  one pair on one run        {"run", "query", "from", "to"}
+//	POST /v1/batch     runs × queries fan-out     {"runs"?, "queries", "count_only"?}
+//	GET  /healthz      liveness (never limited)
+//	GET  /statsz       plan-cache / worker-pool / request metrics (never limited)
+//
+// Errors share one shape: {"error": {"code": "...", "message": "..."}}.
+// The handler enforces a bounded number of in-flight requests (excess
+// requests are rejected immediately with 429, protecting latency under
+// overload) and a per-request timeout (503 on expiry).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"provrpq"
+)
+
+// DefaultTimeout bounds one request's total handling time.
+const DefaultTimeout = 30 * time.Second
+
+// DefaultMaxInFlight bounds concurrently-served requests.
+const DefaultMaxInFlight = 64
+
+// maxBodyBytes bounds one request body (runs of millions of edges fit
+// comfortably; unbounded bodies would let one client exhaust memory).
+const maxBodyBytes = 1 << 28
+
+// Options configure a Server.
+type Options struct {
+	// Timeout bounds one request's handling time (0 selects DefaultTimeout,
+	// negative disables the limit).
+	Timeout time.Duration
+	// MaxInFlight bounds concurrently-served requests (0 selects
+	// DefaultMaxInFlight, negative disables the limit).
+	MaxInFlight int
+}
+
+// Server serves a Catalog over HTTP. Create with New, mount via Handler.
+type Server struct {
+	cat         *provrpq.Catalog
+	timeout     time.Duration
+	maxInFlight int
+	sem         chan struct{}
+
+	requests atomic.Uint64 // every request reaching the JSON routes, admitted or not
+	rejected atomic.Uint64 // turned away by the in-flight limit (a subset of requests)
+	failed   atomic.Uint64 // error responses from routed handlers (rejections and timeouts excluded)
+	inFlight atomic.Int64  // handlers currently doing work (held across a timeout)
+
+	// testDelay, when set (tests only), runs inside the timeout scope
+	// before every routed request, making deadline expiry deterministic.
+	testDelay func()
+}
+
+// New returns a server over the catalog.
+func New(cat *provrpq.Catalog, opts Options) *Server {
+	s := &Server{cat: cat, timeout: opts.Timeout, maxInFlight: opts.MaxInFlight}
+	if s.timeout == 0 {
+		s.timeout = DefaultTimeout
+	}
+	if s.maxInFlight == 0 {
+		s.maxInFlight = DefaultMaxInFlight
+	}
+	if s.maxInFlight > 0 {
+		s.sem = make(chan struct{}, s.maxInFlight)
+	}
+	return s
+}
+
+// Handler returns the fully-wrapped HTTP handler: JSON routes behind the
+// in-flight limiter and the request timeout, with /healthz outside both so
+// liveness probes succeed even under overload.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/specs", s.handleRegisterSpec)
+	mux.HandleFunc("GET /v1/specs", s.handleListSpecs)
+	mux.HandleFunc("POST /v1/runs", s.handleAddRun)
+	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/pairwise", s.handlePairwise)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusNotFound, "not_found", "no such endpoint: "+r.URL.Path)
+	})
+
+	var inner http.Handler = mux
+	if s.testDelay != nil {
+		base, delay := inner, s.testDelay
+		inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			delay()
+			base.ServeHTTP(w, r)
+		})
+	}
+	// work runs on the TimeoutHandler's handler goroutine, so its defers
+	// fire when the routed handler actually finishes — a timed-out request
+	// keeps holding its in-flight slot while its evaluation keeps running
+	// (evaluation is not cancellable); the bound limits real concurrent
+	// work, not just unanswered connections.
+	work := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			defer func() { <-s.sem }()
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		inner.ServeHTTP(w, r)
+	}))
+	if s.timeout > 0 {
+		work = http.TimeoutHandler(work, s.timeout,
+			`{"error":{"code":"timeout","message":"request exceeded the server's handling deadline"}}`)
+	}
+	limited := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every response below is JSON, including the TimeoutHandler's 503
+		// body (which writes without setting a Content-Type itself);
+		// handlers that produce something else override this.
+		w.Header().Set("Content-Type", "application/json")
+		s.requests.Add(1)
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				// Released by the work wrapper when the handler finishes.
+			default:
+				s.rejected.Add(1)
+				// Not routed through writeError: a rejection is tallied in
+				// rejected, never double-counted in failed.
+				var body errorBody
+				body.Error.Code = "overloaded"
+				body.Error.Message = fmt.Sprintf("server is at its in-flight request limit (%d)", s.maxInFlight)
+				s.writeJSON(w, http.StatusTooManyRequests, body)
+				return
+			}
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		work.ServeHTTP(w, r)
+	}))
+
+	// healthz and statsz live outside the limiter and the timeout: probes
+	// must succeed and metrics must stay readable precisely when the
+	// server is saturated — both are a handful of atomic loads.
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /healthz", s.handleHealth)
+	outer.HandleFunc("GET /statsz", s.handleStats)
+	outer.Handle("/", limited)
+	return outer
+}
+
+// ---- request / response shapes ----
+
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+type registerSpecRequest struct {
+	Name string          `json:"name"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+type specInfo struct {
+	Name string   `json:"name"`
+	Size int      `json:"size"`
+	Tags []string `json:"tags"`
+	Runs []string `json:"runs,omitempty"`
+}
+
+type deriveRequest struct {
+	Seed              int64          `json:"seed"`
+	TargetEdges       int            `json:"target_edges"`
+	MaxRecursionDepth int            `json:"max_recursion_depth"`
+	FavorModule       string         `json:"favor_module"`
+	FavorModules      []string       `json:"favor_modules"`
+	FavorCaps         map[string]int `json:"favor_caps"`
+}
+
+type addRunRequest struct {
+	Name   string          `json:"name"`
+	Spec   string          `json:"spec"`
+	Run    json.RawMessage `json:"run"`
+	Derive *deriveRequest  `json:"derive"`
+}
+
+type runInfo struct {
+	Name  string `json:"name"`
+	Spec  string `json:"spec"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+type evaluateRequest struct {
+	Run       string `json:"run"`
+	Query     string `json:"query"`
+	CountOnly bool   `json:"count_only"`
+}
+
+type pairJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+type evaluateResponse struct {
+	Run   string     `json:"run"`
+	Query string     `json:"query"`
+	Safe  bool       `json:"safe"`
+	Count int        `json:"count"`
+	Pairs []pairJSON `json:"pairs,omitempty"`
+}
+
+type pairwiseRequest struct {
+	Run   string `json:"run"`
+	Query string `json:"query"`
+	From  string `json:"from"`
+	To    string `json:"to"`
+}
+
+type pairwiseResponse struct {
+	Run   string `json:"run"`
+	Query string `json:"query"`
+	Safe  bool   `json:"safe"`
+	Match bool   `json:"match"`
+}
+
+type batchRequest struct {
+	Runs      []string `json:"runs"`
+	Queries   []string `json:"queries"`
+	CountOnly bool     `json:"count_only"`
+}
+
+type batchItem struct {
+	Run   string     `json:"run"`
+	Query string     `json:"query"`
+	Count int        `json:"count"`
+	Pairs []pairJSON `json:"pairs,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+}
+
+type cacheStatsJSON struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Plans     int    `json:"plans"`
+}
+
+type statsResponse struct {
+	Specs       int            `json:"specs"`
+	Runs        int            `json:"runs"`
+	PlanCache   cacheStatsJSON `json:"plan_cache"`
+	Workers     int            `json:"workers"`
+	Requests    uint64         `json:"requests"`
+	Rejected    uint64         `json:"rejected"`
+	Failed      uint64         `json:"failed"`
+	InFlight    int64          `json:"in_flight"`
+	MaxInFlight int            `json:"max_in_flight"`
+	TimeoutMS   int64          `json:"timeout_ms"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	cs := s.cat.Stats()
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		Specs: cs.Specs,
+		Runs:  cs.Runs,
+		PlanCache: cacheStatsJSON{
+			Hits:      cs.PlanCache.Hits,
+			Misses:    cs.PlanCache.Misses,
+			Evictions: cs.PlanCache.Evictions,
+			Plans:     cs.PlanCache.Plans,
+		},
+		Workers:     cs.Workers,
+		Requests:    s.requests.Load(),
+		Rejected:    s.rejected.Load(),
+		Failed:      s.failed.Load(),
+		InFlight:    s.inFlight.Load(),
+		MaxInFlight: s.maxInFlight,
+		TimeoutMS:   s.timeout.Milliseconds(),
+	})
+}
+
+func (s *Server) handleRegisterSpec(w http.ResponseWriter, r *http.Request) {
+	var req registerSpecRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" || len(req.Spec) == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", `"name" and "spec" are required`)
+		return
+	}
+	spec := &provrpq.Spec{}
+	if err := spec.UnmarshalJSON(req.Spec); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
+		return
+	}
+	if err := s.cat.RegisterSpec(req.Name, spec); err != nil {
+		s.writeCatalogError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, specInfo{Name: req.Name, Size: spec.Size(), Tags: spec.Tags()})
+}
+
+func (s *Server) handleListSpecs(w http.ResponseWriter, _ *http.Request) {
+	var out []specInfo
+	for _, name := range s.cat.SpecNames() {
+		spec, ok := s.cat.Spec(name)
+		if !ok {
+			continue
+		}
+		out = append(out, specInfo{
+			Name: name,
+			Size: spec.Size(),
+			Tags: spec.Tags(),
+			Runs: s.cat.RunsOfSpec(name),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"specs": out})
+}
+
+func (s *Server) handleAddRun(w http.ResponseWriter, r *http.Request) {
+	var req addRunRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.Spec == "" {
+		s.writeError(w, http.StatusBadRequest, "bad_request", `"name" and "spec" are required`)
+		return
+	}
+	if (len(req.Run) == 0) == (req.Derive == nil) {
+		s.writeError(w, http.StatusBadRequest, "bad_request", `exactly one of "run" and "derive" is required`)
+		return
+	}
+	spec, ok := s.cat.Spec(req.Spec)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("specification %q is not registered", req.Spec))
+		return
+	}
+	var run *provrpq.Run
+	if req.Derive != nil {
+		var err error
+		run, err = s.cat.DeriveRun(req.Name, req.Spec, provrpq.DeriveOptions{
+			Seed:              req.Derive.Seed,
+			TargetEdges:       req.Derive.TargetEdges,
+			MaxRecursionDepth: req.Derive.MaxRecursionDepth,
+			FavorModule:       req.Derive.FavorModule,
+			FavorModules:      req.Derive.FavorModules,
+			FavorCaps:         req.Derive.FavorCaps,
+		})
+		if err != nil {
+			if errors.Is(err, provrpq.ErrAlreadyRegistered) {
+				s.writeError(w, http.StatusConflict, "conflict", err.Error())
+			} else {
+				s.writeError(w, http.StatusBadRequest, "bad_derive", err.Error())
+			}
+			return
+		}
+	} else {
+		var err error
+		run, err = provrpq.DecodeRun(spec, req.Run)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_run", err.Error())
+			return
+		}
+		if err := s.cat.AddRun(req.Name, req.Spec, run); err != nil {
+			s.writeCatalogError(w, err)
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusCreated, runInfo{
+		Name: req.Name, Spec: req.Spec, Nodes: run.NumNodes(), Edges: run.NumEdges(),
+	})
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, _ *http.Request) {
+	var out []runInfo
+	for _, name := range s.cat.RunNames() {
+		run, ok := s.cat.Run(name)
+		if !ok {
+			continue
+		}
+		specName, _ := s.cat.RunSpecName(name)
+		out = append(out, runInfo{Name: name, Spec: specName, Nodes: run.NumNodes(), Edges: run.NumEdges()})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	eng, q, ok := s.resolve(w, req.Run, req.Query)
+	if !ok {
+		return
+	}
+	safe, err := eng.IsSafe(q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return
+	}
+	pairs, err := eng.Evaluate(q)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "evaluate_failed", err.Error())
+		return
+	}
+	resp := evaluateResponse{Run: req.Run, Query: q.String(), Safe: safe, Count: len(pairs)}
+	if !req.CountOnly {
+		resp.Pairs = toPairJSON(eng.Run(), pairs)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePairwise(w http.ResponseWriter, r *http.Request) {
+	var req pairwiseRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	eng, q, ok := s.resolve(w, req.Run, req.Query)
+	if !ok {
+		return
+	}
+	u, uok := eng.Run().NodeByName(req.From)
+	v, vok := eng.Run().NodeByName(req.To)
+	if !uok || !vok {
+		missing := req.From
+		if uok {
+			missing = req.To
+		}
+		s.writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("node %q not in run %q", missing, req.Run))
+		return
+	}
+	safe, err := eng.IsSafe(q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return
+	}
+	match, err := eng.Pairwise(q, u, v)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "evaluate_failed", err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, pairwiseResponse{Run: req.Run, Query: q.String(), Safe: safe, Match: match})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", `"queries" must be non-empty`)
+		return
+	}
+	queries := make([]*provrpq.Query, len(req.Queries))
+	for i, qs := range req.Queries {
+		q, err := provrpq.ParseQuery(qs)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_query", fmt.Sprintf("query %d (%q): %v", i, qs, err))
+			return
+		}
+		queries[i] = q
+	}
+	results := s.cat.EvaluateBatch(req.Runs, queries)
+	resp := batchResponse{Results: make([]batchItem, len(results))}
+	for i, res := range results {
+		item := batchItem{Run: res.Run, Query: res.Query, Count: len(res.Pairs)}
+		if res.Err != nil {
+			item.Error = res.Err.Error()
+		} else if !req.CountOnly {
+			if run, ok := s.cat.Run(res.Run); ok {
+				item.Pairs = toPairJSON(run, res.Pairs)
+			}
+		}
+		resp.Results[i] = item
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// resolve maps (run name, query string) to an engine and parsed query,
+// answering 404/400 itself on failure.
+func (s *Server) resolve(w http.ResponseWriter, runName, queryStr string) (*provrpq.Engine, *provrpq.Query, bool) {
+	if runName == "" || queryStr == "" {
+		s.writeError(w, http.StatusBadRequest, "bad_request", `"run" and "query" are required`)
+		return nil, nil, false
+	}
+	eng, err := s.cat.Engine(runName)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return nil, nil, false
+	}
+	q, err := provrpq.ParseQuery(queryStr)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return nil, nil, false
+	}
+	return eng, q, true
+}
+
+func toPairJSON(run *provrpq.Run, pairs []provrpq.Pair) []pairJSON {
+	out := make([]pairJSON, len(pairs))
+	for i, p := range pairs {
+		out[i] = pairJSON{From: run.NodeName(p.From), To: run.NodeName(p.To)}
+	}
+	return out
+}
+
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeCatalogError maps a catalog registration error: a duplicate name
+// is a 409 conflict, anything else is the client's bad input.
+func (s *Server) writeCatalogError(w http.ResponseWriter, err error) {
+	if errors.Is(err, provrpq.ErrAlreadyRegistered) {
+		s.writeError(w, http.StatusConflict, "conflict", err.Error())
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
+	s.failed.Add(1)
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = message
+	s.writeJSON(w, status, body)
+}

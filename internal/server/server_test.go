@@ -1,0 +1,546 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"provrpq"
+)
+
+// introSpec is the workflow of the paper's introduction (same shape as the
+// root package's test fixture).
+func introSpec(t testing.TB) *provrpq.Spec {
+	t.Helper()
+	spec, err := provrpq.NewSpecBuilder().
+		Start("W").
+		Chain("W", "ingest", "Analysis", "post", "publish").
+		Prod("Analysis", []string{"tool1", "Analysis", "result"},
+			[]provrpq.BodyEdge{{From: 0, To: 1, Tag: "a1"}, {From: 1, To: 2, Tag: "s"}}).
+		Prod("Analysis", []string{"tool2", "result"},
+			[]provrpq.BodyEdge{{From: 0, To: 1, Tag: "s"}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+type testClient struct {
+	t    testing.TB
+	base string
+	hc   *http.Client
+}
+
+// do posts (or gets, body == nil) and decodes the JSON response into out,
+// asserting the status code.
+func (c *testClient) do(method, path string, body any, wantStatus int, out any) {
+	c.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		c.t.Fatalf("%s %s = %d, want %d; body: %s", method, path, resp.StatusCode, wantStatus, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			c.t.Fatalf("%s %s: bad response JSON %q: %v", method, path, raw, err)
+		}
+	}
+}
+
+// newService stands up a catalog, server and httptest front end.
+func newService(t testing.TB, opts Options) (*provrpq.Catalog, *testClient) {
+	t.Helper()
+	cat := provrpq.NewCatalog(provrpq.CatalogOptions{})
+	ts := httptest.NewServer(New(cat, opts).Handler())
+	t.Cleanup(ts.Close)
+	return cat, &testClient{t: t, base: ts.URL, hc: ts.Client()}
+}
+
+// registerFixture registers the intro spec and derives three runs via HTTP.
+func registerFixture(t testing.TB, c *testClient) []string {
+	t.Helper()
+	specJSON, err := introSpec(t).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.do("POST", "/v1/specs", map[string]any{"name": "intro", "spec": json.RawMessage(specJSON)},
+		http.StatusCreated, nil)
+	runs := []string{"run-a", "run-b", "run-c"}
+	for i, name := range runs {
+		c.do("POST", "/v1/runs", map[string]any{
+			"name": name, "spec": "intro",
+			"derive": map[string]any{"seed": i + 1, "target_edges": 120 + 60*i},
+		}, http.StatusCreated, nil)
+	}
+	return runs
+}
+
+// TestServerEndToEnd is the acceptance scenario: one spec, three runs,
+// concurrent batch queries from 8 goroutines whose results must match
+// direct Engine.Evaluate, with plan-cache hits above misses at the end.
+func TestServerEndToEnd(t *testing.T) {
+	cat, c := newService(t, Options{})
+	runs := registerFixture(t, c)
+	queries := []string{"_*.s._*.publish", "ingest._*", "_*.a1._*"}
+
+	// Ground truth straight from the engines (same catalog the server
+	// uses): the full pair lists, rendered the way the wire format does.
+	want := map[string][]string{}
+	for _, rn := range runs {
+		eng, err := cat.Engine(rn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qs := range queries {
+			q, err := provrpq.ParseQuery(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairs, err := eng.Evaluate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rendered := make([]string, len(pairs))
+			for i, p := range pairs {
+				rendered[i] = eng.Run().NodeName(p.From) + "->" + eng.Run().NodeName(p.To)
+			}
+			want[rn+"|"+q.String()] = rendered
+		}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				var resp struct {
+					Results []struct {
+						Run   string `json:"run"`
+						Query string `json:"query"`
+						Count int    `json:"count"`
+						Pairs []struct {
+							From string `json:"from"`
+							To   string `json:"to"`
+						} `json:"pairs"`
+						Error string `json:"error"`
+					} `json:"results"`
+				}
+				c.do("POST", "/v1/batch", map[string]any{"runs": runs, "queries": queries},
+					http.StatusOK, &resp)
+				if len(resp.Results) != len(runs)*len(queries) {
+					t.Errorf("goroutine %d: %d results, want %d", g, len(resp.Results), len(runs)*len(queries))
+					return
+				}
+				for _, res := range resp.Results {
+					if res.Error != "" {
+						t.Errorf("goroutine %d: (%s, %s) failed: %s", g, res.Run, res.Query, res.Error)
+						return
+					}
+					w, ok := want[res.Run+"|"+res.Query]
+					if !ok {
+						t.Errorf("goroutine %d: unexpected cell (%s, %s)", g, res.Run, res.Query)
+						return
+					}
+					if res.Count != len(w) || len(res.Pairs) != len(w) {
+						t.Errorf("goroutine %d: (%s, %s) = %d pairs (count %d), want %d",
+							g, res.Run, res.Query, len(res.Pairs), res.Count, len(w))
+						return
+					}
+					for i, p := range res.Pairs {
+						if p.From+"->"+p.To != w[i] {
+							t.Errorf("goroutine %d: (%s, %s) pair %d = %s->%s, want %s",
+								g, res.Run, res.Query, i, p.From, p.To, w[i])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var stats struct {
+		Specs     int `json:"specs"`
+		Runs      int `json:"runs"`
+		PlanCache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"plan_cache"`
+		Requests uint64 `json:"requests"`
+	}
+	c.do("GET", "/statsz", nil, http.StatusOK, &stats)
+	if stats.Specs != 1 || stats.Runs != 3 {
+		t.Errorf("statsz reports %d specs / %d runs, want 1 / 3", stats.Specs, stats.Runs)
+	}
+	if stats.PlanCache.Hits <= stats.PlanCache.Misses {
+		t.Errorf("plan cache should hit more than it misses across runs of one spec: %+v", stats.PlanCache)
+	}
+	if stats.Requests == 0 {
+		t.Error("request counter did not move")
+	}
+}
+
+func TestServerCatalogEndpoints(t *testing.T) {
+	cat, c := newService(t, Options{})
+	runs := registerFixture(t, c)
+
+	var specs struct {
+		Specs []struct {
+			Name string   `json:"name"`
+			Size int      `json:"size"`
+			Tags []string `json:"tags"`
+			Runs []string `json:"runs"`
+		} `json:"specs"`
+	}
+	c.do("GET", "/v1/specs", nil, http.StatusOK, &specs)
+	if len(specs.Specs) != 1 || specs.Specs[0].Name != "intro" {
+		t.Fatalf("specs listing = %+v", specs)
+	}
+	if len(specs.Specs[0].Runs) != 3 || specs.Specs[0].Size == 0 || len(specs.Specs[0].Tags) == 0 {
+		t.Fatalf("spec info incomplete: %+v", specs.Specs[0])
+	}
+
+	var runList struct {
+		Runs []struct {
+			Name  string `json:"name"`
+			Spec  string `json:"spec"`
+			Nodes int    `json:"nodes"`
+			Edges int    `json:"edges"`
+		} `json:"runs"`
+	}
+	c.do("GET", "/v1/runs", nil, http.StatusOK, &runList)
+	if len(runList.Runs) != 3 {
+		t.Fatalf("runs listing = %+v", runList)
+	}
+	for _, ri := range runList.Runs {
+		if ri.Spec != "intro" || ri.Nodes == 0 || ri.Edges == 0 {
+			t.Fatalf("run info incomplete: %+v", ri)
+		}
+	}
+
+	// Upload path: encode a run derived from the registered spec object.
+	spec, _ := cat.Spec("intro")
+	nat, err := spec.Derive(provrpq.DeriveOptions{Seed: 99, TargetEdges: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := provrpq.EncodeRun(nat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.do("POST", "/v1/runs", map[string]any{
+		"name": "uploaded", "spec": "intro", "run": json.RawMessage(data),
+	}, http.StatusCreated, nil)
+	if _, err := cat.Engine("uploaded"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evaluate + pairwise agree on one run.
+	var ev struct {
+		Safe  bool `json:"safe"`
+		Count int  `json:"count"`
+		Pairs []struct {
+			From string `json:"from"`
+			To   string `json:"to"`
+		} `json:"pairs"`
+	}
+	c.do("POST", "/v1/evaluate", map[string]any{"run": runs[0], "query": "_*.s._*.publish"},
+		http.StatusOK, &ev)
+	if ev.Count == 0 || len(ev.Pairs) != ev.Count {
+		t.Fatalf("evaluate = %+v", ev)
+	}
+	var pw struct {
+		Match bool `json:"match"`
+	}
+	c.do("POST", "/v1/pairwise", map[string]any{
+		"run": runs[0], "query": "_*.s._*.publish", "from": ev.Pairs[0].From, "to": ev.Pairs[0].To,
+	}, http.StatusOK, &pw)
+	if !pw.Match {
+		t.Errorf("pairwise disagrees with evaluate on %+v", ev.Pairs[0])
+	}
+
+	// count_only drops the pair lists.
+	var evCount struct {
+		Count int             `json:"count"`
+		Pairs json.RawMessage `json:"pairs"`
+	}
+	c.do("POST", "/v1/evaluate", map[string]any{"run": runs[0], "query": "_*.s._*.publish", "count_only": true},
+		http.StatusOK, &evCount)
+	if evCount.Count != ev.Count || len(evCount.Pairs) != 0 {
+		t.Errorf("count_only evaluate = %+v", evCount)
+	}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	c.do("GET", "/healthz", nil, http.StatusOK, &health)
+	if health.Status != "ok" {
+		t.Errorf("healthz = %+v", health)
+	}
+}
+
+func TestServerErrorShape(t *testing.T) {
+	_, c := newService(t, Options{})
+	registerFixture(t, c)
+
+	check := func(method, path string, body any, wantStatus int, wantCode string) {
+		t.Helper()
+		var eb struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		c.do(method, path, body, wantStatus, &eb)
+		if eb.Error.Code != wantCode || eb.Error.Message == "" {
+			t.Errorf("%s %s: error = %+v, want code %q with a message", method, path, eb.Error, wantCode)
+		}
+	}
+
+	check("POST", "/v1/specs", map[string]any{"name": "intro", "spec": mustSpecJSON(t)},
+		http.StatusConflict, "conflict")
+	check("POST", "/v1/specs", map[string]any{"name": ""}, http.StatusBadRequest, "bad_request")
+	check("POST", "/v1/runs", map[string]any{"name": "r9", "spec": "ghost", "derive": map[string]any{}},
+		http.StatusNotFound, "not_found")
+	check("POST", "/v1/runs", map[string]any{"name": "run-a", "spec": "intro", "derive": map[string]any{}},
+		http.StatusConflict, "conflict")
+	check("POST", "/v1/runs", map[string]any{
+		"name": "r9", "spec": "intro", "derive": map[string]any{"favor_module": "nope"},
+	}, http.StatusBadRequest, "bad_derive")
+	check("POST", "/v1/runs", map[string]any{"name": "r9", "spec": "intro"},
+		http.StatusBadRequest, "bad_request")
+	check("POST", "/v1/runs", map[string]any{
+		"name": "r9", "spec": "intro", "run": json.RawMessage(`{"nodes":[{"name":"x:1","module":"nope","label":""}]}`),
+	}, http.StatusBadRequest, "bad_run")
+	check("POST", "/v1/evaluate", map[string]any{"run": "ghost", "query": "_*"},
+		http.StatusNotFound, "not_found")
+	check("POST", "/v1/evaluate", map[string]any{"run": "run-a", "query": "(("},
+		http.StatusBadRequest, "bad_query")
+	check("POST", "/v1/pairwise", map[string]any{"run": "run-a", "query": "_*", "from": "nope:1", "to": "nope:2"},
+		http.StatusNotFound, "not_found")
+	check("POST", "/v1/batch", map[string]any{"runs": []string{"run-a"}, "queries": []string{}},
+		http.StatusBadRequest, "bad_request")
+	check("POST", "/v1/batch", map[string]any{"runs": []string{"run-a"}, "queries": []string{"(("}},
+		http.StatusBadRequest, "bad_query")
+	check("GET", "/v1/nope", nil, http.StatusNotFound, "not_found")
+
+	// Unknown runs inside a batch are per-item errors, not request errors.
+	var batch struct {
+		Results []struct {
+			Run   string `json:"run"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	c.do("POST", "/v1/batch", map[string]any{"runs": []string{"run-a", "ghost"}, "queries": []string{"_*"}},
+		http.StatusOK, &batch)
+	if len(batch.Results) != 2 || batch.Results[0].Error != "" || batch.Results[1].Error == "" {
+		t.Errorf("batch per-item errors = %+v", batch.Results)
+	}
+}
+
+func mustSpecJSON(t testing.TB) json.RawMessage {
+	t.Helper()
+	data, err := introSpec(t).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestServerInFlightLimit saturates a 1-slot server and verifies the next
+// request is rejected with 429 and the error shape, while /healthz (which
+// bypasses the limiter) keeps answering.
+func TestServerInFlightLimit(t *testing.T) {
+	cat := provrpq.NewCatalog(provrpq.CatalogOptions{})
+	srv := New(cat, Options{MaxInFlight: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.sem <- struct{}{} // hold the only slot, as an in-flight request would
+	resp, err := ts.Client().Get(ts.URL + "/v1/specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+	}
+	var eb struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "overloaded" {
+		t.Errorf("rejection code = %q, want overloaded", eb.Error.Code)
+	}
+
+	// healthz and statsz stay reachable even while saturated.
+	for _, path := range []string{"/healthz", "/statsz"} {
+		hr, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d under load, want 200", path, hr.StatusCode)
+		}
+	}
+
+	<-srv.sem // release; normal service resumes
+	ok, err := ts.Client().Get(ts.URL + "/v1/specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Errorf("released server answered %d, want 200", ok.StatusCode)
+	}
+}
+
+// TestServerTimeout pins a delay longer than the deadline inside the
+// timeout scope; the request must come back 503 with the timeout body —
+// and because evaluation is not cancellable, the timed-out request must
+// keep holding its in-flight slot until the work actually finishes, so
+// the limit bounds real concurrent work.
+func TestServerTimeout(t *testing.T) {
+	release := make(chan struct{})
+	cat := provrpq.NewCatalog(provrpq.CatalogOptions{})
+	srv := New(cat, Options{Timeout: 5 * time.Millisecond, MaxInFlight: 1})
+	srv.testDelay = func() { <-release }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request answered %d, want 503", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("timeout Content-Type = %q, want application/json", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), "timeout") {
+		t.Errorf("timeout body = %s", raw)
+	}
+
+	// The 503 went out, but the handler goroutine is still blocked in
+	// testDelay: the slot must still be occupied.
+	busy, err := ts.Client().Get(ts.URL + "/v1/specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy.Body.Close()
+	if busy.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request during a timed-out handler answered %d, want 429 (slot released too early)", busy.StatusCode)
+	}
+
+	// healthz sits outside both wrappers and still answers.
+	hr, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", hr.StatusCode)
+	}
+
+	// Once the stuck work finishes the slot frees up again.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok, err := ts.Client().Get(ts.URL + "/v1/specs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok.Body.Close()
+		if ok.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never released after work finished (last status %d)", ok.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// BenchmarkServerBatch measures end-to-end batch throughput over HTTP:
+// one spec, three runs, three queries per request. It reports
+// queries/sec — one "query" being one (run, query) cell.
+func BenchmarkServerBatch(b *testing.B) {
+	cat := provrpq.NewCatalog(provrpq.CatalogOptions{})
+	if err := cat.RegisterSpec("intro", introSpec(b)); err != nil {
+		b.Fatal(err)
+	}
+	runs := []string{"run-a", "run-b", "run-c"}
+	for i, name := range runs {
+		if _, err := cat.DeriveRun(name, "intro", provrpq.DeriveOptions{Seed: int64(i + 1), TargetEdges: 500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(New(cat, Options{}).Handler())
+	defer ts.Close()
+	queries := []string{"_*.s._*.publish", "ingest._*", "_*.s._*"}
+	body, err := json.Marshal(map[string]any{"runs": runs, "queries": queries, "count_only": true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := len(runs) * len(queries)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("batch = %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "queries/sec")
+}

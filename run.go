@@ -66,10 +66,30 @@ func (r *Run) Edges() []Edge {
 	return out
 }
 
+// EncodeRun serializes the run to JSON (labels varint-packed and
+// base64-wrapped; the specification is not included — keep its JSON
+// alongside, or register both in a Catalog).
+func EncodeRun(r *Run) ([]byte, error) {
+	return derive.EncodeRun(r.r)
+}
+
+// DecodeRun deserializes a run against its specification, validating node
+// modules, labels and edge tags against the grammar: a payload referencing
+// an unknown module, a structurally invalid label, an out-of-range edge or
+// a tag outside the specification's alphabet Γ is rejected with a
+// positioned error.
+func DecodeRun(spec *Spec, data []byte) (*Run, error) {
+	dr, err := derive.DecodeRun(spec.s, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{r: dr, spec: spec}, nil
+}
+
 // SaveRun writes the run to a JSON file (labels varint-packed; pair it with
 // SaveSpec for the grammar).
 func SaveRun(path string, r *Run) error {
-	data, err := derive.EncodeRun(r.r)
+	data, err := EncodeRun(r)
 	if err != nil {
 		return err
 	}
@@ -82,11 +102,11 @@ func LoadRun(path string, spec *Spec) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	dr, err := derive.DecodeRun(spec.s, data)
+	r, err := DecodeRun(spec, data)
 	if err != nil {
 		return nil, fmt.Errorf("provrpq: %s: %w", path, err)
 	}
-	return &Run{r: dr, spec: spec}, nil
+	return r, nil
 }
 
 func fromDerive(ids []derive.NodeID) []NodeID {

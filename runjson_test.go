@@ -1,0 +1,142 @@
+package provrpq
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunJSONRoundTrip1K encodes a ~1K-edge derived run and verifies the
+// decoded run is equal: node names, modules, labels, edges, and the
+// results of a query evaluated on both.
+func TestRunJSONRoundTrip1K(t *testing.T) {
+	spec := introSpec(t)
+	run, err := spec.Derive(DeriveOptions{Seed: 11, TargetEdges: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.NumEdges() < 900 {
+		t.Fatalf("derived only %d edges; want ~1K", run.NumEdges())
+	}
+	data, err := EncodeRun(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRun(spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != run.NumNodes() || back.NumEdges() != run.NumEdges() {
+		t.Fatalf("sizes changed: (%d, %d) -> (%d, %d)",
+			run.NumNodes(), run.NumEdges(), back.NumNodes(), back.NumEdges())
+	}
+	for _, id := range run.AllNodes() {
+		if run.NodeName(id) != back.NodeName(id) ||
+			run.NodeModule(id) != back.NodeModule(id) ||
+			run.NodeLabel(id) != back.NodeLabel(id) {
+			t.Fatalf("node %d changed in round trip", id)
+		}
+	}
+	re, be := run.Edges(), back.Edges()
+	for i := range re {
+		if re[i] != be[i] {
+			t.Fatalf("edge %d changed: %v -> %v", i, re[i], be[i])
+		}
+	}
+	q := MustParseQuery("_*.s._*.publish")
+	p1, err := NewEngine(run).Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewEngine(back).Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("query results changed: %d vs %d pairs", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("pair %d changed: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestDecodeRunRejects covers the decode error paths, each with a
+// positioned message: unknown module, corrupt base64 label, out-of-range
+// edge, and an edge tag outside the specification's alphabet Γ.
+func TestDecodeRunRejects(t *testing.T) {
+	spec := introSpec(t)
+	run, err := spec.Derive(DeriveOptions{Seed: 3, TargetEdges: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := EncodeRun(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the good payload through a generic JSON map so the cases stay
+	// in sync with the real wire format.
+	mutate := func(f func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(good, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	node := func(m map[string]any, i int) map[string]any {
+		return m["nodes"].([]any)[i].(map[string]any)
+	}
+	edge := func(m map[string]any, i int) map[string]any {
+		return m["edges"].([]any)[i].(map[string]any)
+	}
+
+	cases := []struct {
+		name    string
+		payload []byte
+		wantSub string
+	}{
+		{
+			"unknown module",
+			mutate(func(m map[string]any) { node(m, 0)["module"] = "nonexistent" }),
+			"unknown module",
+		},
+		{
+			"corrupt base64 label",
+			mutate(func(m map[string]any) { node(m, 0)["label"] = "!!!not-base64!!!" }),
+			"bad label encoding",
+		},
+		{
+			"out-of-range edge",
+			mutate(func(m map[string]any) { edge(m, 0)["To"] = float64(run.NumNodes() + 7) }),
+			"out of range",
+		},
+		{
+			"tag outside alphabet",
+			mutate(func(m map[string]any) { edge(m, 0)["Tag"] = "smuggled" }),
+			"not in the specification's alphabet",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeRun(spec, tc.payload)
+			if err == nil {
+				t.Fatalf("decode should reject %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// The unmutated payload still decodes (the mutator didn't break it).
+	if _, err := DecodeRun(spec, good); err != nil {
+		t.Fatalf("good payload rejected: %v", err)
+	}
+}
