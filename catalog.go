@@ -2,6 +2,7 @@ package provrpq
 
 import (
 	"fmt"
+	"sync"
 
 	"provrpq/internal/catalog"
 	"provrpq/internal/parallel"
@@ -21,7 +22,17 @@ var ErrAlreadyRegistered = catalog.ErrExists
 type Catalog struct {
 	plans   *PlanCache
 	workers int
+	store   *Store
 	reg     *catalog.Registry[*Spec, *Run, *Engine]
+
+	// persistMu serializes register→persist→rollback sequences on a
+	// durable catalog, so a failed persist can always roll its
+	// registration back: without it, a concurrent AddRun could bind a run
+	// to a spec whose persist is about to fail, leaving memory and disk
+	// permanently disagreeing. Never taken when store == nil — in-memory
+	// catalogs keep their lock-free registration paths — and disk writes
+	// serialize inside the store anyway, so the mutex costs nothing extra.
+	persistMu sync.Mutex
 }
 
 // CatalogOptions configure a Catalog.
@@ -32,6 +43,12 @@ type CatalogOptions struct {
 	// Workers bounds each engine's parallel all-pairs scans (0 means one
 	// worker per CPU).
 	Workers int
+	// Store, when non-nil, makes the catalog durable: every successful
+	// RegisterSpec, AddRun and DeriveRun is persisted to the store before
+	// the call returns, and a persistence failure rolls the registration
+	// back and surfaces as an ErrStoreFailed-wrapped error. Rebuild a
+	// catalog from a populated store with NewCatalogFromStore.
+	Store *Store
 }
 
 // NewCatalog returns an empty catalog.
@@ -40,20 +57,41 @@ func NewCatalog(opts CatalogOptions) *Catalog {
 	if plans == nil {
 		plans = NewPlanCache(0)
 	}
-	c := &Catalog{plans: plans, workers: opts.Workers}
+	c := &Catalog{plans: plans, workers: opts.Workers, store: opts.Store}
 	c.reg = catalog.New[*Spec, *Run, *Engine](func(r *Run) *Engine {
 		return NewEngineOpts(r, EngineOptions{Workers: c.workers, PlanCache: c.plans})
 	})
 	return c
 }
 
-// RegisterSpec registers a specification under a unique name.
+// RegisterSpec registers a specification under a unique name. On a
+// durable catalog the specification is on disk before the call returns.
 func (c *Catalog) RegisterSpec(name string, s *Spec) error {
 	if s == nil || s.s == nil {
 		return fmt.Errorf("provrpq: catalog: nil specification %q", name)
 	}
-	return c.reg.PutSpec(name, s)
+	if c.store != nil {
+		c.persistMu.Lock()
+		defer c.persistMu.Unlock()
+	}
+	if err := c.reg.PutSpec(name, s); err != nil {
+		return err
+	}
+	if c.store != nil {
+		if err := c.store.SaveSpec(name, s); err != nil {
+			// Roll back so memory and disk agree that the name is free.
+			// persistMu is held, so no run can have bound to the spec in
+			// the window and the delete cannot fail.
+			_ = c.reg.DeleteSpec(name)
+			return fmt.Errorf("%w: specification %q: %v", ErrStoreFailed, name, err)
+		}
+	}
+	return nil
 }
+
+// Store returns the catalog's attached store (nil for an in-memory-only
+// catalog).
+func (c *Catalog) Store() *Store { return c.store }
 
 // Spec returns the specification registered under name.
 func (c *Catalog) Spec(name string) (*Spec, bool) { return c.reg.Spec(name) }
@@ -64,7 +102,8 @@ func (c *Catalog) SpecNames() []string { return c.reg.SpecNames() }
 // AddRun registers a run under a unique name, bound to the named
 // registered specification. The run must actually be of that
 // specification — derived from it or decoded against it — because
-// label decoding and plan sharing depend on specification identity.
+// label decoding and plan sharing depend on specification identity. On a
+// durable catalog the run is on disk before the call returns.
 func (c *Catalog) AddRun(name, specName string, r *Run) error {
 	s, ok := c.reg.Spec(specName)
 	if !ok {
@@ -76,11 +115,35 @@ func (c *Catalog) AddRun(name, specName string, r *Run) error {
 	if r.r.Spec != s.s {
 		return fmt.Errorf("provrpq: catalog: run %q was not derived from or decoded against specification %q", name, specName)
 	}
-	return c.reg.PutRun(name, specName, r)
+	return c.putRunDurable(name, specName, r)
+}
+
+// putRunDurable registers a run and, on a durable catalog, persists it
+// before returning — serialized against other durable mutations by
+// persistMu, and rolling the registration back on a failed persist so
+// the catalog never claims a run the store lost.
+func (c *Catalog) putRunDurable(name, specName string, r *Run) error {
+	if c.store != nil {
+		c.persistMu.Lock()
+		defer c.persistMu.Unlock()
+	}
+	if err := c.reg.PutRun(name, specName, r); err != nil {
+		return err
+	}
+	if c.store == nil {
+		return nil
+	}
+	if err := c.store.SaveRun(name, specName, r); err != nil {
+		_ = c.reg.DeleteRun(name)
+		return fmt.Errorf("%w: run %q: %v", ErrStoreFailed, name, err)
+	}
+	return nil
 }
 
 // DeriveRun derives a fresh run of the named specification and registers
-// it under runName.
+// it under runName. On a durable catalog the run — labels included — is
+// on disk before the call returns, so a later NewCatalogFromStore serves
+// it without re-deriving.
 func (c *Catalog) DeriveRun(runName, specName string, opts DeriveOptions) (*Run, error) {
 	s, ok := c.reg.Spec(specName)
 	if !ok {
@@ -95,7 +158,7 @@ func (c *Catalog) DeriveRun(runName, specName string, opts DeriveOptions) (*Run,
 	if err != nil {
 		return nil, err
 	}
-	if err := c.reg.PutRun(runName, specName, r); err != nil {
+	if err := c.putRunDurable(runName, specName, r); err != nil {
 		return nil, err
 	}
 	return r, nil

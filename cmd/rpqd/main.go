@@ -2,15 +2,20 @@
 //
 // Usage:
 //
-//	rpqd -addr :8080
+//	rpqd -addr :8080 -data-dir /var/lib/rpqd
 //	rpqd -addr 127.0.0.1:0 -spec wf=wf.spec.json -run r1=wf=wf.run.json
 //	rpqd -timeout 10s -max-inflight 128 -workers 4 -plan-cache 4096
 //
-// Specs and runs can be preloaded with repeatable -spec name=path and
-// -run name=spec=path flags, or registered at runtime via POST /v1/specs
-// and POST /v1/runs. The daemon prints its actual listen address on
-// startup (useful with port 0) and shuts down gracefully on SIGINT or
-// SIGTERM, draining in-flight requests.
+// With -data-dir the catalog is durable: every registered specification
+// and every uploaded or derived run (labels included) is committed to
+// disk before the request returns, and a restart with the same directory
+// restores the whole catalog without re-deriving or re-labeling anything.
+// Specs and runs can also be preloaded with repeatable -spec name=path
+// and -run name=spec=path flags — persisted into the data dir on first
+// boot, skipped on later boots when already restored — or registered at
+// runtime via POST /v1/specs and POST /v1/runs. The daemon prints its
+// actual listen address on startup (useful with port 0) and shuts down
+// gracefully on SIGINT or SIGTERM, draining in-flight requests.
 package main
 
 import (
@@ -37,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "per-engine scan workers (0 = one per CPU)")
 	planCap := flag.Int("plan-cache", 0, "plan-cache capacity in compiled plans (0 = default)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for graceful shutdown")
+	dataDir := flag.String("data-dir", "", "durable catalog directory (created if missing); registered specs and runs survive restarts")
 
 	type specFlag struct{ name, path string }
 	type runFlag struct{ name, spec, path string }
@@ -60,17 +66,36 @@ func main() {
 	})
 	flag.Parse()
 
-	cat := provrpq.NewCatalog(provrpq.CatalogOptions{
+	opts := provrpq.CatalogOptions{
 		PlanCache: provrpq.NewPlanCache(*planCap),
 		Workers:   *workers,
-	})
+	}
+	var cat *provrpq.Catalog
+	if *dataDir != "" {
+		st, err := provrpq.OpenStore(*dataDir)
+		fatal(err)
+		cat, err = provrpq.NewCatalogFromStore(st, opts)
+		fatal(err)
+		ns, nr := len(cat.SpecNames()), len(cat.RunNames())
+		fmt.Printf("rpqd: restored %d specification(s) and %d run(s) from %s (no re-derivation)\n", ns, nr, *dataDir)
+	} else {
+		cat = provrpq.NewCatalog(opts)
+	}
 	for _, sf := range specFlags {
+		if _, ok := cat.Spec(sf.name); ok {
+			fmt.Printf("rpqd: specification %q already restored from the data dir; skipping %s\n", sf.name, sf.path)
+			continue
+		}
 		spec, err := provrpq.LoadSpec(sf.path)
 		fatal(err)
 		fatal(cat.RegisterSpec(sf.name, spec))
 		fmt.Printf("rpqd: loaded specification %q from %s\n", sf.name, sf.path)
 	}
 	for _, rf := range runFlags {
+		if _, ok := cat.Run(rf.name); ok {
+			fmt.Printf("rpqd: run %q already restored from the data dir; skipping %s\n", rf.name, rf.path)
+			continue
+		}
 		spec, ok := cat.Spec(rf.spec)
 		if !ok {
 			fatal(fmt.Errorf("run %q references unknown specification %q (order -spec before -run)", rf.name, rf.spec))

@@ -7,6 +7,7 @@ import (
 	"provrpq/internal/automata"
 	"provrpq/internal/baseline"
 	"provrpq/internal/core"
+	"provrpq/internal/derive"
 	"provrpq/internal/index"
 	"provrpq/internal/label"
 	"provrpq/internal/parallel"
@@ -284,7 +285,7 @@ func (e *Engine) Pairwise(q *Query, u, v NodeID) (bool, error) {
 		return env.Pairwise(e.lbls[u], e.lbls[v])
 	}
 	g2 := e.g2For(q)
-	return g2.Pairwise(toDerive([]NodeID{u})[0], toDerive([]NodeID{v})[0]), nil
+	return g2.Pairwise(derive.NodeID(u), derive.NodeID(v)), nil
 }
 
 // Reachable answers plain reachability u ⇝ v in constant time from labels.

@@ -1,6 +1,7 @@
 package derive
 
 import (
+	"strings"
 	"testing"
 
 	"provrpq/internal/label"
@@ -352,6 +353,30 @@ func TestDecodeRunErrors(t *testing.T) {
 	}
 	if _, err := DecodeRun(spec, []byte(twoNodes+`"edges":[{"From":0,"To":-1,"Tag":"zzz"}]}`)); err == nil {
 		t.Error("negative edge endpoint should fail")
+	}
+}
+
+// TestDecodeRunRejectsDuplicateNames is the regression test for the
+// silent node-name shadowing bug: finish() builds byName by overwriting,
+// so before the decode-time check, a payload with two nodes named "a:1"
+// made NodeByName (and every name-addressed query) resolve to the *last*
+// node of that name. The decoder must reject such payloads with a
+// positioned error instead.
+func TestDecodeRunRejectsDuplicateNames(t *testing.T) {
+	spec := wf.PaperSpec()
+	payload := `{"nodes":[
+		{"name":"a:1","module":"a","label":""},
+		{"name":"b:1","module":"b","label":""},
+		{"name":"a:1","module":"a","label":""}],"edges":[]}`
+	_, err := DecodeRun(spec, []byte(payload))
+	if err == nil {
+		t.Fatal("duplicate node names should be rejected")
+	}
+	msg := err.Error()
+	for _, want := range []string{"node 2", `"a:1"`, "node 0"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %s", msg, want)
+		}
 	}
 }
 

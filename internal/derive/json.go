@@ -43,11 +43,19 @@ func DecodeRun(spec *wf.Spec, data []byte) (*Run, error) {
 		return nil, err
 	}
 	r := &Run{Spec: spec, Edges: rj.Edges}
+	// Node names must be unique: byName (and every name-addressed lookup
+	// built on it) maps each name to exactly one node, so a duplicate
+	// would silently shadow all earlier nodes of that name.
+	seen := make(map[string]int, len(rj.Nodes))
 	for i, nj := range rj.Nodes {
 		m, ok := spec.ModuleByName(nj.Module)
 		if !ok {
 			return nil, fmt.Errorf("derive: run node %d references unknown module %q", i, nj.Module)
 		}
+		if first, dup := seen[nj.Name]; dup {
+			return nil, fmt.Errorf("derive: run node %d: duplicate node name %q (already used by node %d)", i, nj.Name, first)
+		}
+		seen[nj.Name] = i
 		raw, err := base64.StdEncoding.DecodeString(nj.Label)
 		if err != nil {
 			return nil, fmt.Errorf("derive: run node %d: bad label encoding: %v", i, err)

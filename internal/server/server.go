@@ -11,11 +11,16 @@
 //	POST /v1/evaluate  full evaluation on one run {"run", "query", "count_only"?}
 //	POST /v1/pairwise  one pair on one run        {"run", "query", "from", "to"}
 //	POST /v1/batch     runs × queries fan-out     {"runs"?, "queries", "count_only"?}
+//	GET  /v1/snapshot  durable-store contents (what a restart restores)
 //	GET  /healthz      liveness (never limited)
 //	GET  /statsz       plan-cache / worker-pool / request metrics (never limited)
 //
 // Errors share one shape: {"error": {"code": "...", "message": "..."}}.
-// The handler enforces a bounded number of in-flight requests (excess
+// When the catalog has a durable store attached (rpqd -data-dir), every
+// successful POST /v1/specs and POST /v1/runs is committed to disk before
+// the 201 is written; a persist failure rolls the registration back and
+// answers 500 store_failed. The handler enforces a bounded number of
+// in-flight requests (excess
 // requests are rejected immediately with 429, protecting latency under
 // overload) and a per-request timeout (503 on expiry).
 package server
@@ -95,6 +100,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/pairwise", s.handlePairwise)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "not_found", "no such endpoint: "+r.URL.Path)
 	})
@@ -274,6 +280,13 @@ type statsResponse struct {
 	TimeoutMS   int64          `json:"timeout_ms"`
 }
 
+type snapshotResponse struct {
+	Durable bool              `json:"durable"`
+	Dir     string            `json:"dir,omitempty"`
+	Specs   []string          `json:"specs,omitempty"`
+	Runs    map[string]string `json:"runs,omitempty"` // run -> spec
+}
+
 // ---- handlers ----
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -298,6 +311,25 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		InFlight:    s.inFlight.Load(),
 		MaxInFlight: s.maxInFlight,
 		TimeoutMS:   s.timeout.Milliseconds(),
+	})
+}
+
+// handleSnapshot reports the durable store's committed contents — what a
+// restart of the daemon would come back with. A catalog without a store
+// answers {"durable": false} so clients can probe for durability.
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	st := s.cat.Store()
+	if st == nil {
+		s.writeJSON(w, http.StatusOK, snapshotResponse{Durable: false})
+		return
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "store_failed", err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snapshotResponse{
+		Durable: true, Dir: snap.Dir, Specs: snap.Specs, Runs: snap.Runs,
 	})
 }
 
@@ -369,9 +401,12 @@ func (s *Server) handleAddRun(w http.ResponseWriter, r *http.Request) {
 			FavorCaps:         req.Derive.FavorCaps,
 		})
 		if err != nil {
-			if errors.Is(err, provrpq.ErrAlreadyRegistered) {
+			switch {
+			case errors.Is(err, provrpq.ErrAlreadyRegistered):
 				s.writeError(w, http.StatusConflict, "conflict", err.Error())
-			} else {
+			case errors.Is(err, provrpq.ErrStoreFailed):
+				s.writeError(w, http.StatusInternalServerError, "store_failed", err.Error())
+			default:
 				s.writeError(w, http.StatusBadRequest, "bad_derive", err.Error())
 			}
 			return
@@ -543,13 +578,18 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 // writeCatalogError maps a catalog registration error: a duplicate name
-// is a 409 conflict, anything else is the client's bad input.
+// is a 409 conflict, a failed store persist is the server's 500 (the
+// registration was rolled back; the client may retry), anything else is
+// the client's bad input.
 func (s *Server) writeCatalogError(w http.ResponseWriter, err error) {
-	if errors.Is(err, provrpq.ErrAlreadyRegistered) {
+	switch {
+	case errors.Is(err, provrpq.ErrAlreadyRegistered):
 		s.writeError(w, http.StatusConflict, "conflict", err.Error())
-		return
+	case errors.Is(err, provrpq.ErrStoreFailed):
+		s.writeError(w, http.StatusInternalServerError, "store_failed", err.Error())
+	default:
+		s.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 	}
-	s.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {

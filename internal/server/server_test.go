@@ -544,3 +544,100 @@ func BenchmarkServerBatch(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "queries/sec")
 }
+
+// TestServerSnapshotAndRestart drives the durable path over the wire:
+// register → derive → upload against a store-backed catalog, read the
+// snapshot endpoint, then stand up a second server from the same store
+// (a process restart) and require identical evaluation answers without
+// any re-derivation.
+func TestServerSnapshotAndRestart(t *testing.T) {
+	// An in-memory catalog advertises non-durability.
+	_, plain := newService(t, Options{})
+	var probe struct {
+		Durable bool `json:"durable"`
+	}
+	plain.do("GET", "/v1/snapshot", nil, http.StatusOK, &probe)
+	if probe.Durable {
+		t.Fatal("storeless catalog claims to be durable")
+	}
+
+	dir := t.TempDir()
+	st, err := provrpq.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := provrpq.NewCatalog(provrpq.CatalogOptions{Store: st})
+	ts := httptest.NewServer(New(cat, Options{}).Handler())
+	t.Cleanup(ts.Close)
+	c := &testClient{t: t, base: ts.URL, hc: ts.Client()}
+	runs := registerFixture(t, c)
+
+	// Upload path must be durable too: round-trip a run through JSON.
+	spec, _ := cat.Spec("intro")
+	native, err := spec.Derive(provrpq.DeriveOptions{Seed: 7, TargetEdges: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runJSON, err := provrpq.EncodeRun(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.do("POST", "/v1/runs", map[string]any{
+		"name": "uploaded", "spec": "intro", "run": json.RawMessage(runJSON),
+	}, http.StatusCreated, nil)
+	runs = append(runs, "uploaded")
+
+	var snap struct {
+		Durable bool              `json:"durable"`
+		Dir     string            `json:"dir"`
+		Specs   []string          `json:"specs"`
+		Runs    map[string]string `json:"runs"`
+	}
+	c.do("GET", "/v1/snapshot", nil, http.StatusOK, &snap)
+	if !snap.Durable || snap.Dir != dir {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Specs) != 1 || snap.Specs[0] != "intro" {
+		t.Fatalf("snapshot specs = %v", snap.Specs)
+	}
+	if len(snap.Runs) != len(runs) || snap.Runs["uploaded"] != "intro" {
+		t.Fatalf("snapshot runs = %v", snap.Runs)
+	}
+
+	// "Restart": a fresh catalog from the same directory behind a fresh
+	// server must answer every query with the identical pair list.
+	st2, err := provrpq.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := provrpq.NewCatalogFromStore(st2, provrpq.CatalogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(New(cat2, Options{}).Handler())
+	t.Cleanup(ts2.Close)
+	c2 := &testClient{t: t, base: ts2.URL, hc: ts2.Client()}
+
+	for _, rn := range runs {
+		for _, qs := range []string{"_*.s._*.publish", "ingest._*", "_*.a1._*"} {
+			req := map[string]any{"run": rn, "query": qs}
+			var before, after struct {
+				Count int `json:"count"`
+				Pairs []struct {
+					From string `json:"from"`
+					To   string `json:"to"`
+				} `json:"pairs"`
+			}
+			c.do("POST", "/v1/evaluate", req, http.StatusOK, &before)
+			c2.do("POST", "/v1/evaluate", req, http.StatusOK, &after)
+			if before.Count != after.Count || len(before.Pairs) != len(after.Pairs) {
+				t.Fatalf("(%s, %s): %d pairs before restart, %d after", rn, qs, before.Count, after.Count)
+			}
+			for i := range before.Pairs {
+				if before.Pairs[i] != after.Pairs[i] {
+					t.Fatalf("(%s, %s) pair %d: %v before restart, %v after", rn, qs, i, before.Pairs[i], after.Pairs[i])
+				}
+			}
+		}
+	}
+}

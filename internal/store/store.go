@@ -1,0 +1,326 @@
+// Package store implements the disk-backed catalog store underneath the
+// root package's durable Catalog: named specification and run payloads,
+// plus a manifest binding each run to its specification.
+//
+// On-disk layout under one root directory:
+//
+//	<dir>/specs/<name>.json    one specification payload per file
+//	<dir>/runs/<name>.json     one run payload per file
+//	<dir>/manifest.json        {"runs": {"<run>": "<spec>"}}
+//
+// Names are opaque non-empty strings; they are path-escaped on the way to
+// a filename (so "a/b" and "a b" are valid catalog names) and unescaped
+// when listing. Every write is atomic: the payload goes to a temp file in
+// the destination directory, is fsynced, and is renamed over the final
+// path, so a crash mid-write never leaves a torn file — readers see the
+// old payload or the new one, nothing in between. The parent directory is
+// not fsynced, so a whole-machine crash can lose the most recent rename
+// (but never corrupt an existing entry).
+//
+// The manifest is the commit point for runs: PutRun writes the run file
+// first and the manifest entry second, and readers only surface runs the
+// manifest names, so a crash between the two writes leaves an invisible
+// orphan file rather than a half-registered run. The store works at the
+// []byte level — the root package owns the spec/run codecs — and is safe
+// for concurrent use.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound marks a lookup of a name the store has no entry for (match
+// with errors.Is).
+var ErrNotFound = errors.New("not in store")
+
+const (
+	specsDir     = "specs"
+	runsDir      = "runs"
+	manifestName = "manifest.json"
+	ext          = ".json"
+)
+
+// Store is one on-disk catalog directory. Open creates the layout; all
+// methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	// mu serializes writers: atomic renames alone keep individual files
+	// consistent, but the manifest is read-modify-written and the
+	// run-file-then-manifest ordering of PutRun must not interleave.
+	mu sync.Mutex
+}
+
+// Open opens (creating if necessary) the store rooted at dir, sweeping
+// any temp files a crashed writer abandoned (they are invisible to reads
+// but would otherwise accumulate forever).
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, specsDir), filepath.Join(dir, runsDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		sweepTempFiles(d)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// sweepTempFiles removes writeAtomic leftovers ("<base>.tmp-<random>")
+// from one directory. Best-effort: a failure to remove junk must not
+// block opening the store.
+func sweepTempFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.Contains(e.Name(), ".tmp-") {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// PutSpec durably writes a specification payload. An existing entry under
+// the same name is replaced (the catalog layer enforces name uniqueness;
+// at the store level a re-save is idempotent).
+func (s *Store) PutSpec(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("store: empty specification name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return writeAtomic(s.specPath(name), data)
+}
+
+// GetSpec reads a specification payload.
+func (s *Store) GetSpec(name string) ([]byte, error) {
+	data, err := os.ReadFile(s.specPath(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: specification %q: %w", name, ErrNotFound)
+	}
+	return data, err
+}
+
+// HasSpec reports whether a specification is stored under name.
+func (s *Store) HasSpec(name string) bool {
+	_, err := os.Stat(s.specPath(name))
+	return err == nil
+}
+
+// SpecNames lists the stored specification names, sorted.
+func (s *Store) SpecNames() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, specsDir))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name, ok := decodeName(e.Name())
+		if !ok {
+			continue // temp file or foreign junk
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// PutRun durably writes a run payload bound to the named specification.
+// The run file lands before the manifest entry that makes it visible, so
+// a crash between the two writes leaves an orphan file, never a run the
+// loader would surface without its payload.
+func (s *Store) PutRun(name, spec string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("store: empty run name")
+	}
+	if spec == "" {
+		return fmt.Errorf("store: run %q: empty specification name", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := writeAtomic(s.runPath(name), data); err != nil {
+		return err
+	}
+	m, err := s.readManifest()
+	if err != nil {
+		return err
+	}
+	m.Runs[name] = spec
+	return s.writeManifest(m)
+}
+
+// GetRun reads a run payload and the specification name it is bound to.
+// Only manifest-committed runs are readable.
+func (s *Store) GetRun(name string) (spec string, data []byte, err error) {
+	s.mu.Lock()
+	m, err := s.readManifest()
+	s.mu.Unlock()
+	if err != nil {
+		return "", nil, err
+	}
+	spec, ok := m.Runs[name]
+	if !ok {
+		return "", nil, fmt.Errorf("store: run %q: %w", name, ErrNotFound)
+	}
+	data, err = os.ReadFile(s.runPath(name))
+	if err != nil {
+		return "", nil, fmt.Errorf("store: run %q: %w", name, err)
+	}
+	return spec, data, nil
+}
+
+// GetRunData reads a run payload without consulting the manifest, for
+// callers that already hold the run → specification binding (the boot
+// replay reads the manifest once via Runs, then each payload directly —
+// GetRun would re-parse the manifest per run).
+func (s *Store) GetRunData(name string) ([]byte, error) {
+	data, err := os.ReadFile(s.runPath(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: run %q: %w", name, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: run %q: %w", name, err)
+	}
+	return data, nil
+}
+
+// HasRun reports whether a run is committed under name.
+func (s *Store) HasRun(name string) bool {
+	s.mu.Lock()
+	m, err := s.readManifest()
+	s.mu.Unlock()
+	if err != nil {
+		return false
+	}
+	_, ok := m.Runs[name]
+	return ok
+}
+
+// Runs returns the manifest's run → specification binding (a copy).
+func (s *Store) Runs() (map[string]string, error) {
+	s.mu.Lock()
+	m, err := s.readManifest()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(m.Runs))
+	for k, v := range m.Runs {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// RunNames lists the committed run names, sorted.
+func (s *Store) RunNames() ([]string, error) {
+	m, err := s.Runs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ---- layout helpers ----
+
+type manifest struct {
+	Runs map[string]string `json:"runs"`
+}
+
+func (s *Store) specPath(name string) string {
+	return filepath.Join(s.dir, specsDir, url.PathEscape(name)+ext)
+}
+
+func (s *Store) runPath(name string) string {
+	return filepath.Join(s.dir, runsDir, url.PathEscape(name)+ext)
+}
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, manifestName) }
+
+// decodeName maps a directory entry back to a catalog name, rejecting
+// anything that is not an escaped "<name>.json".
+func decodeName(file string) (string, bool) {
+	base, ok := strings.CutSuffix(file, ext)
+	if !ok {
+		return "", false
+	}
+	name, err := url.PathUnescape(base)
+	if err != nil || name == "" {
+		return "", false
+	}
+	return name, true
+}
+
+func (s *Store) readManifest() (manifest, error) {
+	m := manifest{Runs: map[string]string{}}
+	data, err := os.ReadFile(s.manifestPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return m, nil
+	}
+	if err != nil {
+		return m, fmt.Errorf("store: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("store: corrupt manifest %s: %w", s.manifestPath(), err)
+	}
+	if m.Runs == nil {
+		m.Runs = map[string]string{}
+	}
+	return m, nil
+}
+
+func (s *Store) writeManifest(m manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeAtomic(s.manifestPath(), data)
+}
+
+// writeAtomic writes data to path via a same-directory temp file, fsync
+// and rename, so concurrent readers and crashed writers never observe a
+// torn file.
+func writeAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp = nil
+	return nil
+}

@@ -1,0 +1,248 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSpec("wf", []byte(`{"grammar":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetSpec("wf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"grammar":1}` {
+		t.Fatalf("GetSpec = %q", got)
+	}
+	if !s.HasSpec("wf") || s.HasSpec("ghost") {
+		t.Error("HasSpec wrong")
+	}
+	if _, err := s.GetSpec("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing spec error = %v, want ErrNotFound", err)
+	}
+	// A re-save replaces the payload (idempotent persistence).
+	if err := s.PutSpec("wf", []byte(`{"grammar":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.GetSpec("wf"); string(got) != `{"grammar":2}` {
+		t.Fatalf("after re-save GetSpec = %q", got)
+	}
+}
+
+func TestRunRoundTripAndManifest(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun("r1", "wf", []byte(`{"nodes":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	spec, data, err := s.GetRun("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec != "wf" || string(data) != `{"nodes":[]}` {
+		t.Fatalf("GetRun = (%q, %q)", spec, data)
+	}
+	if !s.HasRun("r1") || s.HasRun("ghost") {
+		t.Error("HasRun wrong")
+	}
+	if _, _, err := s.GetRun("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing run error = %v, want ErrNotFound", err)
+	}
+	m, err := s.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m["r1"] != "wf" {
+		t.Fatalf("Runs = %v", m)
+	}
+}
+
+// TestEscapedNames puts names that are hostile as filenames — path
+// separators, spaces, dots — through the full save/list/load cycle.
+func TestEscapedNames(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a/b", "a b", "..", "weird%2Fname", "ünïcode"}
+	for _, n := range names {
+		if err := s.PutSpec(n, []byte(`{}`)); err != nil {
+			t.Fatalf("PutSpec(%q): %v", n, err)
+		}
+		if err := s.PutRun(n, n, []byte(`{}`)); err != nil {
+			t.Fatalf("PutRun(%q): %v", n, err)
+		}
+	}
+	specs, err := s.SpecNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(names) {
+		t.Fatalf("SpecNames = %v, want %d names", specs, len(names))
+	}
+	for _, n := range names {
+		if _, err := s.GetSpec(n); err != nil {
+			t.Errorf("GetSpec(%q): %v", n, err)
+		}
+		if spec, _, err := s.GetRun(n); err != nil || spec != n {
+			t.Errorf("GetRun(%q) = (%q, %v)", n, spec, err)
+		}
+	}
+	// No escaped name may climb out of the store's directories.
+	entries, err := os.ReadDir(filepath.Join(s.Dir(), "specs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(names) {
+		t.Fatalf("specs dir holds %d files, want %d", len(entries), len(names))
+	}
+}
+
+// TestOrphanRunInvisible checks the manifest is the commit point: a run
+// file without a manifest entry (a crash between the two PutRun writes)
+// is not surfaced by any read path.
+func TestOrphanRunInvisible(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun("committed", "wf", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(s.Dir(), "runs", "orphan.json")
+	if err := os.WriteFile(orphan, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.RunNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "committed" {
+		t.Fatalf("RunNames = %v; the orphan must stay invisible", names)
+	}
+	if s.HasRun("orphan") {
+		t.Error("HasRun sees the orphan")
+	}
+	if _, _, err := s.GetRun("orphan"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetRun(orphan) = %v, want ErrNotFound", err)
+	}
+}
+
+// TestNoTempLeftovers verifies atomic writes clean up after themselves
+// and that listing skips anything that is not a committed entry.
+func TestNoTempLeftovers(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.PutSpec("wf", []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutRun("r", "wf", []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var leftovers []string
+	err = filepath.WalkDir(s.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.Contains(d.Name(), ".tmp-") {
+			leftovers = append(leftovers, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+// TestOpenSweepsAbandonedTempFiles: a kill -9 between CreateTemp and
+// rename strands a temp file; the next Open must clear it while leaving
+// committed entries alone.
+func TestOpenSweepsAbandonedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSpec("wf", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	stranded := []string{
+		filepath.Join(dir, "specs", "wf.json.tmp-123"),
+		filepath.Join(dir, "runs", "r.json.tmp-456"),
+		filepath.Join(dir, "manifest.json.tmp-789"),
+	}
+	for _, p := range stranded {
+		if err := os.WriteFile(p, []byte(`partial`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range stranded {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("%s survived the sweep", p)
+		}
+	}
+	if got, err := s.GetSpec("wf"); err != nil || string(got) != `{}` {
+		t.Fatalf("committed spec damaged by sweep: %q, %v", got, err)
+	}
+}
+
+func TestReopenSeesContents(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSpec("wf", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun("r1", "wf", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A second process opening the same directory sees the committed state.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, _ := s2.SpecNames()
+	runs, _ := s2.RunNames()
+	if len(specs) != 1 || len(runs) != 1 {
+		t.Fatalf("reopened store: specs=%v runs=%v", specs, runs)
+	}
+}
+
+func TestEmptyNamesRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSpec("", nil); err == nil {
+		t.Error("empty spec name accepted")
+	}
+	if err := s.PutRun("", "wf", nil); err == nil {
+		t.Error("empty run name accepted")
+	}
+	if err := s.PutRun("r", "", nil); err == nil {
+		t.Error("empty bound spec name accepted")
+	}
+}

@@ -122,6 +122,13 @@ func TestDecodeRunRejects(t *testing.T) {
 			mutate(func(m map[string]any) { edge(m, 0)["Tag"] = "smuggled" }),
 			"not in the specification's alphabet",
 		},
+		{
+			// Regression: duplicate names used to be accepted, the last
+			// node silently shadowing the rest in NodeByName.
+			"duplicate node name",
+			mutate(func(m map[string]any) { node(m, 1)["name"] = node(m, 0)["name"] }),
+			"duplicate node name",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

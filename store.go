@@ -1,0 +1,200 @@
+package provrpq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"provrpq/internal/store"
+)
+
+// ErrStoreFailed marks a catalog mutation whose in-memory registration
+// succeeded but whose disk persistence did not; the registration is
+// rolled back before the error is returned, so the catalog and the store
+// stay consistent. Match with errors.Is to tell an infrastructure failure
+// (disk full, permissions) from bad client input.
+var ErrStoreFailed = errors.New("provrpq: store persistence failed")
+
+// Store is a durable, disk-backed catalog store: named specifications and
+// named runs (labels included), surviving process restarts. Payloads are
+// the package's JSON codecs — the same bytes SaveSpec/SaveRun produce —
+// laid out as <dir>/specs/<name>.json, <dir>/runs/<name>.json and a
+// manifest binding each run to its specification. Writes are atomic
+// (temp file + fsync + rename) and a run becomes visible only once its
+// manifest entry lands, so a crash mid-save never surfaces a torn or
+// half-registered entry. A Store is safe for concurrent use.
+//
+// Attach a Store to a Catalog via CatalogOptions.Store to persist every
+// successful RegisterSpec/AddRun/DeriveRun, and rebuild the catalog after
+// a restart with NewCatalogFromStore — labels are decoded from disk, so
+// nothing is re-derived.
+type Store struct {
+	st *store.Store
+}
+
+// OpenStore opens (creating if necessary) the store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("provrpq: %w", err)
+	}
+	return &Store{st: st}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.st.Dir() }
+
+// SaveSpec durably writes a specification under name.
+func (s *Store) SaveSpec(name string, sp *Spec) error {
+	if sp == nil || sp.s == nil {
+		return fmt.Errorf("provrpq: store: nil specification %q", name)
+	}
+	data, err := sp.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return s.st.PutSpec(name, data)
+}
+
+// LoadSpec reads and re-validates the specification stored under name.
+func (s *Store) LoadSpec(name string) (*Spec, error) {
+	data, err := s.st.GetSpec(name)
+	if err != nil {
+		return nil, fmt.Errorf("provrpq: %w", err)
+	}
+	sp := &Spec{}
+	if err := sp.UnmarshalJSON(data); err != nil {
+		return nil, fmt.Errorf("provrpq: store: specification %q: %w", name, err)
+	}
+	return sp, nil
+}
+
+// SaveRun durably writes a run under name, bound to the named
+// specification (labels varint-packed, exactly the EncodeRun payload).
+func (s *Store) SaveRun(name, specName string, r *Run) error {
+	if r == nil || r.r == nil {
+		return fmt.Errorf("provrpq: store: nil run %q", name)
+	}
+	data, err := EncodeRun(r)
+	if err != nil {
+		return err
+	}
+	return s.st.PutRun(name, specName, data)
+}
+
+// LoadRun reads the run stored under name and decodes it — full
+// validation, labels included — against spec, which must be the
+// specification instance registered under the run's bound specification
+// name (label decoding depends on specification identity). The bound name
+// is returned so callers can check the binding first via Runs.
+func (s *Store) LoadRun(name string, spec *Spec) (*Run, string, error) {
+	specName, data, err := s.st.GetRun(name)
+	if err != nil {
+		return nil, "", fmt.Errorf("provrpq: %w", err)
+	}
+	r, err := DecodeRun(spec, data)
+	if err != nil {
+		return nil, "", fmt.Errorf("provrpq: store: run %q: %w", name, err)
+	}
+	return r, specName, nil
+}
+
+// SpecNames lists the stored specification names, sorted.
+func (s *Store) SpecNames() ([]string, error) {
+	names, err := s.st.SpecNames()
+	if err != nil {
+		return nil, fmt.Errorf("provrpq: %w", err)
+	}
+	return names, nil
+}
+
+// Runs returns the stored run → specification binding.
+func (s *Store) Runs() (map[string]string, error) {
+	m, err := s.st.Runs()
+	if err != nil {
+		return nil, fmt.Errorf("provrpq: %w", err)
+	}
+	return m, nil
+}
+
+// HasSpec reports whether a specification is stored under name.
+func (s *Store) HasSpec(name string) bool { return s.st.HasSpec(name) }
+
+// HasRun reports whether a run is stored under name.
+func (s *Store) HasRun(name string) bool { return s.st.HasRun(name) }
+
+// StoreSnapshot is a point-in-time listing of a store's contents, as
+// served by rpqd's GET /v1/snapshot.
+type StoreSnapshot struct {
+	Dir   string
+	Specs []string
+	Runs  map[string]string // run name -> bound specification name
+}
+
+// Snapshot lists the store's committed contents.
+func (s *Store) Snapshot() (StoreSnapshot, error) {
+	specs, err := s.SpecNames()
+	if err != nil {
+		return StoreSnapshot{}, err
+	}
+	runs, err := s.Runs()
+	if err != nil {
+		return StoreSnapshot{}, err
+	}
+	return StoreSnapshot{Dir: s.Dir(), Specs: specs, Runs: runs}, nil
+}
+
+// NewCatalogFromStore rebuilds a catalog from a store's committed
+// contents and attaches the store for subsequent persistence: every spec
+// is re-validated, every run is decoded with its persisted labels — no
+// re-derivation — and later RegisterSpec/AddRun/DeriveRun calls are
+// durable before they return. opts.Store is ignored; st is used.
+func NewCatalogFromStore(st *Store, opts CatalogOptions) (*Catalog, error) {
+	opts.Store = nil
+	c := NewCatalog(opts)
+	specNames, err := st.SpecNames()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range specNames {
+		sp, err := st.LoadSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.reg.PutSpec(name, sp); err != nil {
+			return nil, err
+		}
+	}
+	runs, err := st.Runs()
+	if err != nil {
+		return nil, err
+	}
+	runNames := make([]string, 0, len(runs))
+	for name := range runs {
+		runNames = append(runNames, name)
+	}
+	sort.Strings(runNames)
+	for _, name := range runNames {
+		specName := runs[name]
+		sp, ok := c.reg.Spec(specName)
+		if !ok {
+			return nil, fmt.Errorf("provrpq: store: run %q is bound to specification %q, which the store does not contain", name, specName)
+		}
+		// The binding is already in hand from the single manifest read
+		// above, so fetch just the payload (LoadRun would re-read the
+		// manifest for every run).
+		data, err := st.st.GetRunData(name)
+		if err != nil {
+			return nil, fmt.Errorf("provrpq: %w", err)
+		}
+		r, err := DecodeRun(sp, data)
+		if err != nil {
+			return nil, fmt.Errorf("provrpq: store: run %q: %w", name, err)
+		}
+		if err := c.reg.PutRun(name, specName, r); err != nil {
+			return nil, err
+		}
+	}
+	c.store = st
+	return c, nil
+}

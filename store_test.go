@@ -1,0 +1,215 @@
+package provrpq
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// breakStore makes every future persist into the store fail by replacing
+// its payload directories with plain files (CreateTemp inside a file
+// always errors, even for root, unlike permission tricks).
+func breakStore(t *testing.T, dir string) {
+	t.Helper()
+	for _, sub := range []string{"specs", "runs"} {
+		p := filepath.Join(dir, sub)
+		if err := os.RemoveAll(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// durableFixture builds a durable catalog in a temp store with one spec
+// and two derived runs, returning the store directory for reopening.
+func durableFixture(t *testing.T) (string, *Catalog, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(CatalogOptions{Store: st})
+	if err := cat.RegisterSpec("intro", introSpec(t)); err != nil {
+		t.Fatal(err)
+	}
+	runs := []string{"r1", "r2"}
+	for i, name := range runs {
+		if _, err := cat.DeriveRun(name, "intro", DeriveOptions{Seed: int64(i + 1), TargetEdges: 200}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, cat, runs
+}
+
+// TestStoreRoundTrip saves a spec and derived runs through a durable
+// catalog, reloads them into a fresh catalog (simulating a restart), and
+// asserts node labels and Evaluate pair sets are identical to the
+// pre-restart engines — no re-derivation, byte-identical answers.
+func TestStoreRoundTrip(t *testing.T) {
+	dir, cat, runs := durableFixture(t)
+	queries := []*Query{
+		MustParseQuery("_*.s._*.publish"),
+		MustParseQuery("ingest._*"),
+		MustParseQuery("_*.a1._*"), // unsafe: decomposition path
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := NewCatalogFromStore(st2, CatalogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat2.SpecNames(); len(got) != 1 || got[0] != "intro" {
+		t.Fatalf("reloaded SpecNames = %v", got)
+	}
+	if got := cat2.RunNames(); len(got) != len(runs) {
+		t.Fatalf("reloaded RunNames = %v", got)
+	}
+
+	for _, name := range runs {
+		before, _ := cat.Run(name)
+		after, ok := cat2.Run(name)
+		if !ok {
+			t.Fatalf("run %q missing after reload", name)
+		}
+		if before.NumNodes() != after.NumNodes() || before.NumEdges() != after.NumEdges() {
+			t.Fatalf("run %q resized: (%d,%d) -> (%d,%d)", name,
+				before.NumNodes(), before.NumEdges(), after.NumNodes(), after.NumEdges())
+		}
+		for _, id := range before.AllNodes() {
+			if before.NodeLabel(id) != after.NodeLabel(id) || before.NodeName(id) != after.NodeName(id) {
+				t.Fatalf("run %q node %d changed across the restart", name, id)
+			}
+		}
+		e1, err := cat.Engine(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := cat2.Engine(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			p1, err := e1.Evaluate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := e2.Evaluate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p1) != len(p2) {
+				t.Fatalf("run %q query %s: %d pairs before, %d after", name, q, len(p1), len(p2))
+			}
+			for i := range p1 {
+				if p1[i] != p2[i] {
+					t.Fatalf("run %q query %s pair %d: %v before, %v after", name, q, i, p1[i], p2[i])
+				}
+			}
+		}
+	}
+
+	// Reloaded runs of one spec still share compiled plans: each query
+	// above compiled once for the first run and hit for the second.
+	stats := cat2.Stats()
+	if stats.PlanCache.Hits <= 0 || stats.PlanCache.Hits < stats.PlanCache.Misses {
+		t.Errorf("reloaded catalog should share plans across its runs: %+v", stats.PlanCache)
+	}
+}
+
+// TestDurableCatalogPersistsEverything checks all three mutating paths
+// write through: RegisterSpec, DeriveRun and AddRun (upload).
+func TestDurableCatalogPersistsEverything(t *testing.T) {
+	dir, cat, _ := durableFixture(t)
+
+	// Upload path: encode a run and add it back under a new name.
+	spec, _ := cat.Spec("intro")
+	native, err := spec.Derive(DeriveOptions{Seed: 9, TargetEdges: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeRun(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploaded, err := DecodeRun(spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddRun("uploaded", "intro", uploaded); err != nil {
+		t.Fatal(err)
+	}
+
+	st := cat.Store()
+	if st == nil || st.Dir() != dir {
+		t.Fatalf("Store() = %v", st)
+	}
+	if !st.HasSpec("intro") {
+		t.Error("spec not on disk")
+	}
+	for _, name := range []string{"r1", "r2", "uploaded"} {
+		if !st.HasRun(name) {
+			t.Errorf("run %q not on disk", name)
+		}
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Specs) != 1 || len(snap.Runs) != 3 || snap.Runs["uploaded"] != "intro" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	// And the uploaded run survives a reload.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := NewCatalogFromStore(st2, CatalogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cat2.Run("uploaded"); !ok {
+		t.Error("uploaded run lost across restart")
+	}
+}
+
+// TestStoreFailureRollsBack forces a persist failure (store directory
+// removed out from under the catalog) and checks the registration is
+// rolled back with an ErrStoreFailed-wrapped error, leaving the name
+// free for a retry.
+func TestStoreFailureRollsBack(t *testing.T) {
+	dir, cat, _ := durableFixture(t)
+	// Replace the runs directory with a plain file: every subsequent
+	// persist must fail (CreateTemp cannot create inside a file), and
+	// this works even when the tests run as root (unlike chmod).
+	breakStore(t, dir)
+
+	if _, err := cat.DeriveRun("r3", "intro", DeriveOptions{Seed: 5, TargetEdges: 50}); err == nil {
+		t.Fatal("DeriveRun should fail when the store is broken")
+	} else if !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("error %v does not wrap ErrStoreFailed", err)
+	}
+	// The rollback left the name free: the run is not in the catalog.
+	if _, ok := cat.Run("r3"); ok {
+		t.Error("failed registration left the run in the catalog")
+	}
+	if _, err := cat.Engine("r3"); err == nil {
+		t.Error("failed registration left an engine resolvable")
+	}
+
+	if err := cat.RegisterSpec("intro2", introSpec(t)); err == nil {
+		t.Fatal("RegisterSpec should fail when the store is broken")
+	} else if !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("error %v does not wrap ErrStoreFailed", err)
+	}
+	if _, ok := cat.Spec("intro2"); ok {
+		t.Error("failed registration left the spec in the catalog")
+	}
+}
