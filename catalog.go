@@ -25,13 +25,15 @@ type Catalog struct {
 	store   *Store
 	reg     *catalog.Registry[*Spec, *Run, *Engine]
 
-	// persistMu serializes register→persist→rollback sequences on a
-	// durable catalog, so a failed persist can always roll its
-	// registration back: without it, a concurrent AddRun could bind a run
-	// to a spec whose persist is about to fail, leaving memory and disk
-	// permanently disagreeing. Never taken when store == nil — in-memory
-	// catalogs keep their lock-free registration paths — and disk writes
-	// serialize inside the store anyway, so the mutex costs nothing extra.
+	// persistMu serializes durable mutations. Registration on a durable
+	// catalog is check-name → persist → insert: the disk write precedes
+	// visibility, so any spec or run a concurrent reader can see is
+	// already on disk (a failed persist leaves the catalog untouched),
+	// and because every durable writer holds the mutex the name checks
+	// cannot race with the insert. Never taken when store == nil —
+	// in-memory catalogs keep their lock-free registration paths — and
+	// disk writes serialize inside the store anyway, so the mutex costs
+	// nothing extra.
 	persistMu sync.Mutex
 }
 
@@ -45,9 +47,13 @@ type CatalogOptions struct {
 	Workers int
 	// Store, when non-nil, makes the catalog durable: every successful
 	// RegisterSpec, AddRun and DeriveRun is persisted to the store before
-	// the call returns, and a persistence failure rolls the registration
-	// back and surfaces as an ErrStoreFailed-wrapped error. Rebuild a
-	// catalog from a populated store with NewCatalogFromStore.
+	// the entry becomes visible, and a persistence failure leaves the
+	// catalog untouched, surfacing as an ErrStoreFailed-wrapped error.
+	// The store should be empty or belong to this catalog: registrations
+	// under a name the store already holds but the catalog never loaded
+	// are refused, so attaching an already-populated directory here
+	// (instead of rebuilding with NewCatalogFromStore) cannot clobber
+	// entries a restart would need.
 	Store *Store
 }
 
@@ -65,28 +71,34 @@ func NewCatalog(opts CatalogOptions) *Catalog {
 }
 
 // RegisterSpec registers a specification under a unique name. On a
-// durable catalog the specification is on disk before the call returns.
+// durable catalog the specification is on disk before it becomes visible
+// to any other call, so a reader can never observe a spec the store lost.
 func (c *Catalog) RegisterSpec(name string, s *Spec) error {
 	if s == nil || s.s == nil {
 		return fmt.Errorf("provrpq: catalog: nil specification %q", name)
 	}
-	if c.store != nil {
-		c.persistMu.Lock()
-		defer c.persistMu.Unlock()
+	if c.store == nil || name == "" {
+		return c.reg.PutSpec(name, s) // PutSpec owns the empty-name error
 	}
-	if err := c.reg.PutSpec(name, s); err != nil {
-		return err
+	c.persistMu.Lock()
+	defer c.persistMu.Unlock()
+	if _, ok := c.reg.Spec(name); ok {
+		return fmt.Errorf("provrpq: catalog: specification %q: %w", name, ErrAlreadyRegistered)
 	}
-	if c.store != nil {
-		if err := c.store.SaveSpec(name, s); err != nil {
-			// Roll back so memory and disk agree that the name is free.
-			// persistMu is held, so no run can have bound to the spec in
-			// the window and the delete cannot fail.
-			_ = c.reg.DeleteSpec(name)
-			return fmt.Errorf("%w: specification %q: %v", ErrStoreFailed, name, err)
-		}
+	// A name free in memory but present on disk means the store was
+	// attached to a catalog that did not load it (CatalogOptions.Store
+	// over an already-populated directory). Overwriting would strand any
+	// on-disk runs still bound to the old payload — their labels decode
+	// against the replaced spec and the next boot fails — so refuse.
+	if c.store.HasSpec(name) {
+		return fmt.Errorf("provrpq: catalog: specification %q exists in the store but was not loaded into this catalog (rebuild with NewCatalogFromStore): %w", name, ErrAlreadyRegistered)
 	}
-	return nil
+	if err := c.store.SaveSpec(name, s); err != nil {
+		return fmt.Errorf("%w: specification %q: %v", ErrStoreFailed, name, err)
+	}
+	// On disk; now make it visible. persistMu is held, so the name checks
+	// above still hold and the insert cannot fail.
+	return c.reg.PutSpec(name, s)
 }
 
 // Store returns the catalog's attached store (nil for an in-memory-only
@@ -119,25 +131,40 @@ func (c *Catalog) AddRun(name, specName string, r *Run) error {
 }
 
 // putRunDurable registers a run and, on a durable catalog, persists it
-// before returning — serialized against other durable mutations by
-// persistMu, and rolling the registration back on a failed persist so
-// the catalog never claims a run the store lost.
+// before it becomes visible — serialized against other durable mutations
+// by persistMu, so a concurrent reader (EvaluateBatch enumerating runs,
+// Engine by name) can never see a run whose persist then fails.
 func (c *Catalog) putRunDurable(name, specName string, r *Run) error {
-	if c.store != nil {
-		c.persistMu.Lock()
-		defer c.persistMu.Unlock()
+	if c.store == nil || name == "" {
+		return c.reg.PutRun(name, specName, r) // PutRun owns the empty-name error
 	}
-	if err := c.reg.PutRun(name, specName, r); err != nil {
+	// Encode outside persistMu: varint label packing over a large run is
+	// the expensive part of a save, and only the disk write itself needs
+	// serializing — two concurrent uploads should overlap their encodes.
+	data, err := EncodeRun(r)
+	if err != nil {
 		return err
 	}
-	if c.store == nil {
-		return nil
+	c.persistMu.Lock()
+	defer c.persistMu.Unlock()
+	// Re-check the binding under the lock: the callers' spec lookups ran
+	// outside it, and the run file must never land on disk bound to a
+	// specification the store does not hold.
+	if _, ok := c.reg.Spec(specName); !ok {
+		return fmt.Errorf("provrpq: catalog: run %q references unregistered specification %q", name, specName)
 	}
-	if err := c.store.SaveRun(name, specName, r); err != nil {
-		_ = c.reg.DeleteRun(name)
+	if c.reg.HasRun(name) {
+		return fmt.Errorf("provrpq: catalog: run %q: %w", name, ErrAlreadyRegistered)
+	}
+	// See RegisterSpec: never clobber an on-disk run this catalog did not
+	// load.
+	if c.store.HasRun(name) {
+		return fmt.Errorf("provrpq: catalog: run %q exists in the store but was not loaded into this catalog (rebuild with NewCatalogFromStore): %w", name, ErrAlreadyRegistered)
+	}
+	if err := c.store.st.PutRun(name, specName, data); err != nil {
 		return fmt.Errorf("%w: run %q: %v", ErrStoreFailed, name, err)
 	}
-	return nil
+	return c.reg.PutRun(name, specName, r)
 }
 
 // DeriveRun derives a fresh run of the named specification and registers
@@ -149,9 +176,10 @@ func (c *Catalog) DeriveRun(runName, specName string, opts DeriveOptions) (*Run,
 	if !ok {
 		return nil, fmt.Errorf("provrpq: catalog: unknown specification %q", specName)
 	}
-	// Check name availability before paying for the derivation (which can
-	// be millions of edges); PutRun re-checks under the lock for the race.
-	if c.reg.HasRun(runName) {
+	// Check name availability — in memory and on disk — before paying for
+	// the derivation (which can be millions of edges); putRunDurable
+	// re-checks under the lock for the race.
+	if c.reg.HasRun(runName) || (c.store != nil && c.store.HasRun(runName)) {
 		return nil, fmt.Errorf("provrpq: catalog: run %q: %w", runName, ErrAlreadyRegistered)
 	}
 	r, err := s.Derive(opts)

@@ -104,37 +104,6 @@ func (g *Registry[S, R, E]) PutRun(name, spec string, r R) error {
 	return nil
 }
 
-// DeleteSpec unregisters a specification. It exists so a caller that
-// pairs registration with an external side effect (persisting to a disk
-// store) can roll back a registration whose side effect failed; it
-// refuses to orphan runs still bound to the specification.
-func (g *Registry[S, R, E]) DeleteSpec(name string) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, ok := g.specs[name]; !ok {
-		return fmt.Errorf("catalog: specification %q not registered", name)
-	}
-	for rn, en := range g.runs {
-		if en.spec == name {
-			return fmt.Errorf("catalog: specification %q still has run %q", name, rn)
-		}
-	}
-	delete(g.specs, name)
-	return nil
-}
-
-// DeleteRun unregisters a run (rollback counterpart of PutRun; see
-// DeleteSpec).
-func (g *Registry[S, R, E]) DeleteRun(name string) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, ok := g.runs[name]; !ok {
-		return fmt.Errorf("catalog: run %q not registered", name)
-	}
-	delete(g.runs, name)
-	return nil
-}
-
 // HasRun reports whether a run is registered under name.
 func (g *Registry[S, R, E]) HasRun(name string) bool {
 	g.mu.RLock()

@@ -18,7 +18,7 @@
 // Errors share one shape: {"error": {"code": "...", "message": "..."}}.
 // When the catalog has a durable store attached (rpqd -data-dir), every
 // successful POST /v1/specs and POST /v1/runs is committed to disk before
-// the 201 is written; a persist failure rolls the registration back and
+// the 201 is written; a persist failure leaves the catalog unchanged and
 // answers 500 store_failed. The handler enforces a bounded number of
 // in-flight requests (excess
 // requests are rejected immediately with 429, protecting latency under
@@ -578,9 +578,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 // writeCatalogError maps a catalog registration error: a duplicate name
-// is a 409 conflict, a failed store persist is the server's 500 (the
-// registration was rolled back; the client may retry), anything else is
-// the client's bad input.
+// is a 409 conflict, a failed store persist is the server's 500 (nothing
+// was registered; the client may retry), anything else is the client's
+// bad input.
 func (s *Server) writeCatalogError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, provrpq.ErrAlreadyRegistered):

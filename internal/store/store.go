@@ -73,17 +73,25 @@ func Open(dir string) (*Store, error) {
 }
 
 // sweepTempFiles removes writeAtomic leftovers ("<base>.tmp-<random>")
-// from one directory. Best-effort: a failure to remove junk must not
-// block opening the store.
+// from one directory. Committed entries always decode back to a catalog
+// name (they end in ".json"; temp files never do), so anything that both
+// fails decodeName and carries the ".tmp-" marker is sweepable — a spec
+// or run legitimately named "build.tmp-2026" escapes to
+// "build.tmp-2026.json" and is left alone. Best-effort: a failure to
+// remove junk must not block opening the store.
 func sweepTempFiles(dir string) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
-		if !e.IsDir() && strings.Contains(e.Name(), ".tmp-") {
-			_ = os.Remove(filepath.Join(dir, e.Name()))
+		if e.IsDir() || !strings.Contains(e.Name(), ".tmp-") {
+			continue
 		}
+		if _, ok := decodeName(e.Name()); ok {
+			continue // committed entry whose name merely contains ".tmp-"
+		}
+		_ = os.Remove(filepath.Join(dir, e.Name()))
 	}
 }
 
@@ -108,7 +116,10 @@ func (s *Store) GetSpec(name string) ([]byte, error) {
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("store: specification %q: %w", name, ErrNotFound)
 	}
-	return data, err
+	if err != nil {
+		return nil, fmt.Errorf("store: specification %q: %w", name, err)
+	}
+	return data, nil
 }
 
 // HasSpec reports whether a specification is stored under name.

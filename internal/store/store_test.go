@@ -207,6 +207,35 @@ func TestOpenSweepsAbandonedTempFiles(t *testing.T) {
 	}
 }
 
+// Regression: names are opaque strings, and url.PathEscape leaves '.'
+// and '-' alone, so a committed entry legitimately named "build.tmp-2026"
+// lands on disk as "build.tmp-2026.json" — the sweep must not mistake it
+// for a writeAtomic leftover and delete it on the next Open.
+func TestSweepSparesCommittedNamesContainingTmpMarker(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const name = "build.tmp-2026"
+	if err := s.PutSpec(name, []byte(`{"spec":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun(name, name, []byte(`{"run":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.GetSpec(name); err != nil || string(got) != `{"spec":true}` {
+		t.Fatalf("committed spec swept on reopen: %q, %v", got, err)
+	}
+	if spec, got, err := s2.GetRun(name); err != nil || spec != name || string(got) != `{"run":true}` {
+		t.Fatalf("committed run swept on reopen: spec=%q data=%q err=%v", spec, got, err)
+	}
+}
+
 func TestReopenSeesContents(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir)

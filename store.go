@@ -5,14 +5,16 @@ import (
 	"fmt"
 	"sort"
 
+	"provrpq/internal/parallel"
 	"provrpq/internal/store"
 )
 
-// ErrStoreFailed marks a catalog mutation whose in-memory registration
-// succeeded but whose disk persistence did not; the registration is
-// rolled back before the error is returned, so the catalog and the store
-// stay consistent. Match with errors.Is to tell an infrastructure failure
-// (disk full, permissions) from bad client input.
+// ErrStoreFailed marks a durable catalog mutation whose disk persistence
+// failed. Nothing was registered — on a durable catalog an entry becomes
+// visible only after its bytes are on disk — so the catalog and the store
+// stay consistent and the name is free for a retry. Match with errors.Is
+// to tell an infrastructure failure (disk full, permissions) from bad
+// client input.
 var ErrStoreFailed = errors.New("provrpq: store persistence failed")
 
 // Store is a durable, disk-backed catalog store: named specifications and
@@ -131,13 +133,17 @@ type StoreSnapshot struct {
 	Runs  map[string]string // run name -> bound specification name
 }
 
-// Snapshot lists the store's committed contents.
+// Snapshot lists the store's committed contents. Runs are read before
+// specs: a run is only ever persisted after its specification (the
+// catalog enforces spec-before-run) and specs are never deleted, so even
+// when a registration races the two reads, every specification a
+// snapshot's run binding names is present in Specs.
 func (s *Store) Snapshot() (StoreSnapshot, error) {
-	specs, err := s.SpecNames()
+	runs, err := s.Runs()
 	if err != nil {
 		return StoreSnapshot{}, err
 	}
-	runs, err := s.Runs()
+	specs, err := s.SpecNames()
 	if err != nil {
 		return StoreSnapshot{}, err
 	}
@@ -174,24 +180,43 @@ func NewCatalogFromStore(st *Store, opts CatalogOptions) (*Catalog, error) {
 		runNames = append(runNames, name)
 	}
 	sort.Strings(runNames)
-	for _, name := range runNames {
-		specName := runs[name]
-		sp, ok := c.reg.Spec(specName)
-		if !ok {
-			return nil, fmt.Errorf("provrpq: store: run %q is bound to specification %q, which the store does not contain", name, specName)
+	// Runs are independent once every spec is registered, and decoding —
+	// label unpacking plus full validation — dominates boot time, so fan
+	// it across the worker pool; the registry inserts stay serial and in
+	// sorted order, and the first error (in name order) wins so a failing
+	// boot reports deterministically.
+	decoded := make([]*Run, len(runNames))
+	errs := make([]error, len(runNames))
+	parallel.Do(len(runNames), parallel.Workers(opts.Workers), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			name := runNames[i]
+			specName := runs[name]
+			sp, ok := c.reg.Spec(specName)
+			if !ok {
+				errs[i] = fmt.Errorf("provrpq: store: run %q is bound to specification %q, which the store does not contain", name, specName)
+				continue
+			}
+			// The binding is already in hand from the single manifest read
+			// above, so fetch just the payload (LoadRun would re-read the
+			// manifest for every run).
+			data, err := st.st.GetRunData(name)
+			if err != nil {
+				errs[i] = fmt.Errorf("provrpq: %w", err)
+				continue
+			}
+			r, err := DecodeRun(sp, data)
+			if err != nil {
+				errs[i] = fmt.Errorf("provrpq: store: run %q: %w", name, err)
+				continue
+			}
+			decoded[i] = r
 		}
-		// The binding is already in hand from the single manifest read
-		// above, so fetch just the payload (LoadRun would re-read the
-		// manifest for every run).
-		data, err := st.st.GetRunData(name)
-		if err != nil {
-			return nil, fmt.Errorf("provrpq: %w", err)
+	})
+	for i, name := range runNames {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		r, err := DecodeRun(sp, data)
-		if err != nil {
-			return nil, fmt.Errorf("provrpq: store: run %q: %w", name, err)
-		}
-		if err := c.reg.PutRun(name, specName, r); err != nil {
+		if err := c.reg.PutRun(name, runs[name], decoded[i]); err != nil {
 			return nil, err
 		}
 	}

@@ -180,11 +180,12 @@ func TestDurableCatalogPersistsEverything(t *testing.T) {
 	}
 }
 
-// TestStoreFailureRollsBack forces a persist failure (store directory
-// removed out from under the catalog) and checks the registration is
-// rolled back with an ErrStoreFailed-wrapped error, leaving the name
-// free for a retry.
-func TestStoreFailureRollsBack(t *testing.T) {
+// TestStoreFailureLeavesNameFree forces a persist failure (store
+// directory removed out from under the catalog) and checks nothing was
+// registered — the entry only becomes visible once its bytes are on
+// disk — with an ErrStoreFailed-wrapped error, leaving the name free for
+// a retry.
+func TestStoreFailureLeavesNameFree(t *testing.T) {
 	dir, cat, _ := durableFixture(t)
 	// Replace the runs directory with a plain file: every subsequent
 	// persist must fail (CreateTemp cannot create inside a file), and
@@ -196,9 +197,15 @@ func TestStoreFailureRollsBack(t *testing.T) {
 	} else if !errors.Is(err, ErrStoreFailed) {
 		t.Fatalf("error %v does not wrap ErrStoreFailed", err)
 	}
-	// The rollback left the name free: the run is not in the catalog.
+	// The failed persist left the name free: the run is not in the
+	// catalog, and no concurrent reader could ever have observed it.
 	if _, ok := cat.Run("r3"); ok {
 		t.Error("failed registration left the run in the catalog")
+	}
+	for _, n := range cat.RunNames() {
+		if n == "r3" {
+			t.Error("failed registration is enumerable via RunNames")
+		}
 	}
 	if _, err := cat.Engine("r3"); err == nil {
 		t.Error("failed registration left an engine resolvable")
@@ -211,5 +218,61 @@ func TestStoreFailureRollsBack(t *testing.T) {
 	}
 	if _, ok := cat.Spec("intro2"); ok {
 		t.Error("failed registration left the spec in the catalog")
+	}
+}
+
+// TestStaleStoreAttachRefusesClobber attaches an already-populated store
+// to a fresh empty catalog via CatalogOptions.Store (instead of
+// rebuilding with NewCatalogFromStore) and checks that registrations
+// under names the store already holds are refused: overwriting
+// specs/intro.json while runs/r1.json is still bound to the old payload
+// would make the directory unrestorable at the next boot.
+func TestStaleStoreAttachRefusesClobber(t *testing.T) {
+	dir, _, runs := durableFixture(t)
+	specPath := filepath.Join(dir, "specs", "intro.json")
+	specBefore, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCatalog(CatalogOptions{Store: st})
+	if err := fresh.RegisterSpec("intro", introSpec(t)); !errors.Is(err, ErrAlreadyRegistered) {
+		t.Fatalf("RegisterSpec over a stale store entry: err=%v, want ErrAlreadyRegistered", err)
+	}
+	// New names still work (first boot over an empty-but-for-stale-names
+	// store must not be bricked) …
+	if err := fresh.RegisterSpec("other", introSpec(t)); err != nil {
+		t.Fatal(err)
+	}
+	// … but an on-disk run name is just as protected as a spec name.
+	if _, err := fresh.DeriveRun(runs[0], "other", DeriveOptions{Seed: 9, TargetEdges: 50}); !errors.Is(err, ErrAlreadyRegistered) {
+		t.Fatalf("DeriveRun over a stale store entry: err=%v, want ErrAlreadyRegistered", err)
+	}
+
+	specAfter, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(specBefore) != string(specAfter) {
+		t.Fatal("refused registration still rewrote the on-disk specification")
+	}
+	// The directory must remain fully restorable, old and new entries alike.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewCatalogFromStore(st2, CatalogOptions{})
+	if err != nil {
+		t.Fatalf("store no longer restorable: %v", err)
+	}
+	if got := restored.SpecNames(); len(got) != 2 {
+		t.Fatalf("restored specs %v, want [intro other]", got)
+	}
+	if got := restored.RunNames(); len(got) != len(runs) {
+		t.Fatalf("restored runs %v, want %v", got, runs)
 	}
 }
