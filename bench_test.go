@@ -363,3 +363,71 @@ func BenchmarkAblationClosure(b *testing.B) {
 		}
 	})
 }
+
+// Append-path benchmarks: the acceptance claim is that appending k ≪ n
+// edges to a 16K-node run does work proportional to the affected frontier
+// (the k edges' endpoints), not the O(n) of re-deriving the whole run.
+// Compare AppendEdges64 (the in-place ingest), Grow64 (the catalog's
+// copy-on-write versioning on top of it) and Redecode (the only
+// pre-append way to reflect new edges: full re-derivation of the final
+// graph). The first sits orders of magnitude under the last.
+
+// benchAppendBatch builds one k-edge growth batch between random existing
+// nodes.
+func benchAppendBatch(rng *rand.Rand, run *derive.Run, tags []string, k int) derive.Batch {
+	edges := make([]derive.Edge, k)
+	for j := range edges {
+		edges[j] = derive.Edge{
+			From: derive.NodeID(rng.Intn(run.NumNodes())),
+			To:   derive.NodeID(rng.Intn(run.NumNodes())),
+			Tag:  tags[rng.Intn(len(tags))],
+		}
+	}
+	return derive.Batch{Edges: edges}
+}
+
+// BenchmarkAppendEdges16K: one in-place 64-edge append per op, run
+// growing as a live ingest would.
+func BenchmarkAppendEdges16K(b *testing.B) {
+	d, run := bioRun(b, 16000)
+	tags := d.Spec.Tags()
+	rng := rand.New(rand.NewSource(1))
+	const k = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := derive.AppendEdges(run, benchAppendBatch(rng, run, tags, k)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(k, "edges/op")
+}
+
+// BenchmarkAppendGrow16K: the versioned (copy-on-write) append the
+// catalog swap uses — clone headers, then frontier-proportional work.
+func BenchmarkAppendGrow16K(b *testing.B) {
+	d, run := bioRun(b, 16000)
+	tags := d.Spec.Tags()
+	batch := benchAppendBatch(rand.New(rand.NewSource(1)), run, tags, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := run.Grow(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendRedecode16K: the O(n) alternative — re-derive (decode,
+// validate, re-index) all n nodes to pick up the new edges.
+func BenchmarkAppendRedecode16K(b *testing.B) {
+	d, run := bioRun(b, 16000)
+	data, err := derive.EncodeRun(run)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := derive.DecodeRun(d.Spec, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -25,6 +25,16 @@ type Catalog struct {
 	store   *Store
 	reg     *catalog.Registry[*Spec, *Run, *Engine]
 
+	// growMus holds one mutex per run name, serializing AppendEdges and
+	// CompactRun on that run: a run's version history must be linear —
+	// each growth starts from the version the previous one published —
+	// and on a durable catalog the append log's sequence must match
+	// publication order. Per-run rather than catalog-wide so concurrent
+	// growth of independent runs only contends on the store's own
+	// manifest serialization, not on each other's encode and COW work.
+	// Never held together with persistMu.
+	growMus sync.Map // run name -> *sync.Mutex
+
 	// persistMu serializes durable mutations. Registration on a durable
 	// catalog is check-name → persist → insert: the disk write precedes
 	// visibility, so any spec or run a concurrent reader can see is

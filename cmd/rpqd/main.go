@@ -6,10 +6,12 @@
 //	rpqd -addr 127.0.0.1:0 -spec wf=wf.spec.json -run r1=wf=wf.run.json
 //	rpqd -timeout 10s -max-inflight 128 -workers 4 -plan-cache 4096
 //
-// With -data-dir the catalog is durable: every registered specification
-// and every uploaded or derived run (labels included) is committed to
-// disk before the request returns, and a restart with the same directory
-// restores the whole catalog without re-deriving or re-labeling anything.
+// With -data-dir the catalog is durable: every registered specification,
+// every uploaded or derived run (labels included) and every growth batch
+// appended via POST /v1/runs/{name}/edges is committed to disk before the
+// request returns, and a restart with the same directory restores the
+// whole catalog without re-deriving or re-labeling anything — per-run
+// append logs are replayed onto the stored base runs at boot.
 // Specs and runs can also be preloaded with repeatable -spec name=path
 // and -run name=spec=path flags — persisted into the data dir on first
 // boot, skipped on later boots when already restored — or registered at
@@ -78,6 +80,15 @@ func main() {
 		fatal(err)
 		ns, nr := len(cat.SpecNames()), len(cat.RunNames())
 		fmt.Printf("rpqd: restored %d specification(s) and %d run(s) from %s (no re-derivation)\n", ns, nr, *dataDir)
+		replayed := 0
+		for _, rn := range cat.RunNames() {
+			if v, ok := cat.RunVersion(rn); ok {
+				replayed += v
+			}
+		}
+		if replayed > 0 {
+			fmt.Printf("rpqd: replayed %d growth batch(es) from the append log\n", replayed)
+		}
 	} else {
 		cat = provrpq.NewCatalog(opts)
 	}

@@ -79,6 +79,15 @@ func timeOf(f func()) time.Duration {
 	return time.Since(start)
 }
 
+// timeOfErr measures one fallible invocation, propagating its error — a
+// figure runner is library code, so an evaluation failure must travel up
+// the gather path as a value, never tear the process down as a panic.
+func timeOfErr(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
 // Fig13a: safety-check time overhead versus grammar size (synthetic
 // specifications, 20 IFQs with k=3 per size; avg and worst, ms).
 func Fig13a(cfg Config) error {
@@ -96,11 +105,13 @@ func Fig13a(cfg Config) error {
 		var total, worst time.Duration
 		for i := 0; i < queries; i++ {
 			q := automata.MustParse(d.SafeIFQ(r, 3, true))
-			dur := timeOf(func() {
-				if _, err := core.Compile(d.Spec, q); err != nil {
-					panic(err)
-				}
+			dur, err := timeOfErr(func() error {
+				_, err := core.Compile(d.Spec, q)
+				return err
 			})
+			if err != nil {
+				return err
+			}
 			total += dur
 			if dur > worst {
 				worst = dur
@@ -128,11 +139,13 @@ func Fig13b(cfg Config) error {
 			var total, worst time.Duration
 			for i := 0; i < queries; i++ {
 				q := automata.MustParse(d.SafeIFQ(r, k, i%2 == 0))
-				dur := timeOf(func() {
-					if _, err := core.Compile(d.Spec, q); err != nil {
-						panic(err)
-					}
+				dur, err := timeOfErr(func() error {
+					_, err := core.Compile(d.Spec, q)
+					return err
 				})
+				if err != nil {
+					return err
+				}
 				total += dur
 				if dur > worst {
 					worst = dur
@@ -184,16 +197,20 @@ func Fig13c(cfg Config) error {
 
 		// RPL: compile (the amortized overhead) plus one decode per pair.
 		var env *core.Env
-		rplTotal := timeOf(func() {
+		rplTotal, err := timeOfErr(func() error {
 			env, err = core.Compile(run.Spec, q)
 			if err != nil {
-				panic(err)
+				return err
 			}
 			dec := env.NewDecoder() // hold one decoder: no pool traffic in the timed loop
 			for _, p := range pairs {
 				dec.PairwiseUnchecked(run.Label(p[0]), run.Label(p[1]))
 			}
+			return nil
 		})
+		if err != nil {
+			return err
+		}
 		if !env.Safe() {
 			return fmt.Errorf("bench: query %s unexpectedly unsafe", query)
 		}
@@ -256,16 +273,20 @@ func Fig13d(cfg Config) error {
 	for _, k := range ks {
 		q := automata.MustParse(d.SafeIFQ(r, k, true))
 		var env *core.Env
-		rplTotal := timeOf(func() {
+		rplTotal, err := timeOfErr(func() error {
 			env, err = core.Compile(run.Spec, q)
 			if err != nil {
-				panic(err)
+				return err
 			}
 			dec := env.NewDecoder() // hold one decoder: no pool traffic in the timed loop
 			for _, p := range pairs {
 				dec.PairwiseUnchecked(run.Label(p[0]), run.Label(p[1]))
 			}
+			return nil
 		})
+		if err != nil {
+			return err
+		}
 		g3, ok := baseline.NewG3(ix, q)
 		if !ok {
 			return fmt.Errorf("bench: not an IFQ")
@@ -341,17 +362,19 @@ func allPairsIFQ(cfg Config, d *workload.Dataset) error {
 			return fmt.Errorf("bench: IFQ %s unexpectedly unsafe", c.q)
 		}
 		matches := 0
-		rplT := timeOf(func() {
+		rplT, err := timeOfErr(func() error {
 			matches = 0
-			if err := env.AllPairsSafe(labels, labels, core.RPL, func(i, j int) { matches++ }); err != nil {
-				panic(err)
-			}
+			return env.AllPairsSafe(labels, labels, core.RPL, func(i, j int) { matches++ })
 		})
-		optT := timeOf(func() {
-			if err := env.AllPairsSafe(labels, labels, core.OptRPL, func(i, j int) {}); err != nil {
-				panic(err)
-			}
+		if err != nil {
+			return err
+		}
+		optT, err := timeOfErr(func() error {
+			return env.AllPairsSafe(labels, labels, core.OptRPL, func(i, j int) {})
 		})
+		if err != nil {
+			return err
+		}
 		g3, ok := baseline.NewG3(ix, q)
 		if !ok {
 			return fmt.Errorf("bench: not an IFQ")
@@ -413,17 +436,19 @@ func kleene(cfg Config, d *workload.Dataset) error {
 			labels[i] = run.Label(id)
 		}
 		matches := 0
-		rplT := timeOf(func() {
+		rplT, err := timeOfErr(func() error {
 			matches = 0
-			if err := env.AllPairsSafe(labels, labels, core.RPL, func(i, j int) { matches++ }); err != nil {
-				panic(err)
-			}
+			return env.AllPairsSafe(labels, labels, core.RPL, func(i, j int) { matches++ })
 		})
-		optT := timeOf(func() {
-			if err := env.AllPairsSafe(labels, labels, core.OptRPL, func(i, j int) {}); err != nil {
-				panic(err)
-			}
+		if err != nil {
+			return err
+		}
+		optT, err := timeOfErr(func() error {
+			return env.AllPairsSafe(labels, labels, core.OptRPL, func(i, j int) {})
 		})
+		if err != nil {
+			return err
+		}
 		// The paper-faithful baseline self-joins naively until a fixpoint.
 		g1 := baseline.NewG1Naive(ix)
 		g1T := timeOf(func() {
@@ -508,14 +533,15 @@ func general(cfg Config, d *workload.Dataset) error {
 			continue
 		}
 		var rel *baseline.Rel
-		oursT := timeOf(func() {
+		oursT, err := timeOfErr(func() error {
 			ours := core.NewGeneral(run, ix, core.CostBased)
 			var err error
 			rel, _, err = ours.Eval(qn)
-			if err != nil {
-				panic(err)
-			}
+			return err
 		})
+		if err != nil {
+			return err
+		}
 		if g1Rel.Len() != rel.Len() {
 			return fmt.Errorf("bench: result mismatch on %s: ours %d vs G1 %d", qn, rel.Len(), g1Rel.Len())
 		}

@@ -65,19 +65,21 @@ func FigPar(cfg Config) error {
 	wantMatches := -1
 	for _, w := range workerSweep {
 		matches := 0
-		rplT := timeOf(func() {
+		rplT, err := timeOfErr(func() error {
 			matches = 0
-			if err := env.AllPairsSafeParallel(labels, labels, core.RPL, w, func(i, j int) { matches++ }); err != nil {
-				panic(err)
-			}
+			return env.AllPairsSafeParallel(labels, labels, core.RPL, w, func(i, j int) { matches++ })
 		})
+		if err != nil {
+			return err
+		}
 		optMatches := 0
-		optT := timeOf(func() {
+		optT, err := timeOfErr(func() error {
 			optMatches = 0
-			if err := env.AllPairsSafeParallel(labels, labels, core.OptRPL, w, func(i, j int) { optMatches++ }); err != nil {
-				panic(err)
-			}
+			return env.AllPairsSafeParallel(labels, labels, core.OptRPL, w, func(i, j int) { optMatches++ })
 		})
+		if err != nil {
+			return err
+		}
 		if matches != optMatches {
 			return fmt.Errorf("bench: RPL found %d matches, optRPL %d at %d workers", matches, optMatches, w)
 		}

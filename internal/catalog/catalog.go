@@ -35,10 +35,17 @@ type Registry[S, R, E any] struct {
 }
 
 // runEntry is one registered run. once guards the engine build so
-// concurrent Engine calls construct it exactly once.
+// concurrent Engine calls construct it exactly once. spec, run and the
+// engine identity are immutable after insertion: ReplaceRun and DropEngine
+// swap in a fresh entry rather than mutating this one, so a reader that
+// resolved an entry before the swap keeps a fully consistent (run, engine)
+// view while new lookups see the replacement. gen is the one mutable
+// field — every access is under the registry mutex, and it is never read
+// through an entry held outside the lock.
 type runEntry[R, E any] struct {
 	spec string
 	run  R
+	gen  int // growth generation: batches applied since registration or compaction
 	once sync.Once
 	eng  E
 }
@@ -160,6 +167,68 @@ func (g *Registry[S, R, E]) RunsOf(spec string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ReplaceRun atomically swaps the run registered under name for a new
+// version and bumps its growth generation. The previous entry's lazily
+// built engine is dropped with it — the next Engine call builds over the
+// new run — while a caller that already holds the old engine keeps serving
+// the old, internally consistent version. Returns the new generation, or
+// false if no run is registered under name.
+func (g *Registry[S, R, E]) ReplaceRun(name string, r R) (gen int, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	en, ok := g.runs[name]
+	if !ok {
+		return 0, false
+	}
+	g.runs[name] = &runEntry[R, E]{spec: en.spec, run: r, gen: en.gen + 1}
+	return en.gen + 1, true
+}
+
+// DropEngine releases the engine built for the named run while keeping the
+// run registered — the evict/rebuild hook: the next Engine call rebuilds
+// from the run. A build already in flight completes into the discarded
+// entry and is garbage once its callers let go. Returns false if no run is
+// registered under name.
+func (g *Registry[S, R, E]) DropEngine(name string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	en, ok := g.runs[name]
+	if !ok {
+		return false
+	}
+	g.runs[name] = &runEntry[R, E]{spec: en.spec, run: en.run, gen: en.gen}
+	return true
+}
+
+// RunGeneration reports how many growth batches have been applied to the
+// named run since it was registered (via ReplaceRun or SetRunGeneration).
+func (g *Registry[S, R, E]) RunGeneration(name string) (int, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	en, ok := g.runs[name]
+	if !ok {
+		return 0, false
+	}
+	return en.gen, true
+}
+
+// SetRunGeneration overrides the named run's growth generation — used by a
+// boot-from-store to account for batches replayed into the run before it
+// was registered, and by compaction to reset the count. The run and any
+// built engine are untouched (the generation is bookkeeping, not content;
+// see runEntry for why the in-place write is safe). Returns false if no
+// run is registered under name.
+func (g *Registry[S, R, E]) SetRunGeneration(name string, gen int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	en, ok := g.runs[name]
+	if !ok {
+		return false
+	}
+	en.gen = gen
+	return true
 }
 
 // Engine returns the named run's engine, building it on first use. The

@@ -167,3 +167,94 @@ func TestConcurrentRegistration(t *testing.T) {
 		t.Fatalf("builder fired %d times, want %d", b, n)
 	}
 }
+
+func TestReplaceRunSwapsEngine(t *testing.T) {
+	g, builds := newTest()
+	if err := g.PutSpec("w", "specW"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PutRun("r1", "w", "v0"); err != nil {
+		t.Fatal(err)
+	}
+	if gen, ok := g.RunGeneration("r1"); !ok || gen != 0 {
+		t.Fatalf("fresh generation = %d, %v", gen, ok)
+	}
+	e0, _ := g.Engine("r1")
+
+	gen, ok := g.ReplaceRun("r1", "v1")
+	if !ok || gen != 1 {
+		t.Fatalf("ReplaceRun = %d, %v", gen, ok)
+	}
+	if r, _ := g.Run("r1"); r != "v1" {
+		t.Fatalf("Run after replace = %q", r)
+	}
+	if sp, _ := g.RunSpec("r1"); sp != "w" {
+		t.Fatalf("RunSpec after replace = %q; the binding must survive", sp)
+	}
+	e1, _ := g.Engine("r1")
+	if e1 == e0 {
+		t.Fatal("replace must drop the old engine")
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want 2", builds.Load())
+	}
+	// Further lookups reuse the rebuilt engine.
+	if e2, _ := g.Engine("r1"); e2 != e1 {
+		t.Fatal("engine rebuilt twice after one replace")
+	}
+	if _, ok := g.ReplaceRun("ghost", "x"); ok {
+		t.Fatal("ReplaceRun of an unknown run must fail")
+	}
+}
+
+func TestDropEngineKeepsRun(t *testing.T) {
+	g, builds := newTest()
+	if err := g.PutSpec("w", "specW"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PutRun("r1", "w", "v0"); err != nil {
+		t.Fatal(err)
+	}
+	e0, _ := g.Engine("r1")
+	if !g.DropEngine("r1") {
+		t.Fatal("DropEngine failed")
+	}
+	if r, ok := g.Run("r1"); !ok || r != "v0" {
+		t.Fatalf("run vanished on DropEngine: %q, %v", r, ok)
+	}
+	if gen, _ := g.RunGeneration("r1"); gen != 0 {
+		t.Fatalf("DropEngine changed the generation to %d", gen)
+	}
+	e1, _ := g.Engine("r1")
+	if e1 == e0 {
+		t.Fatal("dropped engine came back")
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want 2", builds.Load())
+	}
+	if g.DropEngine("ghost") {
+		t.Fatal("DropEngine of an unknown run must fail")
+	}
+}
+
+func TestSetRunGeneration(t *testing.T) {
+	g, _ := newTest()
+	if err := g.PutSpec("w", "specW"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PutRun("r1", "w", "v0"); err != nil {
+		t.Fatal(err)
+	}
+	if !g.SetRunGeneration("r1", 7) {
+		t.Fatal("SetRunGeneration failed")
+	}
+	if gen, _ := g.RunGeneration("r1"); gen != 7 {
+		t.Fatalf("generation = %d, want 7", gen)
+	}
+	if gen, _ := g.ReplaceRun("r1", "v1"); gen != 8 {
+		t.Fatalf("generation after replace = %d, want 8", gen)
+	}
+	if g.SetRunGeneration("ghost", 1) {
+		t.Fatal("SetRunGeneration of an unknown run must fail")
+	}
+}

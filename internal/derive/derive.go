@@ -55,9 +55,26 @@ type Run struct {
 	Nodes []Node
 	Edges []Edge
 
-	byName map[string]NodeID
-	out    [][]int // node -> indices into Edges
-	in     [][]int
+	// byName is immutable once built (by finish, or by an overlay merge
+	// that replaces it wholesale with a fresh map), so Grow versions share
+	// it without copying. Names added by appends land in nameOverlay —
+	// owned per Run value, copied (small) by Grow — and are folded into a
+	// new byName once the overlay outgrows a fraction of the base, keeping
+	// lookups at two probes and the fold cost amortized O(1) per name.
+	byName      map[string]NodeID
+	nameOverlay map[string]NodeID
+	out         [][]int // node -> indices into Edges
+	in          [][]int
+
+	// ownedOut/ownedIn mark adjacency lists whose backing this Run value
+	// allocated itself (by an AppendEdges copy-on-write), as opposed to
+	// backing possibly shared with the parent a Grow cloned it from. An
+	// owned list is extended with a plain (amortized) append; an unowned
+	// one is copied exactly once on first touch. Grow deliberately does
+	// not carry these over — every list starts unowned in the clone — so
+	// sibling versions can never write into common backing. nil until the
+	// first append.
+	ownedOut, ownedIn map[NodeID]bool
 }
 
 // NumNodes returns the number of atomic module executions.
@@ -68,6 +85,9 @@ func (r *Run) NumEdges() int { return len(r.Edges) }
 
 // NodeByName resolves a paper-style id like "a:1".
 func (r *Run) NodeByName(name string) (NodeID, bool) {
+	if id, ok := r.nameOverlay[name]; ok {
+		return id, true
+	}
 	id, ok := r.byName[name]
 	return id, ok
 }

@@ -1,6 +1,7 @@
 package derive
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -27,13 +28,96 @@ type nodeJSON struct {
 func EncodeRun(r *Run) ([]byte, error) {
 	rj := runJSON{Edges: r.Edges}
 	for _, n := range r.Nodes {
-		rj.Nodes = append(rj.Nodes, nodeJSON{
-			Name:   n.Name,
-			Module: r.Spec.Name(n.Module),
-			Label:  base64.StdEncoding.EncodeToString(n.Label.Encode()),
-		})
+		rj.Nodes = append(rj.Nodes, encodeNode(r.Spec, n))
 	}
 	return json.Marshal(rj)
+}
+
+// batchJSON is the wire form of a growth batch — the same node and edge
+// shapes as runJSON, so a client that can upload runs can grow them.
+type batchJSON struct {
+	Nodes []nodeJSON `json:"nodes,omitempty"`
+	Edges []Edge     `json:"edges,omitempty"`
+}
+
+// EncodeBatch serializes a growth batch against its specification (module
+// ids become names, labels are varint-packed and base64-wrapped — exactly
+// the EncodeRun node shape). This is the payload the append log persists,
+// so DecodeBatch(spec, EncodeBatch(spec, b)) replays to an equal batch.
+func EncodeBatch(spec *wf.Spec, b Batch) ([]byte, error) {
+	bj := batchJSON{Edges: b.Edges}
+	for _, n := range b.Nodes {
+		bj.Nodes = append(bj.Nodes, encodeNode(spec, n))
+	}
+	return json.Marshal(bj)
+}
+
+// DecodeBatch deserializes a growth batch against a specification,
+// validating what the specification alone can check (known modules, label
+// encoding and structure). Run-relative validation — endpoint ranges, name
+// uniqueness, edge tags — happens in AppendEdges, against the run the
+// batch is finally applied to. Unlike a run upload, a batch is decoded
+// strictly (unknown JSON keys are errors): a committed batch replays on
+// every restart, so a typo that silently dropped half the payload would
+// be permanent.
+func DecodeBatch(spec *wf.Spec, data []byte) (Batch, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var bj batchJSON
+	if err := dec.Decode(&bj); err != nil {
+		return Batch{}, fmt.Errorf("derive: batch: %v", err)
+	}
+	if dec.More() {
+		// Decode stops at the first JSON value; accepting trailing data
+		// would silently (and, in the append log, permanently) drop it.
+		return Batch{}, fmt.Errorf("derive: batch: trailing data after the batch object")
+	}
+	b := Batch{Edges: bj.Edges}
+	for i, nj := range bj.Nodes {
+		n, err := decodeNode(spec, nj)
+		if err != nil {
+			return Batch{}, fmt.Errorf("derive: batch node %d%s: %v", i, nodeRef(nj.Name), err)
+		}
+		b.Nodes = append(b.Nodes, n)
+	}
+	return b, nil
+}
+
+// encodeNode and decodeNode are the single definition of the node wire
+// shape, shared by the run and batch codecs.
+func encodeNode(spec *wf.Spec, n Node) nodeJSON {
+	return nodeJSON{
+		Name:   n.Name,
+		Module: spec.Name(n.Module),
+		Label:  base64.StdEncoding.EncodeToString(n.Label.Encode()),
+	}
+}
+
+func decodeNode(spec *wf.Spec, nj nodeJSON) (Node, error) {
+	m, ok := spec.ModuleByName(nj.Module)
+	if !ok {
+		return Node{}, fmt.Errorf("references unknown module %q", nj.Module)
+	}
+	raw, err := base64.StdEncoding.DecodeString(nj.Label)
+	if err != nil {
+		return Node{}, fmt.Errorf("bad label encoding: %v", err)
+	}
+	lab, err := label.Decode(raw)
+	if err != nil {
+		return Node{}, err
+	}
+	if err := ValidateLabel(spec, lab); err != nil {
+		return Node{}, err
+	}
+	return Node{Module: m, Name: nj.Name, Label: lab}, nil
+}
+
+// nodeRef renders " (name)" for positioned errors, empty when unnamed.
+func nodeRef(name string) string {
+	if name == "" {
+		return ""
+	}
+	return " (" + name + ")"
 }
 
 // DecodeRun deserializes a run against its specification.
@@ -48,31 +132,17 @@ func DecodeRun(spec *wf.Spec, data []byte) (*Run, error) {
 	// would silently shadow all earlier nodes of that name.
 	seen := make(map[string]int, len(rj.Nodes))
 	for i, nj := range rj.Nodes {
-		m, ok := spec.ModuleByName(nj.Module)
-		if !ok {
-			return nil, fmt.Errorf("derive: run node %d references unknown module %q", i, nj.Module)
-		}
 		if first, dup := seen[nj.Name]; dup {
 			return nil, fmt.Errorf("derive: run node %d: duplicate node name %q (already used by node %d)", i, nj.Name, first)
 		}
 		seen[nj.Name] = i
-		raw, err := base64.StdEncoding.DecodeString(nj.Label)
+		n, err := decodeNode(spec, nj)
 		if err != nil {
-			return nil, fmt.Errorf("derive: run node %d: bad label encoding: %v", i, err)
+			return nil, fmt.Errorf("derive: run node %d%s: %v", i, nodeRef(nj.Name), err)
 		}
-		lab, err := label.Decode(raw)
-		if err != nil {
-			return nil, fmt.Errorf("derive: run node %d: %v", i, err)
-		}
-		if err := ValidateLabel(spec, lab); err != nil {
-			return nil, fmt.Errorf("derive: run node %d (%s): %v", i, nj.Name, err)
-		}
-		r.Nodes = append(r.Nodes, Node{Module: m, Name: nj.Name, Label: lab})
+		r.Nodes = append(r.Nodes, n)
 	}
-	alphabet := map[string]bool{}
-	for _, t := range spec.Tags() {
-		alphabet[t] = true
-	}
+	alphabet := tagSet(spec)
 	for i, e := range r.Edges {
 		if e.From < 0 || int(e.From) >= len(r.Nodes) || e.To < 0 || int(e.To) >= len(r.Nodes) {
 			return nil, fmt.Errorf("derive: edge %d (%d -[%s]-> %d): endpoint out of range [0,%d)",

@@ -4,16 +4,18 @@
 //
 // Endpoints (all JSON):
 //
-//	POST /v1/specs     register a specification   {"name", "spec"}
-//	GET  /v1/specs     list specifications
-//	POST /v1/runs      upload or derive a run     {"name", "spec", "run"|"derive"}
-//	GET  /v1/runs      list runs
-//	POST /v1/evaluate  full evaluation on one run {"run", "query", "count_only"?}
-//	POST /v1/pairwise  one pair on one run        {"run", "query", "from", "to"}
-//	POST /v1/batch     runs × queries fan-out     {"runs"?, "queries", "count_only"?}
-//	GET  /v1/snapshot  durable-store contents (what a restart restores)
-//	GET  /healthz      liveness (never limited)
-//	GET  /statsz       plan-cache / worker-pool / request metrics (never limited)
+//	POST /v1/specs             register a specification   {"name", "spec"}
+//	GET  /v1/specs             list specifications
+//	POST /v1/runs              upload or derive a run     {"name", "spec", "run"|"derive"}
+//	GET  /v1/runs              list runs
+//	POST /v1/runs/{name}/edges grow a run by one batch    {"nodes"?, "edges"?}
+//	POST /v1/runs/{name}/compact fold the run's append log into one stored base
+//	POST /v1/evaluate          full evaluation on one run {"run", "query", "count_only"?, "limit"?, "offset"?}
+//	POST /v1/pairwise          one pair on one run        {"run", "query", "from", "to"}
+//	POST /v1/batch             runs × queries fan-out     {"runs"?, "queries", "count_only"?}
+//	GET  /v1/snapshot          durable-store contents (what a restart restores)
+//	GET  /healthz              liveness (never limited)
+//	GET  /statsz               plan-cache / worker-pool / request metrics (never limited)
 //
 // Errors share one shape: {"error": {"code": "...", "message": "..."}}.
 // When the catalog has a durable store attached (rpqd -data-dir), every
@@ -29,7 +31,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -97,6 +101,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/specs", s.handleListSpecs)
 	mux.HandleFunc("POST /v1/runs", s.handleAddRun)
 	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	mux.HandleFunc("POST /v1/runs/{name}/edges", s.handleAppendEdges)
+	mux.HandleFunc("POST /v1/runs/{name}/compact", s.handleCompactRun)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/pairwise", s.handlePairwise)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -207,12 +213,35 @@ type runInfo struct {
 	Spec  string `json:"spec"`
 	Nodes int    `json:"nodes"`
 	Edges int    `json:"edges"`
+	// Version counts the growth batches applied to the run (stable across
+	// restarts of a durable catalog).
+	Version int `json:"version"`
+}
+
+// The append request body is one growth batch in the run-upload wire
+// shapes, {"nodes": [...], "edges": [...]}, decoded directly by the run
+// codec.
+type appendResponse struct {
+	Run           string `json:"run"`
+	Spec          string `json:"spec"`
+	Version       int    `json:"version"`
+	Nodes         int    `json:"nodes"`
+	Edges         int    `json:"edges"`
+	AppendedNodes int    `json:"appended_nodes"`
+	AppendedEdges int    `json:"appended_edges"`
+	Frontier      int    `json:"frontier"`
 }
 
 type evaluateRequest struct {
 	Run       string `json:"run"`
 	Query     string `json:"query"`
 	CountOnly bool   `json:"count_only"`
+	// Limit/Offset page the pair list: pairs carries the window
+	// [offset, offset+limit) of the full result, whose size is always
+	// reported in total (and count). Unset limit returns every pair, as
+	// before paging existed.
+	Limit  *int `json:"limit,omitempty"`
+	Offset int  `json:"offset,omitempty"`
 }
 
 type pairJSON struct {
@@ -221,11 +250,16 @@ type pairJSON struct {
 }
 
 type evaluateResponse struct {
-	Run   string     `json:"run"`
-	Query string     `json:"query"`
-	Safe  bool       `json:"safe"`
-	Count int        `json:"count"`
-	Pairs []pairJSON `json:"pairs,omitempty"`
+	Run   string `json:"run"`
+	Query string `json:"query"`
+	Safe  bool   `json:"safe"`
+	// Count and Total both report the full match count — Count predates
+	// paging and keeps its meaning for old clients; pagers read Total and
+	// Offset to walk the windows.
+	Count  int        `json:"count"`
+	Total  int        `json:"total"`
+	Offset int        `json:"offset,omitempty"`
+	Pairs  []pairJSON `json:"pairs,omitempty"`
 }
 
 type pairwiseRequest struct {
@@ -284,7 +318,8 @@ type snapshotResponse struct {
 	Durable bool              `json:"durable"`
 	Dir     string            `json:"dir,omitempty"`
 	Specs   []string          `json:"specs,omitempty"`
-	Runs    map[string]string `json:"runs,omitempty"` // run -> spec
+	Runs    map[string]string `json:"runs,omitempty"`    // run -> spec
+	Appends map[string]int    `json:"appends,omitempty"` // run -> committed growth batches
 }
 
 // ---- handlers ----
@@ -329,7 +364,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, snapshotResponse{
-		Durable: true, Dir: snap.Dir, Specs: snap.Specs, Runs: snap.Runs,
+		Durable: true, Dir: snap.Dir, Specs: snap.Specs, Runs: snap.Runs, Appends: snap.Appends,
 	})
 }
 
@@ -436,9 +471,110 @@ func (s *Server) handleListRuns(w http.ResponseWriter, _ *http.Request) {
 			continue
 		}
 		specName, _ := s.cat.RunSpecName(name)
-		out = append(out, runInfo{Name: name, Spec: specName, Nodes: run.NumNodes(), Edges: run.NumEdges()})
+		version, _ := s.cat.RunVersion(name)
+		out = append(out, runInfo{Name: name, Spec: specName, Nodes: run.NumNodes(), Edges: run.NumEdges(), Version: version})
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+// handleCompactRun folds the named run's committed growth batches into a
+// single stored base payload, bounding the append log a long-lived run
+// accumulates (and the work a restart replays). The served run is
+// untouched; its version resets to 0.
+func (s *Server) handleCompactRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := s.cat.RunSpecName(name); !ok {
+		s.writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("run %q is not registered", name))
+		return
+	}
+	if s.cat.Store() == nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "catalog has no durable store; nothing to compact")
+		return
+	}
+	if err := s.cat.CompactRun(name); err != nil {
+		if errors.Is(err, provrpq.ErrStoreFailed) {
+			s.writeError(w, http.StatusInternalServerError, "store_failed", err.Error())
+		} else {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"run": name, "version": 0, "compacted": true})
+}
+
+// handleAppendEdges grows a run by one batch: POST /v1/runs/{name}/edges
+// with the batch as the body. The growth is durable before the response on
+// a catalog with a store, and the run's engine is swapped atomically — the
+// very next evaluate sees the grown run.
+//
+// An append is not naturally idempotent (an edges-only batch applied
+// twice duplicates its edges), so a client that may retry — after a 503
+// timeout the server can still have finished the commit — passes the
+// ?expected_version=N query parameter with the version it grew the batch
+// against; a mismatch answers 409 conflict with the current version
+// instead of double-applying.
+func (s *Server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	expected := -1
+	if ev := r.URL.Query().Get("expected_version"); ev != "" {
+		n, err := strconv.Atoi(ev)
+		if err != nil || n < 0 {
+			s.writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("expected_version %q must be a non-negative integer", ev))
+			return
+		}
+		expected = n
+	}
+	specName, ok := s.cat.RunSpecName(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("run %q is not registered", name))
+		return
+	}
+	spec, ok := s.cat.Spec(specName)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, "internal", fmt.Sprintf("run %q is bound to unknown specification %q", name, specName))
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
+		return
+	}
+	batch, err := provrpq.DecodeBatch(spec, body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_batch", err.Error())
+		return
+	}
+	if batch.NumNodes() == 0 && batch.NumEdges() == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_batch", "empty batch: provide nodes and/or edges")
+		return
+	}
+	var res provrpq.AppendResult
+	if expected >= 0 {
+		res, err = s.cat.AppendEdgesCAS(name, batch, expected)
+	} else {
+		res, err = s.cat.AppendEdges(name, batch)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, provrpq.ErrVersionMismatch):
+			s.writeError(w, http.StatusConflict, "conflict", err.Error())
+		case errors.Is(err, provrpq.ErrStoreFailed):
+			s.writeError(w, http.StatusInternalServerError, "store_failed", err.Error())
+		default:
+			s.writeError(w, http.StatusBadRequest, "bad_batch", err.Error())
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, appendResponse{
+		Run:           name,
+		Spec:          specName,
+		Version:       res.Version,
+		Nodes:         res.Run.NumNodes(),
+		Edges:         res.Run.NumEdges(),
+		AppendedNodes: res.Stats.NewNodes,
+		AppendedEdges: res.Stats.NewEdges,
+		Frontier:      res.Stats.Frontier,
+	})
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -448,6 +584,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	eng, q, ok := s.resolve(w, req.Run, req.Query)
 	if !ok {
+		return
+	}
+	if req.Offset < 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", `"offset" must be >= 0`)
+		return
+	}
+	if req.Limit != nil && *req.Limit < 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", `"limit" must be >= 0`)
 		return
 	}
 	safe, err := eng.IsSafe(q)
@@ -460,9 +604,24 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "evaluate_failed", err.Error())
 		return
 	}
-	resp := evaluateResponse{Run: req.Run, Query: q.String(), Safe: safe, Count: len(pairs)}
+	total := len(pairs)
+	resp := evaluateResponse{Run: req.Run, Query: q.String(), Safe: safe, Count: total, Total: total, Offset: req.Offset}
 	if !req.CountOnly {
-		resp.Pairs = toPairJSON(eng.Run(), pairs)
+		// Page the serialized window, not the evaluation: a full pair list
+		// is O(n²) in the worst case, and an unbounded response body is
+		// what the limit protects clients (and the wire) from.
+		window := pairs
+		if req.Offset > 0 {
+			if req.Offset >= len(window) {
+				window = nil
+			} else {
+				window = window[req.Offset:]
+			}
+		}
+		if req.Limit != nil && *req.Limit < len(window) {
+			window = window[:*req.Limit]
+		}
+		resp.Pairs = toPairJSON(eng.Run(), window)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -641,3 +641,399 @@ func TestServerSnapshotAndRestart(t *testing.T) {
 		}
 	}
 }
+
+// splitRunJSON carves an encoded run into a base-run payload (the first m
+// nodes plus the edges internal to them) and one growth-batch payload (the
+// remaining nodes and edges, in the run's final numbering).
+func splitRunJSON(t testing.TB, data []byte, m int) (base, batch []byte) {
+	t.Helper()
+	var rj struct {
+		Nodes []json.RawMessage `json:"nodes"`
+		Edges []struct {
+			From, To int
+			Tag      string
+		} `json:"edges"`
+	}
+	if err := json.Unmarshal(data, &rj); err != nil {
+		t.Fatal(err)
+	}
+	if m <= 0 || m >= len(rj.Nodes) {
+		t.Fatalf("split point %d outside (0,%d)", m, len(rj.Nodes))
+	}
+	type edge struct {
+		From int    `json:"From"`
+		To   int    `json:"To"`
+		Tag  string `json:"Tag"`
+	}
+	var baseEdges, batchEdges []edge
+	for _, e := range rj.Edges {
+		if e.From < m && e.To < m {
+			baseEdges = append(baseEdges, edge(e))
+		} else {
+			batchEdges = append(batchEdges, edge(e))
+		}
+	}
+	base, err := json.Marshal(map[string]any{"nodes": rj.Nodes[:m], "edges": baseEdges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err = json.Marshal(map[string]any{"nodes": rj.Nodes[m:], "edges": batchEdges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, batch
+}
+
+// TestServerAppendEdges grows a run over HTTP and checks the grown run
+// answers exactly like the same graph uploaded whole.
+func TestServerAppendEdges(t *testing.T) {
+	cat, c := newService(t, Options{})
+	specJSON, err := introSpec(t).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.do("POST", "/v1/specs", map[string]any{"name": "intro", "spec": json.RawMessage(specJSON)},
+		http.StatusCreated, nil)
+
+	spec, _ := cat.Spec("intro")
+	native, err := spec.Derive(provrpq.DeriveOptions{Seed: 21, TargetEdges: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullJSON, err := provrpq.EncodeRun(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, batchJSON := splitRunJSON(t, fullJSON, native.NumNodes()/2)
+	c.do("POST", "/v1/runs", map[string]any{"name": "full", "spec": "intro", "run": json.RawMessage(fullJSON)},
+		http.StatusCreated, nil)
+	c.do("POST", "/v1/runs", map[string]any{"name": "grow", "spec": "intro", "run": json.RawMessage(baseJSON)},
+		http.StatusCreated, nil)
+
+	// Error paths first: unknown run, malformed batch, empty batch, batch
+	// with an out-of-alphabet tag. None of them may change the run.
+	var errResp struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	c.do("POST", "/v1/runs/ghost/edges", json.RawMessage(batchJSON), http.StatusNotFound, &errResp)
+	if errResp.Error.Code != "not_found" {
+		t.Fatalf("unknown run code = %q", errResp.Error.Code)
+	}
+	c.do("POST", "/v1/runs/grow/edges", json.RawMessage(`{"edges":[{"From":0,"To":1,"Tag":"nope"}]}`),
+		http.StatusBadRequest, &errResp)
+	if errResp.Error.Code != "bad_batch" {
+		t.Fatalf("bad tag code = %q", errResp.Error.Code)
+	}
+	c.do("POST", "/v1/runs/grow/edges", json.RawMessage(`{}`), http.StatusBadRequest, &errResp)
+	if errResp.Error.Code != "bad_batch" {
+		t.Fatalf("empty batch code = %q", errResp.Error.Code)
+	}
+	// Strict decode: a typo'd key is rejected instead of being silently
+	// dropped and a partial batch durably committed.
+	c.do("POST", "/v1/runs/grow/edges", json.RawMessage(`{"egdes":[{"From":0,"To":1,"Tag":"s"}]}`),
+		http.StatusBadRequest, &errResp)
+	if errResp.Error.Code != "bad_batch" {
+		t.Fatalf("typo'd batch code = %q", errResp.Error.Code)
+	}
+
+	// Build an engine over the base version: the append must not disturb
+	// queries already running against it, and the swap must give new
+	// lookups the grown run.
+	var before struct {
+		Count int `json:"count"`
+	}
+	c.do("POST", "/v1/evaluate", map[string]any{"run": "grow", "query": "_*", "count_only": true},
+		http.StatusOK, &before)
+
+	var ar struct {
+		Version       int `json:"version"`
+		Nodes         int `json:"nodes"`
+		Edges         int `json:"edges"`
+		AppendedNodes int `json:"appended_nodes"`
+		AppendedEdges int `json:"appended_edges"`
+		Frontier      int `json:"frontier"`
+	}
+	c.do("POST", "/v1/runs/grow/edges", json.RawMessage(batchJSON), http.StatusOK, &ar)
+	if ar.Version != 1 || ar.Nodes != native.NumNodes() || ar.Edges != native.NumEdges() {
+		t.Fatalf("append response = %+v, want version 1 and the full graph size", ar)
+	}
+	if ar.AppendedNodes == 0 || ar.AppendedEdges == 0 || ar.Frontier == 0 {
+		t.Fatalf("append response stats = %+v", ar)
+	}
+
+	// The grown run answers exactly like the whole upload, for safe and
+	// unsafe queries alike.
+	for _, qs := range []string{"_*.s._*.publish", "ingest._*", "_*.a1._*", "_*"} {
+		var grown, whole struct {
+			Count int                         `json:"count"`
+			Pairs []struct{ From, To string } `json:"pairs"`
+		}
+		c.do("POST", "/v1/evaluate", map[string]any{"run": "grow", "query": qs}, http.StatusOK, &grown)
+		c.do("POST", "/v1/evaluate", map[string]any{"run": "full", "query": qs}, http.StatusOK, &whole)
+		if grown.Count != whole.Count {
+			t.Fatalf("query %s: grown count %d, whole count %d", qs, grown.Count, whole.Count)
+		}
+		for i := range grown.Pairs {
+			if grown.Pairs[i] != whole.Pairs[i] {
+				t.Fatalf("query %s pair %d: grown %v, whole %v", qs, i, grown.Pairs[i], whole.Pairs[i])
+			}
+		}
+	}
+	if before.Count >= native.NumNodes()*native.NumNodes() {
+		t.Fatal("sanity: base count suspicious")
+	}
+
+	// Retry safety: an append guarded by expected_version bounces off a
+	// stale version with 409 instead of double-applying, a malformed
+	// guard is 400, and the correct guard commits.
+	smallBatch := json.RawMessage(`{"edges":[{"From":0,"To":1,"Tag":"s"}]}`)
+	c.do("POST", "/v1/runs/grow/edges?expected_version=0", smallBatch, http.StatusConflict, &errResp)
+	if errResp.Error.Code != "conflict" {
+		t.Fatalf("stale expected_version code = %q", errResp.Error.Code)
+	}
+	c.do("POST", "/v1/runs/grow/edges?expected_version=x", smallBatch, http.StatusBadRequest, &errResp)
+	if errResp.Error.Code != "bad_request" {
+		t.Fatalf("malformed expected_version code = %q", errResp.Error.Code)
+	}
+	var ar2 struct {
+		Version int `json:"version"`
+	}
+	c.do("POST", "/v1/runs/grow/edges?expected_version=1", smallBatch, http.StatusOK, &ar2)
+	if ar2.Version != 2 {
+		t.Fatalf("guarded append version = %d, want 2", ar2.Version)
+	}
+
+	// The listing reports the bumped version.
+	var listing struct {
+		Runs []struct {
+			Name    string `json:"name"`
+			Version int    `json:"version"`
+		} `json:"runs"`
+	}
+	c.do("GET", "/v1/runs", nil, http.StatusOK, &listing)
+	versions := map[string]int{}
+	for _, ri := range listing.Runs {
+		versions[ri.Name] = ri.Version
+	}
+	if versions["grow"] != 2 || versions["full"] != 0 {
+		t.Fatalf("listed versions = %v", versions)
+	}
+}
+
+// TestServerEvaluatePaging: limit/offset window the pair list, total always
+// reports the full count, and the unpaged request is byte-compatible with
+// the pre-paging wire shape.
+func TestServerEvaluatePaging(t *testing.T) {
+	_, c := newService(t, Options{})
+	registerFixture(t, c)
+
+	type page struct {
+		Count int                         `json:"count"`
+		Total int                         `json:"total"`
+		Pairs []struct{ From, To string } `json:"pairs"`
+	}
+	var full page
+	c.do("POST", "/v1/evaluate", map[string]any{"run": "run-a", "query": "_*"}, http.StatusOK, &full)
+	if full.Total != full.Count || len(full.Pairs) != full.Total {
+		t.Fatalf("unpaged response: count %d, total %d, %d pairs", full.Count, full.Total, len(full.Pairs))
+	}
+	if full.Total < 10 {
+		t.Fatalf("fixture too small to page: %d pairs", full.Total)
+	}
+
+	// Walk the windows and reassemble the full list.
+	limit := full.Total/3 + 1
+	var got []struct{ From, To string }
+	for off := 0; off < full.Total; off += limit {
+		var p page
+		c.do("POST", "/v1/evaluate",
+			map[string]any{"run": "run-a", "query": "_*", "limit": limit, "offset": off},
+			http.StatusOK, &p)
+		if p.Total != full.Total || p.Count != full.Total {
+			t.Fatalf("window at %d: total %d, count %d, want %d", off, p.Total, p.Count, full.Total)
+		}
+		if len(p.Pairs) > limit {
+			t.Fatalf("window at %d: %d pairs exceeds limit %d", off, len(p.Pairs), limit)
+		}
+		got = append(got, p.Pairs...)
+	}
+	if len(got) != full.Total {
+		t.Fatalf("reassembled %d pairs, want %d", len(got), full.Total)
+	}
+	for i := range got {
+		if got[i] != full.Pairs[i] {
+			t.Fatalf("pair %d: paged %v, full %v", i, got[i], full.Pairs[i])
+		}
+	}
+
+	// Edges of the parameter space.
+	var p page
+	c.do("POST", "/v1/evaluate", map[string]any{"run": "run-a", "query": "_*", "limit": 0}, http.StatusOK, &p)
+	if len(p.Pairs) != 0 || p.Total != full.Total {
+		t.Fatalf("limit 0: %d pairs, total %d", len(p.Pairs), p.Total)
+	}
+	c.do("POST", "/v1/evaluate", map[string]any{"run": "run-a", "query": "_*", "offset": full.Total + 5}, http.StatusOK, &p)
+	if len(p.Pairs) != 0 || p.Total != full.Total {
+		t.Fatalf("offset past end: %d pairs, total %d", len(p.Pairs), p.Total)
+	}
+	var errResp struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	c.do("POST", "/v1/evaluate", map[string]any{"run": "run-a", "query": "_*", "limit": -1}, http.StatusBadRequest, &errResp)
+	if errResp.Error.Code != "bad_request" {
+		t.Fatalf("negative limit code = %q", errResp.Error.Code)
+	}
+	c.do("POST", "/v1/evaluate", map[string]any{"run": "run-a", "query": "_*", "offset": -1}, http.StatusBadRequest, &errResp)
+	if errResp.Error.Code != "bad_request" {
+		t.Fatalf("negative offset code = %q", errResp.Error.Code)
+	}
+}
+
+// TestServerAppendDurableRestart: growth committed over HTTP must survive a
+// daemon restart — the append log replays at boot and the restarted server
+// answers identically.
+func TestServerAppendDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := provrpq.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := provrpq.NewCatalog(provrpq.CatalogOptions{Store: st})
+	ts := httptest.NewServer(New(cat, Options{}).Handler())
+	t.Cleanup(ts.Close)
+	c := &testClient{t: t, base: ts.URL, hc: ts.Client()}
+
+	specJSON, err := introSpec(t).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.do("POST", "/v1/specs", map[string]any{"name": "intro", "spec": json.RawMessage(specJSON)},
+		http.StatusCreated, nil)
+	spec, _ := cat.Spec("intro")
+	native, err := spec.Derive(provrpq.DeriveOptions{Seed: 33, TargetEdges: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullJSON, err := provrpq.EncodeRun(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, batchJSON := splitRunJSON(t, fullJSON, native.NumNodes()/2)
+	c.do("POST", "/v1/runs", map[string]any{"name": "live", "spec": "intro", "run": json.RawMessage(baseJSON)},
+		http.StatusCreated, nil)
+	c.do("POST", "/v1/runs/live/edges", json.RawMessage(batchJSON), http.StatusOK, nil)
+
+	var snap struct {
+		Appends map[string]int `json:"appends"`
+	}
+	c.do("GET", "/v1/snapshot", nil, http.StatusOK, &snap)
+	if snap.Appends["live"] != 1 {
+		t.Fatalf("snapshot appends = %v, want live:1", snap.Appends)
+	}
+
+	var before struct {
+		Count int                         `json:"count"`
+		Pairs []struct{ From, To string } `json:"pairs"`
+	}
+	c.do("POST", "/v1/evaluate", map[string]any{"run": "live", "query": "_*"}, http.StatusOK, &before)
+
+	// Restart on the same directory.
+	st2, err := provrpq.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := provrpq.NewCatalogFromStore(st2, provrpq.CatalogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := cat2.RunVersion("live"); v != 1 {
+		t.Fatalf("restored version = %d, want 1", v)
+	}
+	ts2 := httptest.NewServer(New(cat2, Options{}).Handler())
+	t.Cleanup(ts2.Close)
+	c2 := &testClient{t: t, base: ts2.URL, hc: ts2.Client()}
+	var after struct {
+		Count int                         `json:"count"`
+		Pairs []struct{ From, To string } `json:"pairs"`
+	}
+	c2.do("POST", "/v1/evaluate", map[string]any{"run": "live", "query": "_*"}, http.StatusOK, &after)
+	if before.Count != after.Count || len(before.Pairs) != len(after.Pairs) {
+		t.Fatalf("restart changed the answer: %d pairs before, %d after", before.Count, after.Count)
+	}
+	for i := range before.Pairs {
+		if before.Pairs[i] != after.Pairs[i] {
+			t.Fatalf("pair %d: %v before restart, %v after", i, before.Pairs[i], after.Pairs[i])
+		}
+	}
+	// Growth continues seamlessly after the restart: the next batch gets
+	// the next sequence number and version.
+	var errResp struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	c2.do("POST", "/v1/runs/live/edges", json.RawMessage(`{"edges":[{"From":0,"To":0,"Tag":"nope"}]}`),
+		http.StatusBadRequest, &errResp)
+	if errResp.Error.Code != "bad_batch" {
+		t.Fatalf("post-restart bad batch code = %q", errResp.Error.Code)
+	}
+
+	// Compaction over HTTP folds the log: appends empty, version 0, and a
+	// third boot (from the folded base alone) still answers identically.
+	var cr struct {
+		Compacted bool `json:"compacted"`
+		Version   int  `json:"version"`
+	}
+	c2.do("POST", "/v1/runs/live/compact", nil, http.StatusOK, &cr)
+	if !cr.Compacted || cr.Version != 0 {
+		t.Fatalf("compact response = %+v", cr)
+	}
+	var snap2 struct {
+		Appends map[string]int `json:"appends"`
+	}
+	c2.do("GET", "/v1/snapshot", nil, http.StatusOK, &snap2)
+	if len(snap2.Appends) != 0 {
+		t.Fatalf("snapshot appends after compaction = %v, want empty", snap2.Appends)
+	}
+	c2.do("POST", "/v1/runs/ghost/compact", nil, http.StatusNotFound, &errResp)
+	st3, err := provrpq.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat3, err := provrpq.NewCatalogFromStore(st3, provrpq.CatalogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts3 := httptest.NewServer(New(cat3, Options{}).Handler())
+	t.Cleanup(ts3.Close)
+	c3 := &testClient{t: t, base: ts3.URL, hc: ts3.Client()}
+	var folded struct {
+		Count int                         `json:"count"`
+		Pairs []struct{ From, To string } `json:"pairs"`
+	}
+	c3.do("POST", "/v1/evaluate", map[string]any{"run": "live", "query": "_*"}, http.StatusOK, &folded)
+	if folded.Count != after.Count || len(folded.Pairs) != len(after.Pairs) {
+		t.Fatalf("boot from folded base changed the answer: %d pairs, want %d", folded.Count, after.Count)
+	}
+	for i := range folded.Pairs {
+		if folded.Pairs[i] != after.Pairs[i] {
+			t.Fatalf("pair %d: %v from folded base, %v before", i, folded.Pairs[i], after.Pairs[i])
+		}
+	}
+	// The non-durable server refuses compaction.
+	_, plain := newService(t, Options{})
+	specJSON2, _ := introSpec(t).MarshalJSON()
+	plain.do("POST", "/v1/specs", map[string]any{"name": "intro", "spec": json.RawMessage(specJSON2)},
+		http.StatusCreated, nil)
+	plain.do("POST", "/v1/runs", map[string]any{
+		"name": "mem", "spec": "intro", "derive": map[string]any{"seed": 1, "target_edges": 60},
+	}, http.StatusCreated, nil)
+	plain.do("POST", "/v1/runs/mem/compact", nil, http.StatusBadRequest, &errResp)
+	if errResp.Error.Code != "bad_request" {
+		t.Fatalf("non-durable compact code = %q", errResp.Error.Code)
+	}
+}

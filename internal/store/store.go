@@ -4,25 +4,28 @@
 //
 // On-disk layout under one root directory:
 //
-//	<dir>/specs/<name>.json    one specification payload per file
-//	<dir>/runs/<name>.json     one run payload per file
-//	<dir>/manifest.json        {"runs": {"<run>": "<spec>"}}
+//	<dir>/specs/<name>.json        one specification payload per file
+//	<dir>/runs/<name>.json         one run payload per file
+//	<dir>/appends/<name>.<i>.json  the i-th committed growth batch of a run
+//	<dir>/manifest.json            {"runs": {"<run>": "<spec>"},
+//	                                "appends": {"<run>": <batch count>}}
 //
 // Names are opaque non-empty strings; they are path-escaped on the way to
 // a filename (so "a/b" and "a b" are valid catalog names) and unescaped
 // when listing. Every write is atomic: the payload goes to a temp file in
 // the destination directory, is fsynced, and is renamed over the final
-// path, so a crash mid-write never leaves a torn file — readers see the
-// old payload or the new one, nothing in between. The parent directory is
-// not fsynced, so a whole-machine crash can lose the most recent rename
-// (but never corrupt an existing entry).
+// path, followed by an fsync of the directory itself, so a crash mid-write
+// never leaves a torn file and a completed write — including the rename
+// that publishes it — survives power loss.
 //
-// The manifest is the commit point for runs: PutRun writes the run file
-// first and the manifest entry second, and readers only surface runs the
-// manifest names, so a crash between the two writes leaves an invisible
-// orphan file rather than a half-registered run. The store works at the
-// []byte level — the root package owns the spec/run codecs — and is safe
-// for concurrent use.
+// The manifest is the commit point for runs and for growth batches: PutRun
+// writes the run file first and the manifest entry second, AppendRun
+// writes the batch file first and bumps the manifest's batch count second,
+// and readers only surface what the manifest names, so a crash between the
+// two writes leaves an invisible orphan file rather than a half-registered
+// run or a torn growth step. The store works at the []byte level — the
+// root package owns the spec/run/batch codecs — and is safe for concurrent
+// use.
 package store
 
 import (
@@ -41,9 +44,20 @@ import (
 // with errors.Is).
 var ErrNotFound = errors.New("not in store")
 
+// ErrWedged marks a store that refuses further mutations after an
+// ambiguous commit failure (match with errors.Is). See Store.wedged.
+var ErrWedged = errors.New("store wedged by an ambiguous commit failure; reopen the store to recover")
+
+// errAmbiguousCommit classifies a writeAtomic failure that happened after
+// the rename already applied: the write may or may not be durable, so the
+// caller cannot know whether the entry is committed.
+var errAmbiguousCommit = errors.New("ambiguous commit")
+
 const (
 	specsDir     = "specs"
 	runsDir      = "runs"
+	appendsDir   = "appends"
+	basesDir     = "bases"
 	manifestName = "manifest.json"
 	ext          = ".json"
 )
@@ -57,17 +71,36 @@ type Store struct {
 	// consistent, but the manifest is read-modify-written and the
 	// run-file-then-manifest ordering of PutRun must not interleave.
 	mu sync.Mutex
+
+	// wedged latches when a write fails *after* its rename applied (the
+	// directory fsync failed): the entry may or may not be durable, so
+	// memory and disk can disagree about what is committed. Continuing to
+	// mutate on top of that ambiguity would let the histories diverge —
+	// e.g. an append the caller believes failed is counted by the on-disk
+	// manifest, and the next append would commit a batch grown from a
+	// base that lacks it. A wedged store refuses every further mutation
+	// with ErrWedged (reads keep working); reopening re-reads the disk
+	// state and recovers.
+	wedged bool
 }
 
 // Open opens (creating if necessary) the store rooted at dir, sweeping
 // any temp files a crashed writer abandoned (they are invisible to reads
 // but would otherwise accumulate forever).
 func Open(dir string) (*Store, error) {
-	for _, d := range []string{dir, filepath.Join(dir, specsDir), filepath.Join(dir, runsDir)} {
+	for _, d := range []string{dir, filepath.Join(dir, specsDir), filepath.Join(dir, runsDir), filepath.Join(dir, appendsDir), filepath.Join(dir, basesDir)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 		sweepTempFiles(d)
+	}
+	// Invariant: once Open returns, the layout itself is durable. The
+	// subdirectory entries live in the root directory, so fsyncing the
+	// root makes them survive power loss; without this, a crash right
+	// after the first boot could leave a store whose specs/runs/appends
+	// directories vanish along with everything written into them.
+	if err := syncDir(dir); err != nil {
+		return nil, err
 	}
 	return &Store{dir: dir}, nil
 }
@@ -107,7 +140,19 @@ func (s *Store) PutSpec(name string, data []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return writeAtomic(s.specPath(name), data)
+	if s.wedged {
+		return fmt.Errorf("store: specification %q: %w", name, ErrWedged)
+	}
+	return s.noteAmbiguous(writeAtomic(s.specPath(name), data))
+}
+
+// noteAmbiguous latches the wedge when a write failed after its rename
+// applied (callers hold s.mu); the error passes through unchanged.
+func (s *Store) noteAmbiguous(err error) error {
+	if errors.Is(err, errAmbiguousCommit) {
+		s.wedged = true
+	}
+	return err
 }
 
 // GetSpec reads a specification payload.
@@ -159,7 +204,10 @@ func (s *Store) PutRun(name, spec string, data []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := writeAtomic(s.runPath(name), data); err != nil {
+	if s.wedged {
+		return fmt.Errorf("store: run %q: %w", name, ErrWedged)
+	}
+	if err := s.noteAmbiguous(writeAtomic(s.runPath(name, 0), data)); err != nil {
 		return err
 	}
 	m, err := s.readManifest()
@@ -167,7 +215,12 @@ func (s *Store) PutRun(name, spec string, data []byte) error {
 		return err
 	}
 	m.Runs[name] = spec
-	return s.writeManifest(m)
+	// A fresh put defines a fresh history: any growth or compaction state
+	// a previous holder of the name left behind must not apply to the new
+	// payload (the payload just landed at epoch 0).
+	delete(m.Appends, name)
+	delete(m.Bases, name)
+	return s.noteAmbiguous(s.writeManifest(m))
 }
 
 // GetRun reads a run payload and the specification name it is bound to.
@@ -183,19 +236,20 @@ func (s *Store) GetRun(name string) (spec string, data []byte, err error) {
 	if !ok {
 		return "", nil, fmt.Errorf("store: run %q: %w", name, ErrNotFound)
 	}
-	data, err = os.ReadFile(s.runPath(name))
+	data, err = s.GetRunData(name, m.Bases[name])
 	if err != nil {
-		return "", nil, fmt.Errorf("store: run %q: %w", name, err)
+		return "", nil, err
 	}
 	return spec, data, nil
 }
 
-// GetRunData reads a run payload without consulting the manifest, for
-// callers that already hold the run → specification binding (the boot
-// replay reads the manifest once via Runs, then each payload directly —
+// GetRunData reads a run's base payload at the given compaction epoch
+// without consulting the manifest, for callers that already hold the
+// run → specification binding and the epoch (the boot replay reads the
+// manifest once via Runs/Appends/Bases, then each payload directly —
 // GetRun would re-parse the manifest per run).
-func (s *Store) GetRunData(name string) ([]byte, error) {
-	data, err := os.ReadFile(s.runPath(name))
+func (s *Store) GetRunData(name string, epoch int) ([]byte, error) {
+	data, err := os.ReadFile(s.runPath(name, epoch))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("store: run %q: %w", name, ErrNotFound)
 	}
@@ -203,6 +257,66 @@ func (s *Store) GetRunData(name string) ([]byte, error) {
 		return nil, fmt.Errorf("store: run %q: %w", name, err)
 	}
 	return data, nil
+}
+
+// Bases returns the manifest's run → base-payload compaction epoch (a
+// copy); never-compacted runs are absent (epoch 0).
+func (s *Store) Bases() (map[string]int, error) {
+	s.mu.Lock()
+	m, err := s.readManifest()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(m.Bases))
+	for k, v := range m.Bases {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// CompactRun folds a run's committed growth into a single base payload:
+// data must be the full current run (base plus every committed batch,
+// encoded by the caller). The new base lands at the next compaction epoch
+// in bases/ and the manifest — the single commit point — switches the
+// run's base and zeroes its batch count in one atomic write, so a crash
+// mid-compaction leaves an invisible orphan base file and the old
+// base+log fully in force, never a double-applied batch. Obsolete files
+// (the previous base, the folded batches) are removed best-effort after
+// the commit. Returns the new epoch.
+func (s *Store) CompactRun(name string, data []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wedged {
+		return 0, fmt.Errorf("store: run %q: %w", name, ErrWedged)
+	}
+	m, err := s.readManifest()
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := m.Runs[name]; !ok {
+		return 0, fmt.Errorf("store: run %q: %w", name, ErrNotFound)
+	}
+	oldEpoch, oldAppends := m.Bases[name], m.Appends[name]
+	epoch := oldEpoch + 1
+	if err := s.noteAmbiguous(writeAtomic(s.runPath(name, epoch), data)); err != nil {
+		return 0, err
+	}
+	if m.Bases == nil {
+		m.Bases = map[string]int{}
+	}
+	m.Bases[name] = epoch
+	delete(m.Appends, name)
+	if err := s.noteAmbiguous(s.writeManifest(m)); err != nil {
+		return 0, err
+	}
+	// Committed; the superseded files are garbage now. Best-effort: a
+	// failed remove leaves dead bytes, never wrong answers.
+	_ = os.Remove(s.runPath(name, oldEpoch))
+	for seq := 0; seq < oldAppends; seq++ {
+		_ = os.Remove(s.appendPath(name, seq))
+	}
+	return epoch, nil
 }
 
 // HasRun reports whether a run is committed under name.
@@ -215,6 +329,119 @@ func (s *Store) HasRun(name string) bool {
 	}
 	_, ok := m.Runs[name]
 	return ok
+}
+
+// AppendRun durably commits one growth batch for the named run, which
+// must already be committed, and returns the batch's sequence number
+// (0-based, dense). The batch file lands before the manifest count that
+// makes it visible — the same commit protocol as PutRun — so a crash
+// between the two writes leaves an orphan batch file that replay never
+// reads and the next AppendRun atomically overwrites: growth is replayed
+// cleanly or is invisible, never torn.
+func (s *Store) AppendRun(name string, data []byte) (seq int, err error) {
+	if name == "" {
+		return 0, fmt.Errorf("store: empty run name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wedged {
+		return 0, fmt.Errorf("store: run %q: %w", name, ErrWedged)
+	}
+	m, err := s.readManifest()
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := m.Runs[name]; !ok {
+		return 0, fmt.Errorf("store: run %q: %w", name, ErrNotFound)
+	}
+	seq = m.Appends[name]
+	if err := s.noteAmbiguous(writeAtomic(s.appendPath(name, seq), data)); err != nil {
+		return 0, err
+	}
+	if m.Appends == nil {
+		m.Appends = map[string]int{}
+	}
+	m.Appends[name] = seq + 1
+	if err := s.noteAmbiguous(s.writeManifest(m)); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// GetRunAppend reads one committed growth batch of a run. Only batches
+// below the manifest's committed count are readable; an orphan file from a
+// crashed AppendRun is invisible.
+func (s *Store) GetRunAppend(name string, seq int) ([]byte, error) {
+	s.mu.Lock()
+	m, err := s.readManifest()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if seq < 0 || seq >= m.Appends[name] {
+		return nil, fmt.Errorf("store: run %q append %d: %w", name, seq, ErrNotFound)
+	}
+	return s.GetRunAppendData(name, seq)
+}
+
+// GetRunAppendData reads a growth batch without consulting the manifest,
+// for callers that already hold the committed count (the boot replay reads
+// the manifest once via Appends, then each batch directly — GetRunAppend
+// would re-parse the manifest per batch, serializing the parallel decode
+// workers on the store lock).
+func (s *Store) GetRunAppendData(name string, seq int) ([]byte, error) {
+	data, err := os.ReadFile(s.appendPath(name, seq))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: run %q append %d: %w", name, seq, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: run %q append %d: %w", name, seq, err)
+	}
+	return data, nil
+}
+
+// Appends returns the manifest's run → committed-growth-batch count (a
+// copy); runs that never grew are absent.
+func (s *Store) Appends() (map[string]int, error) {
+	s.mu.Lock()
+	m, err := s.readManifest()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(m.Appends))
+	for k, v := range m.Appends {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// State returns the manifest's three bindings — run → spec, run → batch
+// count, run → base epoch — from one atomic manifest read. Callers that
+// need a consistent cross-map view (boot, snapshot) must use this rather
+// than Runs/Appends/Bases in sequence: a compaction committing between
+// two separate reads would otherwise pair an already-folded base with its
+// pre-fold batch count, double-applying every folded batch.
+func (s *Store) State() (runs map[string]string, appends, bases map[string]int, err error) {
+	s.mu.Lock()
+	m, err := s.readManifest()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	runs = make(map[string]string, len(m.Runs))
+	for k, v := range m.Runs {
+		runs[k] = v
+	}
+	appends = make(map[string]int, len(m.Appends))
+	for k, v := range m.Appends {
+		appends[k] = v
+	}
+	bases = make(map[string]int, len(m.Bases))
+	for k, v := range m.Bases {
+		bases[k] = v
+	}
+	return runs, appends, bases, nil
 }
 
 // Runs returns the manifest's run → specification binding (a copy).
@@ -250,14 +477,33 @@ func (s *Store) RunNames() ([]string, error) {
 
 type manifest struct {
 	Runs map[string]string `json:"runs"`
+	// Appends counts the committed growth batches per run; a manifest
+	// written before append support simply lacks the key (zero batches).
+	Appends map[string]int `json:"appends,omitempty"`
+	// Bases maps a run to its base payload's compaction epoch: 0 (or
+	// absent) is the original runs/<name>.json, epoch e >= 1 lives at
+	// bases/<name>.<e>.json. The manifest switch is what commits a
+	// compaction.
+	Bases map[string]int `json:"bases,omitempty"`
 }
 
 func (s *Store) specPath(name string) string {
 	return filepath.Join(s.dir, specsDir, url.PathEscape(name)+ext)
 }
 
-func (s *Store) runPath(name string) string {
-	return filepath.Join(s.dir, runsDir, url.PathEscape(name)+ext)
+// runPath locates a run's base payload at a compaction epoch. Epoch 0 is
+// the original upload in runs/; compacted bases live in their own
+// directory so an epoch-suffixed filename can never collide with another
+// run whose *name* ends in ".<digits>".
+func (s *Store) runPath(name string, epoch int) string {
+	if epoch == 0 {
+		return filepath.Join(s.dir, runsDir, url.PathEscape(name)+ext)
+	}
+	return filepath.Join(s.dir, basesDir, fmt.Sprintf("%s.%d%s", url.PathEscape(name), epoch, ext))
+}
+
+func (s *Store) appendPath(name string, seq int) string {
+	return filepath.Join(s.dir, appendsDir, fmt.Sprintf("%s.%d%s", url.PathEscape(name), seq, ext))
 }
 
 func (s *Store) manifestPath() string { return filepath.Join(s.dir, manifestName) }
@@ -333,5 +579,36 @@ func writeAtomic(path string, data []byte) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmp = nil
+	// Invariant: when writeAtomic returns nil the write is the commit —
+	// durable across power loss, not just process crash. The rename above
+	// only updates the in-memory directory entry; until the directory is
+	// fsynced the old entry (or none) can reappear after a crash, which
+	// would silently undo a "committed" manifest or payload. Fsyncing the
+	// parent directory pins the rename, completing the temp-file + fsync +
+	// rename + dir-fsync sequence. A failure *here* is ambiguous — the
+	// rename already applied, so the write may or may not survive — and is
+	// classified as such so the store wedges instead of mutating on top of
+	// an unknowable disk state.
+	if err := fsyncDir(dir); err != nil {
+		return fmt.Errorf("store: %s: %w: %v", path, errAmbiguousCommit, err)
+	}
+	return nil
+}
+
+// fsyncDir is syncDir, indirected so tests can inject post-rename fsync
+// failures.
+var fsyncDir = syncDir
+
+// syncDir fsyncs a directory, making its entries (renames, creates)
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: fsync %s: %w", dir, err)
+	}
 	return nil
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -139,6 +140,92 @@ func TestOrphanRunInvisible(t *testing.T) {
 	}
 }
 
+// TestAppendRunRoundTrip: growth batches commit in sequence, bound to an
+// existing run, and read back exactly.
+func TestAppendRunRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendRun("ghost", []byte(`{}`)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("append to unknown run = %v, want ErrNotFound", err)
+	}
+	if err := s.PutRun("r1", "wf", []byte(`{"nodes":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		seq, err := s.AppendRun("r1", []byte{byte('0' + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != i {
+			t.Fatalf("AppendRun #%d returned seq %d", i, seq)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		data, err := s.GetRunAppend("r1", i)
+		if err != nil || string(data) != string(byte('0'+i)) {
+			t.Fatalf("GetRunAppend(%d) = %q, %v", i, data, err)
+		}
+	}
+	if _, err := s.GetRunAppend("r1", 3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("past-end append read = %v, want ErrNotFound", err)
+	}
+	m, err := s.Appends()
+	if err != nil || m["r1"] != 3 {
+		t.Fatalf("Appends = %v, %v", m, err)
+	}
+	// A reopening process sees the same committed growth.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2, err := s2.Appends(); err != nil || m2["r1"] != 3 {
+		t.Fatalf("reopened Appends = %v, %v", m2, err)
+	}
+}
+
+// TestOrphanAppendInvisible mirrors TestOrphanRunInvisible for the append
+// log: a batch file without its manifest count bump — a crash between
+// AppendRun's two writes — must stay invisible to every read path, and the
+// next AppendRun must commit cleanly over it.
+func TestOrphanAppendInvisible(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun("r1", "wf", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendRun("r1", []byte(`committed-0`)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: batch file for seq 1 lands, manifest never does.
+	orphan := filepath.Join(s.Dir(), "appends", "r1.1.json")
+	if err := os.WriteFile(orphan, []byte(`torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := reopened.Appends(); err != nil || m["r1"] != 1 {
+		t.Fatalf("Appends after torn append = %v, %v, want r1:1", m, err)
+	}
+	if _, err := reopened.GetRunAppend("r1", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn batch readable: %v", err)
+	}
+	// The next append takes seq 1, atomically replacing the orphan.
+	seq, err := reopened.AppendRun("r1", []byte(`committed-1`))
+	if err != nil || seq != 1 {
+		t.Fatalf("AppendRun after torn append = %d, %v", seq, err)
+	}
+	data, err := reopened.GetRunAppend("r1", 1)
+	if err != nil || string(data) != "committed-1" {
+		t.Fatalf("GetRunAppend(1) = %q, %v; the orphan must be gone", data, err)
+	}
+}
+
 // TestNoTempLeftovers verifies atomic writes clean up after themselves
 // and that listing skips anything that is not a committed entry.
 func TestNoTempLeftovers(t *testing.T) {
@@ -273,5 +360,155 @@ func TestEmptyNamesRejected(t *testing.T) {
 	}
 	if err := s.PutRun("r", "", nil); err == nil {
 		t.Error("empty bound spec name accepted")
+	}
+}
+
+// TestCompactRunFoldsLog: compaction replaces base+batches with one
+// payload at the next epoch, zeroes the batch count, reuses append seq 0,
+// and removes the superseded files.
+func TestCompactRunFoldsLog(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CompactRun("ghost", []byte(`{}`)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("compact of unknown run = %v, want ErrNotFound", err)
+	}
+	if err := s.PutRun("r1", "wf", []byte(`base`)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.AppendRun("r1", []byte(`b`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch, err := s.CompactRun("r1", []byte(`folded`))
+	if err != nil || epoch != 1 {
+		t.Fatalf("CompactRun = %d, %v", epoch, err)
+	}
+	spec, data, err := s.GetRun("r1")
+	if err != nil || spec != "wf" || string(data) != "folded" {
+		t.Fatalf("GetRun after compaction = (%q, %q, %v)", spec, data, err)
+	}
+	if m, _ := s.Appends(); m["r1"] != 0 {
+		t.Fatalf("Appends after compaction = %v", m)
+	}
+	if b, _ := s.Bases(); b["r1"] != 1 {
+		t.Fatalf("Bases after compaction = %v", b)
+	}
+	// Superseded files are gone; the reopened store sees only the folded
+	// state and growth restarts at seq 0.
+	if _, err := os.Stat(filepath.Join(s.Dir(), "runs", "r1.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("old epoch-0 base survived compaction")
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), "appends", "r1.0.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("folded batch file survived compaction")
+	}
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, data, err := s2.GetRun("r1"); err != nil || string(data) != "folded" {
+		t.Fatalf("reopened GetRun = (%q, %v)", data, err)
+	}
+	if seq, err := s2.AppendRun("r1", []byte(`after`)); err != nil || seq != 0 {
+		t.Fatalf("post-compaction AppendRun = %d, %v", seq, err)
+	}
+	// A second compaction moves to epoch 2.
+	if epoch, err := s2.CompactRun("r1", []byte(`folded2`)); err != nil || epoch != 2 {
+		t.Fatalf("second CompactRun = %d, %v", epoch, err)
+	}
+}
+
+// TestTornCompactionInvisible: a crash between the new-base write and the
+// manifest switch leaves the old base and the full append log in force.
+func TestTornCompactionInvisible(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun("r1", "wf", []byte(`base`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendRun("r1", []byte(`batch0`)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: the epoch-1 base lands, the manifest never
+	// switches.
+	orphan := filepath.Join(s.Dir(), "bases", "r1.1.json")
+	if err := os.WriteFile(orphan, []byte(`torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, data, err := s2.GetRun("r1"); err != nil || string(data) != "base" {
+		t.Fatalf("GetRun after torn compaction = (%q, %v), want the old base", data, err)
+	}
+	if m, _ := s2.Appends(); m["r1"] != 1 {
+		t.Fatalf("Appends after torn compaction = %v, want r1:1", m)
+	}
+	// The next compaction retakes epoch 1, atomically replacing the
+	// orphan.
+	if epoch, err := s2.CompactRun("r1", []byte(`folded`)); err != nil || epoch != 1 {
+		t.Fatalf("CompactRun after torn compaction = %d, %v", epoch, err)
+	}
+	if _, data, _ := s2.GetRun("r1"); string(data) != "folded" {
+		t.Fatalf("GetRun = %q after recovery compaction", data)
+	}
+}
+
+// TestAmbiguousCommitWedgesStore: a directory fsync failing after the
+// rename applied means memory and disk may disagree about what is
+// committed; the store must refuse further mutations (reads keep working)
+// until reopened.
+func TestAmbiguousCommitWedgesStore(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRun("r1", "wf", []byte(`base`)); err != nil {
+		t.Fatal(err)
+	}
+	fail := true
+	orig := fsyncDir
+	fsyncDir = func(dir string) error {
+		if fail {
+			return fmt.Errorf("injected fsync failure")
+		}
+		return orig(dir)
+	}
+	defer func() { fsyncDir = orig }()
+
+	_, err = s.AppendRun("r1", []byte(`batch`))
+	if err == nil || !strings.Contains(err.Error(), "ambiguous commit") {
+		t.Fatalf("append with failing dir fsync = %v, want ambiguous-commit error", err)
+	}
+	fail = false
+	// Every further mutation is refused — continuing on an unknowable
+	// disk state is how histories diverge — while reads still serve.
+	if _, err := s.AppendRun("r1", []byte(`b2`)); !errors.Is(err, ErrWedged) {
+		t.Fatalf("append on wedged store = %v, want ErrWedged", err)
+	}
+	if err := s.PutSpec("wf", []byte(`{}`)); !errors.Is(err, ErrWedged) {
+		t.Fatalf("PutSpec on wedged store = %v, want ErrWedged", err)
+	}
+	if err := s.PutRun("r2", "wf", []byte(`{}`)); !errors.Is(err, ErrWedged) {
+		t.Fatalf("PutRun on wedged store = %v, want ErrWedged", err)
+	}
+	if _, err := s.CompactRun("r1", []byte(`{}`)); !errors.Is(err, ErrWedged) {
+		t.Fatalf("CompactRun on wedged store = %v, want ErrWedged", err)
+	}
+	if _, data, err := s.GetRun("r1"); err != nil || string(data) != "base" {
+		t.Fatalf("read on wedged store = (%q, %v); reads must keep working", data, err)
+	}
+	// Reopening re-reads the disk state and recovers.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.AppendRun("r1", []byte(`b3`)); err != nil {
+		t.Fatalf("append after reopen = %v", err)
 	}
 }

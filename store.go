@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"provrpq/internal/derive"
 	"provrpq/internal/parallel"
 	"provrpq/internal/store"
 )
@@ -119,6 +120,32 @@ func (s *Store) Runs() (map[string]string, error) {
 	return m, nil
 }
 
+// Appends returns the stored run → committed-growth-batch count (runs
+// that never grew are absent).
+func (s *Store) Appends() (map[string]int, error) {
+	m, err := s.st.Appends()
+	if err != nil {
+		return nil, fmt.Errorf("provrpq: %w", err)
+	}
+	return m, nil
+}
+
+// AppendRun durably commits one growth batch for the named stored run and
+// returns its sequence number. The batch must decode (DecodeBatch) against
+// the run's specification — Catalog.AppendEdges guarantees this; direct
+// store users own the check.
+func (s *Store) AppendRun(name string, b *Batch) (int, error) {
+	data, err := EncodeBatch(b)
+	if err != nil {
+		return 0, err
+	}
+	seq, err := s.st.AppendRun(name, data)
+	if err != nil {
+		return 0, fmt.Errorf("provrpq: %w", err)
+	}
+	return seq, nil
+}
+
 // HasSpec reports whether a specification is stored under name.
 func (s *Store) HasSpec(name string) bool { return s.st.HasSpec(name) }
 
@@ -131,23 +158,29 @@ type StoreSnapshot struct {
 	Dir   string
 	Specs []string
 	Runs  map[string]string // run name -> bound specification name
+	// Appends counts the committed growth batches per run (runs that
+	// never grew are absent) — what a restart replays on top of each
+	// stored base run.
+	Appends map[string]int
 }
 
-// Snapshot lists the store's committed contents. Runs are read before
-// specs: a run is only ever persisted after its specification (the
-// catalog enforces spec-before-run) and specs are never deleted, so even
-// when a registration races the two reads, every specification a
-// snapshot's run binding names is present in Specs.
+// Snapshot lists the store's committed contents. The run bindings and
+// append counts come from one atomic manifest read (a racing append or
+// compaction yields the before- or after-state, never a torn mix), and
+// runs are read before specs: a run is only ever persisted after its
+// specification (the catalog enforces spec-before-run) and specs are
+// never deleted, so every specification a snapshot's run binding names is
+// present in Specs.
 func (s *Store) Snapshot() (StoreSnapshot, error) {
-	runs, err := s.Runs()
+	runs, appends, _, err := s.st.State()
 	if err != nil {
-		return StoreSnapshot{}, err
+		return StoreSnapshot{}, fmt.Errorf("provrpq: %w", err)
 	}
 	specs, err := s.SpecNames()
 	if err != nil {
 		return StoreSnapshot{}, err
 	}
-	return StoreSnapshot{Dir: s.Dir(), Specs: specs, Runs: runs}, nil
+	return StoreSnapshot{Dir: s.Dir(), Specs: specs, Runs: runs, Appends: appends}, nil
 }
 
 // NewCatalogFromStore rebuilds a catalog from a store's committed
@@ -171,9 +204,12 @@ func NewCatalogFromStore(st *Store, opts CatalogOptions) (*Catalog, error) {
 			return nil, err
 		}
 	}
-	runs, err := st.Runs()
+	// One atomic manifest read: a compaction or append committing between
+	// separate Runs/Appends/Bases reads could pair a folded base with its
+	// pre-fold batch count and double-apply every folded batch.
+	runs, appends, bases, err := st.st.State()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("provrpq: %w", err)
 	}
 	runNames := make([]string, 0, len(runs))
 	for name := range runs {
@@ -196,10 +232,10 @@ func NewCatalogFromStore(st *Store, opts CatalogOptions) (*Catalog, error) {
 				errs[i] = fmt.Errorf("provrpq: store: run %q is bound to specification %q, which the store does not contain", name, specName)
 				continue
 			}
-			// The binding is already in hand from the single manifest read
-			// above, so fetch just the payload (LoadRun would re-read the
-			// manifest for every run).
-			data, err := st.st.GetRunData(name)
+			// The binding, batch count and base epoch are already in hand
+			// from the manifest reads above, so fetch just the payload
+			// (LoadRun would re-read the manifest for every run).
+			data, err := st.st.GetRunData(name, bases[name])
 			if err != nil {
 				errs[i] = fmt.Errorf("provrpq: %w", err)
 				continue
@@ -209,7 +245,33 @@ func NewCatalogFromStore(st *Store, opts CatalogOptions) (*Catalog, error) {
 				errs[i] = fmt.Errorf("provrpq: store: run %q: %w", name, err)
 				continue
 			}
-			decoded[i] = r
+			// Replay the run's append log in commit order, growing the
+			// decoded base in place (nothing shares it yet): the restored
+			// run is the exact version the last successful AppendEdges
+			// published. Like the base decode, replay re-validates every
+			// batch, so a corrupted log fails the boot deterministically
+			// instead of serving a half-grown run.
+			for seq := 0; seq < appends[name]; seq++ {
+				// The committed count is in hand from the single manifest
+				// read above; fetch just the batch payload.
+				bdata, err := st.st.GetRunAppendData(name, seq)
+				if err != nil {
+					errs[i] = fmt.Errorf("provrpq: %w", err)
+					break
+				}
+				b, err := derive.DecodeBatch(sp.s, bdata)
+				if err != nil {
+					errs[i] = fmt.Errorf("provrpq: store: run %q append %d: %w", name, seq, err)
+					break
+				}
+				if _, err := derive.AppendEdges(r.r, b); err != nil {
+					errs[i] = fmt.Errorf("provrpq: store: run %q append %d: %w", name, seq, err)
+					break
+				}
+			}
+			if errs[i] == nil {
+				decoded[i] = r
+			}
 		}
 	})
 	for i, name := range runNames {
@@ -218,6 +280,11 @@ func NewCatalogFromStore(st *Store, opts CatalogOptions) (*Catalog, error) {
 		}
 		if err := c.reg.PutRun(name, runs[name], decoded[i]); err != nil {
 			return nil, err
+		}
+		// The run's version counts all batches ever applied, replayed ones
+		// included, so it is stable across restarts.
+		if n := appends[name]; n > 0 {
+			c.reg.SetRunGeneration(name, n)
 		}
 	}
 	c.store = st
