@@ -14,6 +14,7 @@ import (
 	"provrpq/internal/derive"
 	"provrpq/internal/index"
 	"provrpq/internal/label"
+	"provrpq/internal/plan"
 	"provrpq/internal/reach"
 	"provrpq/internal/workload"
 )
@@ -428,6 +429,81 @@ func BenchmarkAppendRedecode16K(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := derive.DecodeRun(d.Spec, data); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanAuto is the planner acceptance benchmark: the same
+// all-pairs scan (l1 = l2 = all nodes) under each forced strategy and
+// under Auto (the planner's choice), on a highly selective anchored IFQ
+// and a dense per-iteration IFQ over the BioAID and QBLast workloads. Auto
+// should sit within a few percent of the best forced column on both
+// workloads, with the seeded strategy far ahead of optRPL on the
+// selective one.
+func BenchmarkPlanAuto(b *testing.B) {
+	for _, d := range []*workload.Dataset{workload.BioAID(), workload.QBLast()} {
+		run, err := derive.Derive(d.Spec, derive.Options{Seed: 1, TargetEdges: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix := index.Build(run)
+		pl := plan.New(ix)
+		pl.ReachDensity() // one-time statistics sample, outside every timing
+		nodes := run.AllNodes()
+		labels := make([]label.Label, len(nodes))
+		for i, id := range nodes {
+			labels[i] = run.Label(id)
+		}
+		r := rand.New(rand.NewSource(7))
+		workloads := []struct{ name, q string }{
+			{"selective", d.SafeIFQ(r, 3, false)},
+			{"dense", d.SafeIFQ(r, 3, true)},
+		}
+		for _, wl := range workloads {
+			env, err := core.Compile(d.Spec, automata.MustParse(wl.q))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !env.Safe() {
+				b.Fatalf("IFQ %s unexpectedly unsafe", wl.q)
+			}
+			runSeeded := func(dec plan.Decision) error {
+				return plan.AllPairsSeeded(env, ix, dec, nodes, nodes, func(i, j int) {})
+			}
+			strategies := []struct {
+				name string
+				fn   func() error
+			}{
+				{"RPL", func() error {
+					return env.AllPairsSafe(labels, labels, core.RPL, func(i, j int) {})
+				}},
+				{"OptRPL", func() error {
+					return env.AllPairsSafe(labels, labels, core.OptRPL, func(i, j int) {})
+				}},
+				{"Seeded", func() error {
+					return runSeeded(pl.Plan(env, len(nodes), len(nodes)))
+				}},
+				{"Auto", func() error {
+					dec := pl.Plan(env, len(nodes), len(nodes))
+					switch dec.Strategy {
+					case plan.RPL:
+						return env.AllPairsSafe(labels, labels, core.RPL, func(i, j int) {})
+					case plan.Seeded:
+						return runSeeded(dec)
+					default:
+						return env.AllPairsSafe(labels, labels, core.OptRPL, func(i, j int) {})
+					}
+				}},
+			}
+			for _, st := range strategies {
+				b.Run(d.Name+"/"+wl.name+"/"+st.name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if err := st.fn(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
 	}
 }

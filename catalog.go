@@ -225,6 +225,21 @@ func (c *Catalog) Engine(runName string) (*Engine, error) {
 	return e, nil
 }
 
+// Explain reports the named run's evaluation plan for the query without
+// evaluating it — the planner's strategy choice, seed tag and cost
+// estimates for safe queries, the safe-subtree decomposition for unsafe
+// ones. Plan decisions are cached per run generation: the planner's
+// statistics live on the run's engine, which AppendEdges swaps together
+// with the run, so a grown run re-plans against its current shape while
+// the compiled query plans stay shared through the catalog's plan cache.
+func (c *Catalog) Explain(runName string, q *Query) (*PlanReport, error) {
+	eng, err := c.Engine(runName)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Explain(q)
+}
+
 // BatchResult is one (run, query) cell of an EvaluateBatch answer. Err is
 // per-item: one failing cell (unknown run, failing compile) never blocks
 // the rest of the batch.

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure id to run (13a..13h, 15a, 15b, par)")
+	fig := flag.String("fig", "", "figure id to run (13a..13h, 15a, 15b, par, plan)")
 	all := flag.Bool("all", false, "run every figure")
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
 	seed := flag.Int64("seed", 1, "workload seed")

@@ -52,13 +52,23 @@ func main() {
 	fmt.Printf("query %s — safe: %v\n", q, safe)
 
 	if *explain {
-		_, subtrees, err := eng.Explain(q)
+		rep, err := eng.Explain(q)
 		fatal(err)
-		if safe {
-			fmt.Println("plan: single safe query, optRPL over labels")
+		if rep.Safe {
+			fmt.Printf("plan: single safe scan, strategy %s\n", rep.Strategy)
+			if rep.SeedTag != "" {
+				dir := "forward"
+				if rep.Reverse {
+					dir = "reverse"
+				}
+				fmt.Printf("  seed tag %q (%d occurrence(s), %s)\n", rep.SeedTag, rep.SeedCount, dir)
+			}
+			fmt.Printf("  estimated decodes: rpl=%.0f optrpl=%.0f seeded=%.0f\n",
+				rep.CostRPL, rep.CostOptRPL, rep.CostSeeded)
 			return
 		}
-		fmt.Printf("plan: decomposition; safe subtrees evaluated with labels: %v\n", subtrees)
+		fmt.Printf("plan: decomposition; safe subtrees evaluated with labels: %v (%d relational node(s))\n",
+			rep.SafeSubtrees, rep.RelationalNodes)
 		return
 	}
 

@@ -15,7 +15,10 @@
 // Specs and runs can also be preloaded with repeatable -spec name=path
 // and -run name=spec=path flags — persisted into the data dir on first
 // boot, skipped on later boots when already restored — or registered at
-// runtime via POST /v1/specs and POST /v1/runs. The daemon prints its
+// runtime via POST /v1/specs and POST /v1/runs. Evaluation strategies are
+// chosen per run by the selectivity planner; POST /v1/explain reports the
+// plan (strategy, seed tag, cost estimates) without evaluating, and every
+// /v1/evaluate response names the strategy that answered. The daemon prints its
 // actual listen address on startup (useful with port 0) and shuts down
 // gracefully on SIGINT or SIGTERM, draining in-flight requests.
 package main

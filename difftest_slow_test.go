@@ -1,0 +1,12 @@
+//go:build slow
+
+package provrpq
+
+// Differential-harness tier for `go test -tags slow`: larger runs, enough
+// run×query cases to enforce the acceptance floor.
+const (
+	diffRunsPerDataset = 4
+	diffQueriesPerRun  = 18
+	diffRunEdges       = 250
+	diffMinCases       = 200
+)

@@ -1,0 +1,160 @@
+package provrpq
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"provrpq/internal/baseline"
+	"provrpq/internal/derive"
+	"provrpq/internal/workload"
+)
+
+// The differential harness: randomized runs × generated queries assert that
+// every evaluation path — the forced strategies (RPL, OptRPL, the seeded
+// strategy, the G1 relational baseline), the planner-driven Auto, the
+// Evaluate pipeline, and the G3 baseline where its IFQ shape applies —
+// returns exactly the pair set of the product-BFS oracle. Any divergence
+// between the paper's constant-time label machinery, the planner's new
+// seeded path and the explicit run traversal is a correctness bug, so this
+// is the safety net under which strategies are free to evolve.
+//
+// Tier sizing lives in difftest_default_test.go / difftest_slow_test.go:
+// the regular run stays fast enough for -race in CI, `-tags slow` runs the
+// ≥ 200-case acceptance tier.
+
+// pairKey flattens a Pair for set comparison.
+func pairKey(p Pair) uint64 { return uint64(p.From)<<32 | uint64(uint32(p.To)) }
+
+func pairSet(pairs []Pair) []uint64 {
+	out := make([]uint64, len(pairs))
+	seen := map[uint64]struct{}{}
+	out = out[:0]
+	for _, p := range pairs {
+		k := pairKey(p)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSets(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffQueries draws the query mix for one run: random compositions (safe
+// and unsafe arise), plus safe IFQs of both selectivity classes so the
+// seeded strategy's sweet spot is always represented.
+func diffQueries(d *workload.Dataset, r *rand.Rand, n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			out = append(out, d.RandomQuery(r, 3))
+		case 1:
+			out = append(out, d.SafeIFQ(r, 1+r.Intn(3), false))
+		default:
+			out = append(out, d.SafeIFQ(r, 1+r.Intn(3), true))
+		}
+	}
+	return out
+}
+
+func TestDifferentialStrategies(t *testing.T) {
+	datasets := []*workload.Dataset{workload.BioAID(), workload.QBLast(), workload.Synthetic(200, 1)}
+	cases := 0
+	for _, d := range datasets {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			for rs := 0; rs < diffRunsPerDataset; rs++ {
+				seed := int64(rs*101 + 7)
+				dr, err := derive.Derive(d.Spec, derive.Options{Seed: seed, TargetEdges: diffRunEdges})
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := &Run{r: dr, spec: &Spec{s: d.Spec}}
+				eng := NewEngine(run)
+				r := rand.New(rand.NewSource(seed * 13))
+				for _, qs := range diffQueries(d, r, diffQueriesPerRun) {
+					if diffCheckOne(t, eng, run, qs) {
+						cases++
+					}
+					if t.Failed() {
+						t.Fatalf("divergence on run seed %d (%d edges) of %s", seed, dr.NumEdges(), d.Name)
+					}
+				}
+			}
+		})
+	}
+	t.Logf("differential cases checked: %d", cases)
+	if cases < diffMinCases {
+		t.Fatalf("only %d run×query cases checked, floor is %d", cases, diffMinCases)
+	}
+}
+
+// diffCheckOne cross-checks one (run, query) cell; reports whether the case
+// counted (false only when the query does not compile, e.g. a random query
+// whose minimal DFA exceeds the supported state bound).
+func diffCheckOne(t *testing.T, eng *Engine, run *Run, qs string) bool {
+	t.Helper()
+	q, err := ParseQuery(qs)
+	if err != nil {
+		t.Fatalf("generated query %q does not parse: %v", qs, err)
+	}
+	safe, err := eng.IsSafe(q)
+	if err != nil {
+		return false // does not compile (DFA too large); not a divergence
+	}
+	all := run.AllNodes()
+
+	oracle := baseline.NewOracle(run.r, q.node)
+	var want []Pair
+	oracle.AllPairs(toDerive(all), toDerive(all), func(i, j int) {
+		want = append(want, Pair{From: all[i], To: all[j]})
+	})
+	wantSet := pairSet(want)
+
+	check := func(name string, pairs []Pair, err error) {
+		t.Helper()
+		if err != nil {
+			t.Errorf("query %q (safe=%v): %s failed: %v", qs, safe, name, err)
+			return
+		}
+		if got := pairSet(pairs); !equalSets(got, wantSet) {
+			t.Errorf("query %q (safe=%v): %s returned %d pairs, oracle %d", qs, safe, name, len(got), len(wantSet))
+		}
+	}
+
+	strategies := []Strategy{StrategyG1, StrategySeeded, Auto}
+	if safe {
+		strategies = append(strategies, StrategyRPL, StrategyOptRPL)
+	}
+	for _, st := range strategies {
+		pairs, err := eng.AllPairs(q, all, all, st)
+		check(fmt.Sprintf("AllPairs(%v)", st), pairs, err)
+	}
+	pairs, err := eng.Evaluate(q)
+	check("Evaluate", pairs, err)
+
+	if g3, ok := baseline.NewG3(eng.index(), q.node); ok {
+		var g3Pairs []Pair
+		g3.AllPairs(toDerive(all), toDerive(all), func(i, j int) {
+			g3Pairs = append(g3Pairs, Pair{From: all[i], To: all[j]})
+		})
+		check("G3", g3Pairs, nil)
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package provrpq
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"provrpq/internal/automata"
@@ -11,6 +12,7 @@ import (
 	"provrpq/internal/index"
 	"provrpq/internal/label"
 	"provrpq/internal/parallel"
+	"provrpq/internal/plan"
 	"provrpq/internal/plancache"
 	"provrpq/internal/reach"
 )
@@ -47,12 +49,14 @@ type Pair struct {
 	From, To NodeID
 }
 
-// Strategy selects the all-pairs evaluation plan for safe queries.
+// Strategy selects the all-pairs evaluation plan.
 type Strategy int
 
 const (
-	// Auto uses OptRPL for safe queries and safe-subtree decomposition
-	// (with the cost model) for unsafe ones.
+	// Auto consults the selectivity planner for safe queries — choosing
+	// among RPL, OptRPL and the index-seeded strategy from per-run tag
+	// statistics — and uses safe-subtree decomposition (with the cost
+	// model) for unsafe ones.
 	Auto Strategy = iota
 	// StrategyRPL forces the nested-loop pairwise scan (paper Option S1).
 	StrategyRPL
@@ -60,7 +64,33 @@ const (
 	StrategyOptRPL
 	// StrategyG1 forces the relational baseline (Option G1).
 	StrategyG1
+	// StrategySeeded forces the index-seeded strategy: anchor on the rarest
+	// tag every match must traverse, restrict both endpoint lists to the
+	// nodes that can reach / be reached from its occurrences, and verify
+	// only the surviving pairs. Unlike RPL/OptRPL it also accepts unsafe
+	// queries (candidates are then verified by expanding the minimal DFA,
+	// forward or reversed). Queries that require no tag fall back to
+	// OptRPL (safe) or a full expansion (unsafe).
+	StrategySeeded
 )
+
+// String returns the strategy's wire name, as reported by Explain and the
+// HTTP API.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case StrategyRPL:
+		return "rpl"
+	case StrategyOptRPL:
+		return "optrpl"
+	case StrategyG1:
+		return "g1"
+	case StrategySeeded:
+		return "seeded"
+	}
+	return "unknown"
+}
 
 // PlanCache is a shared cache of compiled query plans (minimal DFA, λ
 // matrices, safety verdict, decode artifacts). A compiled plan depends only
@@ -152,6 +182,14 @@ type Engine struct {
 	ixOnce sync.Once
 	ix     *index.Index
 
+	// plOnce/pl hold the selectivity planner, built lazily over the run's
+	// index. Because an engine is bound to one run version (the catalog
+	// swaps engines on growth), the planner's sampled statistics are
+	// effectively cached per run generation, next to the compiled plans the
+	// engine resolves from the shared cache.
+	plOnce sync.Once
+	pl     *plan.Planner
+
 	genOnce sync.Once
 	gen     *core.General
 
@@ -209,6 +247,11 @@ func (e *Engine) env(q *Query) (*core.Env, error) {
 func (e *Engine) index() *index.Index {
 	e.ixOnce.Do(func() { e.ix = index.Build(e.run.r) })
 	return e.ix
+}
+
+func (e *Engine) planner() *plan.Planner {
+	e.plOnce.Do(func() { e.pl = plan.New(e.index()) })
+	return e.pl
 }
 
 func (e *Engine) general() *core.General {
@@ -320,12 +363,10 @@ func (e *Engine) AllPairsReachable(l1, l2 []NodeID) ([]Pair, error) {
 
 // AllPairs returns all pairs (u,v) ∈ l1 × l2 with u —R→ v.
 func (e *Engine) AllPairs(q *Query, l1, l2 []NodeID, strategy Strategy) ([]Pair, error) {
-	la, err := e.labelsOf(l1)
-	if err != nil {
+	if err := e.checkNodes(l1); err != nil {
 		return nil, err
 	}
-	lb, err := e.labelsOf(l2)
-	if err != nil {
+	if err := e.checkNodes(l2); err != nil {
 		return nil, err
 	}
 	env, err := e.env(q)
@@ -333,6 +374,14 @@ func (e *Engine) AllPairs(q *Query, l1, l2 []NodeID, strategy Strategy) ([]Pair,
 		return nil, err
 	}
 	var out []Pair
+	emit := func(i, j int) {
+		out = append(out, Pair{From: l1[i], To: l2[j]})
+	}
+	// Label slices are built only by the branches that scan them — the
+	// seeded and relational paths work from node ids.
+	safeScan := func(st core.AllPairsStrategy) error {
+		return env.AllPairsSafeParallel(e.labelsUnchecked(l1), e.labelsUnchecked(l2), st, e.workers, emit)
+	}
 	switch strategy {
 	case StrategyRPL, StrategyOptRPL:
 		if !env.Safe() {
@@ -342,22 +391,27 @@ func (e *Engine) AllPairs(q *Query, l1, l2 []NodeID, strategy Strategy) ([]Pair,
 		if strategy == StrategyRPL {
 			st = core.RPL
 		}
-		err := env.AllPairsSafeParallel(la, lb, st, e.workers, func(i, j int) {
-			out = append(out, Pair{From: l1[i], To: l2[j]})
-		})
-		return out, err
+		return out, safeScan(st)
 	case StrategyG1:
 		g1 := baseline.NewG1(e.index())
-		g1.AllPairs(q.node, toDerive(l1), toDerive(l2), func(i, j int) {
-			out = append(out, Pair{From: l1[i], To: l2[j]})
-		})
+		g1.AllPairs(q.node, toDerive(l1), toDerive(l2), emit)
 		return out, nil
+	case StrategySeeded:
+		dec := e.planner().Plan(env, len(l1), len(l2))
+		err := plan.AllPairsSeeded(env, e.index(), dec, toDerive(l1), toDerive(l2), emit)
+		return out, err
 	default: // Auto
 		if env.Safe() {
-			err := env.AllPairsSafeParallel(la, lb, core.OptRPL, e.workers, func(i, j int) {
-				out = append(out, Pair{From: l1[i], To: l2[j]})
-			})
-			return out, err
+			dec := e.planner().Plan(env, len(l1), len(l2))
+			switch dec.Strategy {
+			case plan.RPL:
+				return out, safeScan(core.RPL)
+			case plan.Seeded:
+				err := plan.AllPairsSeeded(env, e.index(), dec, toDerive(l1), toDerive(l2), emit)
+				return out, err
+			default:
+				return out, safeScan(core.OptRPL)
+			}
 		}
 		rel, _, err := e.general().Eval(q.node)
 		if err != nil {
@@ -392,30 +446,138 @@ func (e *Engine) AllPairs(q *Query, l1, l2 []NodeID, strategy Strategy) ([]Pair,
 	}
 }
 
-// Evaluate returns the query's full result relation over all node pairs,
-// decomposing unsafe queries into maximal safe subtrees plus a relational
-// remainder (Section IV-B), with the cost model choosing per subtree. Safe
-// subtree scans run on the engine's worker pool.
-func (e *Engine) Evaluate(q *Query) ([]Pair, error) {
-	rel, _, err := e.general().Eval(q.node)
+// PlanReport describes how the engine would evaluate a query: the safety
+// verdict, the strategy Auto would pick for a full evaluation (all nodes ×
+// all nodes), the seed the index-seeded strategy would anchor on, and the
+// planner's cost estimates (in label-decode units). For unsafe queries
+// Decomposed is set and SafeSubtrees/RelationalNodes describe the
+// safe-subtree decomposition instead; the cost fields are then zero (the
+// decode-count model applies only to whole-query safe scans).
+type PlanReport struct {
+	// Query is the canonical query rendering.
+	Query string
+	// Safe is the (possibly relaxed) safety verdict.
+	Safe bool
+	// Strategy is what Auto uses: StrategyRPL, StrategyOptRPL or
+	// StrategySeeded for safe queries; Auto (decomposition) when unsafe.
+	Strategy Strategy
+	// Decomposed reports the unsafe path: maximal safe subtrees evaluated
+	// with labels, the remainder relationally.
+	Decomposed bool
+	// SeedTag is the rarest tag every match must traverse ("" when the
+	// query requires none); SeedCount its occurrence count in the run.
+	SeedTag   string
+	SeedCount int
+	// Reverse reports that the seed's target side looks more selective, so
+	// the seeded scan resolves (and an unsafe expansion starts from) the
+	// target candidates first, running the reversed query.
+	Reverse bool
+	// CostRPL, CostOptRPL and CostSeeded are the planner's estimates for a
+	// full scan; CostSeeded is meaningful only when SeedTag != "".
+	CostRPL, CostOptRPL, CostSeeded float64
+	// SafeSubtrees and RelationalNodes describe the decomposition of an
+	// unsafe query (empty / zero for safe ones: the whole query is one
+	// safe scan).
+	SafeSubtrees    []string
+	RelationalNodes int
+}
+
+// Explain reports the evaluation plan without evaluating: for safe queries
+// the planner's strategy choice with its cost estimates, for unsafe ones
+// the safe-subtree decomposition. The report is deterministic for a given
+// run version (the planner's statistics are sampled with a fixed seed).
+func (e *Engine) Explain(q *Query) (*PlanReport, error) {
+	env, err := e.env(q)
 	if err != nil {
 		return nil, err
 	}
-	var out []Pair
-	for _, p := range rel.Pairs() {
-		out = append(out, Pair{From: NodeID(p[0]), To: NodeID(p[1])})
+	rep := &PlanReport{Query: q.node.String(), Safe: env.Safe()}
+	if env.Safe() {
+		n := e.run.NumNodes()
+		dec := e.planner().Plan(env, n, n)
+		rep.Strategy = fromPlanStrategy(dec.Strategy)
+		rep.SeedTag, rep.SeedCount, rep.Reverse = dec.SeedTag, dec.SeedCount, dec.Reverse
+		rep.CostRPL, rep.CostOptRPL, rep.CostSeeded = dec.CostRPL, dec.CostOptRPL, dec.CostSeeded
+		return rep, nil
 	}
-	return out, nil
+	grep, err := e.general().Plan(q.node)
+	if err != nil {
+		return nil, err
+	}
+	rep.Strategy = Auto
+	rep.Decomposed = true
+	rep.SafeSubtrees = grep.SafeSubtrees
+	rep.RelationalNodes = grep.RelationalNodes
+	return rep, nil
 }
 
-// Explain describes how Evaluate would process the query — the safety
-// verdict and the maximal safe subtrees — without evaluating it.
-func (e *Engine) Explain(q *Query) (safe bool, safeSubtrees []string, err error) {
-	rep, err := e.general().Plan(q.node)
+// Evaluate returns the query's full result relation over all node pairs:
+// safe queries run the planner-chosen all-pairs strategy, unsafe queries
+// are decomposed into maximal safe subtrees plus a relational remainder
+// (Section IV-B), with the cost model choosing per subtree. Safe scans run
+// on the engine's worker pool. Pairs are sorted by (From, To).
+func (e *Engine) Evaluate(q *Query) ([]Pair, error) {
+	out, _, err := e.EvaluatePlanned(q)
+	return out, err
+}
+
+// EvaluatePlanned is Evaluate returning the plan report alongside the
+// pairs, so callers (the HTTP service, rpqcli) can surface which strategy
+// actually answered.
+func (e *Engine) EvaluatePlanned(q *Query) ([]Pair, *PlanReport, error) {
+	env, err := e.env(q)
 	if err != nil {
-		return false, nil, err
+		return nil, nil, err
 	}
-	return rep.Safe, rep.SafeSubtrees, nil
+	if !env.Safe() {
+		// The evaluation itself produces the decomposition report — no
+		// separate planning pass.
+		rel, grep, err := e.general().Eval(q.node)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep := &PlanReport{
+			Query:           q.node.String(),
+			Strategy:        Auto,
+			Decomposed:      true,
+			SafeSubtrees:    grep.SafeSubtrees,
+			RelationalNodes: grep.RelationalNodes,
+		}
+		var out []Pair
+		for _, p := range rel.Pairs() {
+			out = append(out, Pair{From: NodeID(p[0]), To: NodeID(p[1])})
+		}
+		return out, rep, nil
+	}
+	rep, err := e.Explain(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	all := e.run.AllNodes()
+	out, err := e.AllPairs(q, all, all, rep.Strategy)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Match the relational path's deterministic (From, To) order — the
+	// strategies emit in their own scan orders.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out, rep, nil
+}
+
+// fromPlanStrategy maps the planner's choice onto the public enum.
+func fromPlanStrategy(s plan.Strategy) Strategy {
+	switch s {
+	case plan.RPL:
+		return StrategyRPL
+	case plan.Seeded:
+		return StrategySeeded
+	}
+	return StrategyOptRPL
 }
 
 func (e *Engine) labelsOf(ids []NodeID) ([]label.Label, error) {
@@ -427,6 +589,24 @@ func (e *Engine) labelsOf(ids []NodeID) ([]label.Label, error) {
 		out[i] = e.lbls[id]
 	}
 	return out, nil
+}
+
+// labelsUnchecked is labelsOf for ids the caller already validated.
+func (e *Engine) labelsUnchecked(ids []NodeID) []label.Label {
+	out := make([]label.Label, len(ids))
+	for i, id := range ids {
+		out[i] = e.lbls[id]
+	}
+	return out
+}
+
+func (e *Engine) checkNodes(ids []NodeID) error {
+	for _, id := range ids {
+		if err := e.checkNode(id); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (e *Engine) checkNode(n NodeID) error {

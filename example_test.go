@@ -87,10 +87,10 @@ func ExampleEngine_Explain() {
 	eng := provrpq.NewEngine(run)
 	// "Work" appears only in the recursive production, so anchoring on it
 	// is unsafe; the engine decomposes instead.
-	safe, _, err := eng.Explain(provrpq.MustParseQuery("Work.(_*.emit._*)"))
+	rep, err := eng.Explain(provrpq.MustParseQuery("Work.(_*.emit._*)"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(safe)
+	fmt.Println(rep.Safe)
 	// Output: false
 }

@@ -42,7 +42,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		safe, subtrees, err := eng.Explain(q)
+		rep, err := eng.Explain(q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,10 +52,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nquery %-22s safe=%-5v matches=%-6d (%.1fms)\n",
-			qs, safe, len(pairs), float64(time.Since(start).Microseconds())/1000)
-		if len(subtrees) > 0 {
-			fmt.Printf("  label-evaluated safe subtrees: %v\n", subtrees)
-		} else {
+			qs, rep.Safe, len(pairs), float64(time.Since(start).Microseconds())/1000)
+		switch {
+		case rep.Safe:
+			fmt.Printf("  single safe scan, strategy %s\n", rep.Strategy)
+		case len(rep.SafeSubtrees) > 0:
+			fmt.Printf("  label-evaluated safe subtrees: %v\n", rep.SafeSubtrees)
+		default:
 			fmt.Printf("  evaluated relationally (no safe subtree chosen)\n")
 		}
 	}

@@ -1,0 +1,152 @@
+package provrpq
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// Native fuzz targets for the parsing and wire-decoding surfaces — the
+// paths that consume bytes an attacker (or a corrupted store) controls.
+// CI runs each for a short smoke window (-fuzz=... -fuzztime=20s); the
+// committed seeds double as regression corpora under plain `go test`.
+
+// fuzzSpec is the package-doc grammar: a linear recursion with two base
+// tags, small enough that the fuzzer's mutations regularly produce
+// in-alphabet payloads.
+func fuzzSpec(tb testing.TB) *Spec {
+	tb.Helper()
+	s, err := NewSpecBuilder().
+		Start("S").
+		Chain("S", "x", "A", "p").
+		Chain("A", "a1", "A", "s").
+		Chain("A", "a2", "s").
+		Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func fuzzRunJSON(tb testing.TB) []byte {
+	tb.Helper()
+	run, err := fuzzSpec(tb).Derive(DeriveOptions{Seed: 5, TargetEdges: 40})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data, err := EncodeRun(run)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzParseQuery: parsing arbitrary input never panics, and a successful
+// parse reaches a rendering fixed point — String() reparses to an
+// expression that renders identically (so canonical forms are stable and
+// queries survive any number of wire round trips).
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"a", "_", "ε", "<eps>", "",
+		"_*.a._*", "x.(a1|a2)+.s._*.p", "(a|b)+.c?",
+		"a.b*|c", "a**", "((a))", "a|", "((", "a .\tb", "-x:y_9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := ParseQuery(s)
+		if err != nil {
+			return
+		}
+		s1 := q.String()
+		q2, err := ParseQuery(s1)
+		if err != nil {
+			t.Fatalf("canonical rendering %q of %q does not reparse: %v", s1, s, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("rendering is not a fixed point: %q -> %q -> %q", s, s1, s2)
+		}
+	})
+}
+
+// FuzzDecodeRun: arbitrary bytes never panic the run decoder, and any
+// payload it accepts re-encodes canonically — encode → decode → encode is
+// byte-identical, so stored runs are stable across rewrite cycles.
+func FuzzDecodeRun(f *testing.F) {
+	valid := fuzzRunJSON(f)
+	f.Add(valid)
+	f.Add([]byte(`{"nodes":[],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"x:1","module":"x","label":""}],"edges":[]}`))
+	f.Add([]byte(`{"edges":[{"From":0,"To":0,"Tag":"s"}]}`))
+	f.Add([]byte(`{`))
+	f.Add(bytes.Replace(valid, []byte(`"s"`), []byte(`"bogus"`), 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec := fuzzSpec(t)
+		run, err := DecodeRun(spec, data)
+		if err != nil {
+			return
+		}
+		b1, err := EncodeRun(run)
+		if err != nil {
+			t.Fatalf("accepted payload does not re-encode: %v", err)
+		}
+		run2, err := DecodeRun(spec, b1)
+		if err != nil {
+			t.Fatalf("re-encoded payload does not decode: %v", err)
+		}
+		b2, err := EncodeRun(run2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("encode/decode/encode not byte-identical:\n%s\nvs\n%s", b1, b2)
+		}
+	})
+}
+
+// FuzzDecodeBatch: the growth-batch decoder (strict: unknown fields and
+// trailing data are errors, because accepted batches replay from the
+// append log forever) never panics, and accepted batches re-encode
+// canonically.
+func FuzzDecodeBatch(f *testing.F) {
+	// A nodes-carrying seed reuses a real run's node wire shape.
+	var rj struct {
+		Nodes []json.RawMessage `json:"nodes"`
+		Edges []json.RawMessage `json:"edges"`
+	}
+	if err := json.Unmarshal(fuzzRunJSON(f), &rj); err != nil {
+		f.Fatal(err)
+	}
+	withNodes, err := json.Marshal(map[string]any{"nodes": rj.Nodes[:1], "edges": []any{}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(withNodes)
+	f.Add([]byte(`{"edges":[{"From":0,"To":1,"Tag":"s"}]}`))
+	f.Add([]byte(`{"nodes":[],"edges":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"edges":[]}{"edges":[]}`)) // trailing data must error
+	f.Add([]byte(`{"typo":[]}`))              // unknown field must error
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec := fuzzSpec(t)
+		b, err := DecodeBatch(spec, data)
+		if err != nil {
+			return
+		}
+		b1, err := EncodeBatch(b)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		b2dec, err := DecodeBatch(spec, b1)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		b2, err := EncodeBatch(b2dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("encode/decode/encode not byte-identical:\n%s\nvs\n%s", b1, b2)
+		}
+	})
+}

@@ -71,6 +71,41 @@ func (d *DFA) DeadState() int {
 	return -1
 }
 
+// Requires reports whether every word of the DFA's language contains sym:
+// removing all sym-transitions must disconnect the start state from every
+// accepting state. A sym outside the alphabet is never required (no word
+// contains it). Required symbols are what seed-driven evaluation (the G2
+// baseline's rare-label decomposition, internal/plan's seeded strategy)
+// anchors on: any matching run path must traverse a sym-tagged edge.
+func (d *DFA) Requires(sym string) bool {
+	s := d.SymIndex(sym)
+	if s < 0 {
+		return false
+	}
+	nsym := len(d.Alphabet)
+	seen := make([]bool, d.NumStates())
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Accept[q] {
+			return false // an accepting path avoiding sym exists
+		}
+		for s2 := 0; s2 < nsym; s2++ {
+			if s2 == s {
+				continue
+			}
+			t := d.Delta[q*nsym+s2]
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return true
+}
+
 // Accepts runs the DFA on a sequence of edge tags.
 func (d *DFA) Accepts(tags []string) bool {
 	q := d.Start

@@ -63,9 +63,9 @@ func (g *G1) eval(q *automata.Node) *Rel {
 	switch q.Kind {
 	case automata.KindSym:
 		out := NewRel()
-		for _, p := range g.ix.Pairs(q.Sym) {
+		g.ix.EachPair(q.Sym, func(p index.Pair) {
 			out.Add(p.From, p.To)
-		}
+		})
 		return out
 	case automata.KindWild:
 		out := NewRel()

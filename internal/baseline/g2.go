@@ -17,8 +17,11 @@ type G2 struct {
 	ix  *index.Index
 	dfa *automata.DFA
 	// rare is the chosen decomposition label; empty when the query has no
-	// required symbol.
+	// required symbol. occs is its occurrence list, fetched once at
+	// construction (Index.Pairs copies defensively; Pairwise iterates the
+	// list per call and must not pay a copy each time).
 	rare string
+	occs []index.Pair
 }
 
 // NewG2 compiles the query and picks the rarest required label.
@@ -26,6 +29,7 @@ func NewG2(ix *index.Index, q *automata.Node) *G2 {
 	run := ix.Run()
 	g := &G2{ix: ix, dfa: automata.CompileDFA(q, run.Spec.Tags())}
 	g.rare = g.pickRareLabel(q)
+	g.occs = ix.Pairs(g.rare)
 	return g
 }
 
@@ -33,13 +37,13 @@ func NewG2(ix *index.Index, q *automata.Node) *G2 {
 func (g *G2) RareLabel() string { return g.rare }
 
 // pickRareLabel returns the least-frequent symbol that every accepted word
-// contains: removing all its transitions must disconnect the start from
-// every accepting state.
+// contains (DFA.Requires): removing all its transitions must disconnect the
+// start from every accepting state.
 func (g *G2) pickRareLabel(q *automata.Node) string {
 	best := ""
 	bestCount := -1
 	for _, sym := range q.Symbols() {
-		if !g.required(sym) {
+		if !g.dfa.Requires(sym) {
 			continue
 		}
 		c := g.ix.Count(sym)
@@ -48,36 +52,6 @@ func (g *G2) pickRareLabel(q *automata.Node) string {
 		}
 	}
 	return best
-}
-
-// required reports whether every word of the DFA's language contains sym.
-func (g *G2) required(sym string) bool {
-	s := g.dfa.SymIndex(sym)
-	if s < 0 {
-		return false
-	}
-	nsym := len(g.dfa.Alphabet)
-	seen := make([]bool, g.dfa.NumStates())
-	stack := []int{g.dfa.Start}
-	seen[g.dfa.Start] = true
-	for len(stack) > 0 {
-		q := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if g.dfa.Accept[q] {
-			return false // an accepting path avoiding sym exists
-		}
-		for s2 := 0; s2 < nsym; s2++ {
-			if s2 == s {
-				continue
-			}
-			t := g.dfa.Delta[q*nsym+s2]
-			if !seen[t] {
-				seen[t] = true
-				stack = append(stack, t)
-			}
-		}
-	}
-	return true
 }
 
 // Eval returns the full result relation.
@@ -97,7 +71,7 @@ func (g *G2) Eval() *Rel {
 	// For each rare-label occurrence x -rare-> y: walk backward from x
 	// to find (u, q) with δ*(q, tags(u→x)) landing at x in state q, then
 	// forward from (y, δ(q, rare)).
-	for _, occ := range g.ix.Pairs(g.rare) {
+	for _, occ := range g.occs {
 		back := g.backward(occ.From) // node -> set of start-states q that reach occ.From in state q... see below
 		// back[u] = DFA states q such that some u→occ.From path maps the
 		// start state to q.
@@ -129,7 +103,7 @@ func (g *G2) Pairwise(u, v derive.NodeID) bool {
 		o := &Oracle{run: run, dfa: g.dfa}
 		return o.Pairwise(u, v)
 	}
-	for _, occ := range g.ix.Pairs(g.rare) {
+	for _, occ := range g.occs {
 		back := g.backwardFrom(u, occ.From)
 		for _, q := range back {
 			q2 := g.dfa.Step(q, g.rare)

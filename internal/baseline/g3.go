@@ -49,6 +49,10 @@ func IFQSymbols(q *automata.Node) (syms []string, ok bool) {
 type G3 struct {
 	ix   *index.Index
 	syms []string
+	// occs caches each symbol's occurrence list at construction
+	// (Index.Pairs copies defensively; the per-pair Pairwise loops must
+	// not pay a copy per call).
+	occs [][]index.Pair
 }
 
 // NewG3 returns the evaluator, or ok == false when the query is not an IFQ.
@@ -57,7 +61,11 @@ func NewG3(ix *index.Index, q *automata.Node) (*G3, bool) {
 	if !ok {
 		return nil, false
 	}
-	return &G3{ix: ix, syms: syms}, true
+	g := &G3{ix: ix, syms: syms}
+	for _, sym := range syms {
+		g.occs = append(g.occs, ix.Pairs(sym))
+	}
+	return g, true
 }
 
 // Symbols returns the IFQ symbol sequence (empty for plain reachability).
@@ -73,10 +81,10 @@ func (g *G3) Pairwise(u, v derive.NodeID) bool {
 	}
 	// frontier: the occurrence heads reachable so far.
 	frontier := []derive.NodeID{u}
-	for _, sym := range g.syms {
+	for si := range g.syms {
 		var next []derive.NodeID
 		seen := map[derive.NodeID]bool{}
-		for _, occ := range g.ix.Pairs(sym) {
+		for _, occ := range g.occs[si] {
 			if seen[occ.To] {
 				continue
 			}
@@ -122,7 +130,7 @@ func (g *G3) AllPairs(l1, l2 []derive.NodeID, emit func(i, j int)) {
 
 	// starts: distinct first-occurrence sources; chainEnds[s]: last-symbol
 	// occurrence heads reachable from start s through the occurrence chain.
-	first := g.ix.Pairs(g.syms[0])
+	first := g.occs[0]
 	type chain struct {
 		start derive.NodeID
 		ends  map[derive.NodeID]bool
@@ -133,8 +141,8 @@ func (g *G3) AllPairs(l1, l2 []derive.NodeID, emit func(i, j int)) {
 		chains = append(chains, c)
 	}
 	// Fold the middle symbols: for every chain, advance its end set.
-	for _, sym := range g.syms[1:] {
-		occs := g.ix.Pairs(sym)
+	for si := range g.syms[1:] {
+		occs := g.occs[1+si]
 		for ci := range chains {
 			next := map[derive.NodeID]bool{}
 			for end := range chains[ci].ends {

@@ -34,9 +34,10 @@ type Config struct {
 }
 
 // Figures lists the available experiment ids in paper order; "par" is the
-// parallel-scaling experiment beyond the paper.
+// parallel-scaling experiment and "plan" the selectivity-planner experiment,
+// both beyond the paper.
 func Figures() []string {
-	return []string{"13a", "13b", "13c", "13d", "13e", "13f", "13g", "13h", "15a", "15b", "par"}
+	return []string{"13a", "13b", "13c", "13d", "13e", "13f", "13g", "13h", "15a", "15b", "par", "plan"}
 }
 
 // Run dispatches one figure by id.
@@ -64,6 +65,8 @@ func Run(id string, cfg Config) error {
 		return Fig15b(cfg)
 	case "par":
 		return FigPar(cfg)
+	case "plan":
+		return FigPlan(cfg)
 	}
 	return fmt.Errorf("bench: unknown figure %q (have %v)", id, Figures())
 }

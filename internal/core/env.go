@@ -64,6 +64,12 @@ type Env struct {
 	// failed relaxation sticky so the fixpoint never reruns.
 	relaxMu    sync.Mutex
 	relaxTried bool
+
+	// reqOnce/reqSyms memoize RequiredSyms. They depend only on the minimal
+	// DFA (never on the safety verdict), so one computation serves every
+	// engine sharing this compiled plan.
+	reqOnce sync.Once
+	reqSyms []string
 }
 
 // envState is one published safety verdict: the λ table that produced it
@@ -291,6 +297,22 @@ func (e *Env) bodyTopo(k int) []int {
 		}
 	}
 	return order
+}
+
+// RequiredSyms returns the query symbols every accepted word must contain
+// (ascending by name), computed on the minimal DFA and memoized with the
+// compiled plan. Any run path matching the query traverses an edge tagged
+// with each of these symbols, which is what the selectivity planner's
+// seeded strategy exploits. Callers must not mutate the returned slice.
+func (e *Env) RequiredSyms() []string {
+	e.reqOnce.Do(func() {
+		for _, sym := range e.Query.Symbols() {
+			if e.DFA.Requires(sym) {
+				e.reqSyms = append(e.reqSyms, sym)
+			}
+		}
+	})
+	return e.reqSyms
 }
 
 // AcceptMask returns the bitset of accepting DFA states.

@@ -1,13 +1,18 @@
 // Package index provides the inverted edge-tag index of Section V-A: for
 // each tag γ, the list of node pairs connected by a γ-tagged edge. The
 // baselines (G1's leaf relations, G3's IFQ occurrence lists and G2's rare
-// label statistics) are driven by it.
+// label statistics) and the selectivity planner (internal/plan) are driven
+// by it.
 //
-// An Index is immutable after Build and therefore safe for concurrent use.
+// An Index is logically immutable after Build and safe for concurrent use:
+// readers never observe the occurrence lists change. The only internal
+// mutation is the lazily-memoized distinct-endpoint statistic, guarded by
+// its own mutex.
 package index
 
 import (
 	"sort"
+	"sync"
 
 	"provrpq/internal/derive"
 )
@@ -17,27 +22,77 @@ type Pair struct {
 	From, To derive.NodeID
 }
 
+// Distinct counts the distinct endpoints of a tag's occurrence list — the
+// planner's per-end selectivity statistic (few distinct sources means a
+// seeded backward expansion fans out from few points, and symmetrically
+// for targets).
+type Distinct struct {
+	Sources, Targets int
+}
+
 // Index maps every edge tag of a run to its occurrence list.
 type Index struct {
 	run   *derive.Run
 	byTag map[string][]Pair
+
+	// distinct memoizes per-tag endpoint statistics: computing them costs a
+	// pass over the occurrence list, and the planner re-reads them on every
+	// plan decision. Guarded by mu; everything else is written once in Build.
+	mu       sync.Mutex
+	distinct map[string]Distinct
 }
 
 // Build scans the run once and materializes the inverted index.
 func Build(r *derive.Run) *Index {
-	ix := &Index{run: r, byTag: map[string][]Pair{}}
+	ix := &Index{run: r, byTag: map[string][]Pair{}, distinct: map[string]Distinct{}}
 	for _, e := range r.Edges {
 		ix.byTag[e.Tag] = append(ix.byTag[e.Tag], Pair{From: e.From, To: e.To})
 	}
 	return ix
 }
 
-// Pairs returns the occurrences of tag (nil if absent). Callers must not
-// mutate the slice.
-func (ix *Index) Pairs(tag string) []Pair { return ix.byTag[tag] }
+// Pairs returns a copy of the occurrences of tag (nil if absent). The copy
+// is the caller's to keep or mutate; hot paths that only iterate should use
+// EachPair, which allocates nothing.
+func (ix *Index) Pairs(tag string) []Pair {
+	ps := ix.byTag[tag]
+	if ps == nil {
+		return nil
+	}
+	out := make([]Pair, len(ps))
+	copy(out, ps)
+	return out
+}
+
+// EachPair visits the occurrences of tag in edge order without copying.
+func (ix *Index) EachPair(tag string, f func(Pair)) {
+	for _, p := range ix.byTag[tag] {
+		f(p)
+	}
+}
 
 // Count returns the selectivity statistic |Pairs(tag)|.
 func (ix *Index) Count(tag string) int { return len(ix.byTag[tag]) }
+
+// DistinctEndpoints returns how many distinct sources and targets the tag's
+// occurrences touch (zero for an absent tag). Memoized: the first call per
+// tag pays one pass over the occurrence list.
+func (ix *Index) DistinctEndpoints(tag string) Distinct {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if d, ok := ix.distinct[tag]; ok {
+		return d
+	}
+	srcs := map[derive.NodeID]struct{}{}
+	dsts := map[derive.NodeID]struct{}{}
+	for _, p := range ix.byTag[tag] {
+		srcs[p.From] = struct{}{}
+		dsts[p.To] = struct{}{}
+	}
+	d := Distinct{Sources: len(srcs), Targets: len(dsts)}
+	ix.distinct[tag] = d
+	return d
+}
 
 // Tags returns the indexed tags sorted by ascending occurrence count
 // (rarest first, as the G2 baseline wants).

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"sync"
 	"testing"
 
 	"provrpq/internal/derive"
@@ -59,4 +60,106 @@ func TestTagsSortedByRarity(t *testing.T) {
 	if ix.Count("no-such-tag") != 0 || ix.Pairs("no-such-tag") != nil {
 		t.Error("missing tags should report zero occurrences")
 	}
+	if d := ix.DistinctEndpoints("no-such-tag"); d.Sources != 0 || d.Targets != 0 {
+		t.Errorf("missing tag distinct endpoints = %+v, want zeros", d)
+	}
+}
+
+// TestPairsDefensiveCopy: the documented immutability must hold against a
+// caller that mutates what Pairs hands back.
+func TestPairsDefensiveCopy(t *testing.T) {
+	run, err := derive.Derive(wf.PaperSpec(), derive.Options{Seed: 3, TargetEdges: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(run)
+	tag := ix.Tags()[len(ix.Tags())-1] // most frequent: guaranteed non-empty
+	orig := ix.Pairs(tag)
+	if len(orig) == 0 {
+		t.Fatalf("tag %s has no occurrences", tag)
+	}
+	mutated := ix.Pairs(tag)
+	for i := range mutated {
+		mutated[i] = Pair{From: -1, To: -1}
+	}
+	again := ix.Pairs(tag)
+	for i := range again {
+		if again[i] != orig[i] {
+			t.Fatalf("mutating a returned slice leaked into the index at %d: %+v", i, again[i])
+		}
+	}
+	// EachPair agrees with Pairs, in order, without exposing backing.
+	i := 0
+	ix.EachPair(tag, func(p Pair) {
+		if p != orig[i] {
+			t.Fatalf("EachPair[%d] = %+v, Pairs %+v", i, p, orig[i])
+		}
+		i++
+	})
+	if i != len(orig) {
+		t.Fatalf("EachPair visited %d of %d", i, len(orig))
+	}
+}
+
+// TestDistinctEndpoints pins the statistic against a hand-counted pass.
+func TestDistinctEndpoints(t *testing.T) {
+	run, err := derive.Derive(wf.PaperSpec(), derive.Options{Seed: 4, TargetEdges: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(run)
+	for _, tag := range ix.Tags() {
+		srcs := map[derive.NodeID]bool{}
+		dsts := map[derive.NodeID]bool{}
+		ix.EachPair(tag, func(p Pair) {
+			srcs[p.From] = true
+			dsts[p.To] = true
+		})
+		got := ix.DistinctEndpoints(tag)
+		if got.Sources != len(srcs) || got.Targets != len(dsts) {
+			t.Errorf("DistinctEndpoints(%s) = %+v, want {%d %d}", tag, got, len(srcs), len(dsts))
+		}
+		// Second read hits the memo and must agree.
+		if again := ix.DistinctEndpoints(tag); again != got {
+			t.Errorf("memoized DistinctEndpoints(%s) changed: %+v vs %+v", tag, again, got)
+		}
+	}
+}
+
+// TestConcurrentReaders hammers every reader from many goroutines — the
+// missing regression test for the concurrency contract (run with -race).
+func TestConcurrentReaders(t *testing.T) {
+	run, err := derive.Derive(wf.PaperSpec(), derive.Options{Seed: 5, TargetEdges: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(run)
+	tags := ix.Tags()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				tag := tags[(g+round)%len(tags)]
+				ps := ix.Pairs(tag)
+				if len(ps) != ix.Count(tag) {
+					t.Errorf("Pairs/Count disagree on %s", tag)
+					return
+				}
+				n := 0
+				ix.EachPair(tag, func(Pair) { n++ })
+				if n != len(ps) {
+					t.Errorf("EachPair/Pairs disagree on %s", tag)
+					return
+				}
+				d := ix.DistinctEndpoints(tag)
+				if d.Sources > len(ps) || d.Targets > len(ps) {
+					t.Errorf("DistinctEndpoints(%s) = %+v exceeds occurrence count %d", tag, d, len(ps))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

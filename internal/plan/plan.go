@@ -1,0 +1,191 @@
+// Package plan implements the selectivity-driven query planner: per-run tag
+// statistics from the inverted index (occurrence counts, distinct-endpoint
+// counts, run size) feed a cost model that chooses, per safe all-pairs
+// query, among
+//
+//   - RPL (nested-loop decode of every pair, paper Option S1),
+//   - OptRPL (reachability-filtered scan, Option S2), and
+//   - Seeded (this package's index-seeded strategy: start from the rarest
+//     required tag's occurrence list, restrict both endpoint lists to the
+//     nodes that can reach / be reached from those occurrences via the
+//     output-linear label join, then verify only the surviving candidate
+//     pairs — by constant-time decode for safe queries, or by expanding
+//     through the minimal DFA, forward or via automata.Node.Reverse(),
+//     for unsafe ones).
+//
+// The paper's evaluation (Section V) shows the winner is workload-dependent:
+// OptRPL dominates when answers are sparse relative to reachability, while
+// rare-label seeding wins when one query tag is highly selective. The
+// planner makes that choice from statistics instead of a fixed default.
+//
+// A Planner is bound to one run (one Index) and is safe for concurrent
+// use. Its statistics are sampled once per run version — engines rebuilt
+// after a growth batch get a fresh planner, so decisions track the run's
+// current shape — while the per-query inputs (the required-symbol set)
+// are memoized on the compiled plan itself and shared across runs.
+package plan
+
+import (
+	"math/rand"
+	"sync"
+
+	"provrpq/internal/core"
+	"provrpq/internal/derive"
+	"provrpq/internal/index"
+	"provrpq/internal/reach"
+)
+
+// Strategy enumerates the planner's choices for a safe all-pairs scan.
+type Strategy int
+
+const (
+	// RPL decodes every pair of l1 × l2 (Option S1).
+	RPL Strategy = iota
+	// OptRPL decodes only the coarsely-reachable pairs (Option S2).
+	OptRPL
+	// Seeded anchors on the rarest required tag's occurrence list.
+	Seeded
+)
+
+// String returns the strategy's wire name.
+func (s Strategy) String() string {
+	switch s {
+	case RPL:
+		return "rpl"
+	case OptRPL:
+		return "optrpl"
+	case Seeded:
+		return "seeded"
+	}
+	return "unknown"
+}
+
+// Decision is one plan: the chosen strategy, the seed the seeded strategy
+// would anchor on, and the cost estimates (in label-decode units) that led
+// to the choice.
+type Decision struct {
+	// Strategy is the cheapest estimate.
+	Strategy Strategy
+	// SeedTag is the rarest required tag ("" when the query requires no
+	// tag, in which case Seeded was not a candidate).
+	SeedTag string
+	// SeedCount is SeedTag's occurrence count in the run (0 both for an
+	// absent tag — the query then matches nothing in this run — and when
+	// SeedTag is "").
+	SeedCount int
+	// Reverse reports that the target side of the seed looks more selective
+	// than the source side: the seeded scan resolves target candidates
+	// first, and an unsafe seeded expansion would run the reversed query
+	// backward from them.
+	Reverse bool
+	// CostRPL, CostOptRPL and CostSeeded are the model's estimates; CostSeeded
+	// is +Inf-free but only meaningful when SeedTag != "".
+	CostRPL, CostOptRPL, CostSeeded float64
+}
+
+// densitySamples is the size of the deterministic reachability sample
+// behind ReachDensity.
+const densitySamples = 1024
+
+// Planner owns the per-run statistics and the cost model.
+type Planner struct {
+	ix *index.Index
+
+	densityOnce sync.Once
+	density     float64
+}
+
+// New returns a planner over the run the index was built from.
+func New(ix *index.Index) *Planner { return &Planner{ix: ix} }
+
+// ReachDensity estimates P(u ⇝ v) for a uniform random ordered node pair by
+// a fixed-seed sample of constant-time label decodes (so the estimate — and
+// every plan built on it — is deterministic for a given run). An empty run
+// reports 0.
+func (p *Planner) ReachDensity() float64 {
+	p.densityOnce.Do(func() {
+		run := p.ix.Run()
+		n := run.NumNodes()
+		if n == 0 {
+			return
+		}
+		rng := rand.New(rand.NewSource(1))
+		hits := 0
+		for i := 0; i < densitySamples; i++ {
+			u := run.Label(derive.NodeID(rng.Intn(n)))
+			v := run.Label(derive.NodeID(rng.Intn(n)))
+			if reach.Pairwise(run.Spec, u, v) {
+				hits++
+			}
+		}
+		p.density = float64(hits) / densitySamples
+	})
+	return p.density
+}
+
+// Plan chooses a strategy for an all-pairs scan of the compiled query over
+// endpoint lists of the given sizes. The model counts label decodes:
+//
+//	RPL     n1·n2                                  one decode per pair
+//	OptRPL  n1 + n2 + ρ·n1·n2                      trie build + one decode
+//	                                               per coarsely-reachable pair
+//	Seeded  (n1 + n2 + ds + dt)                    candidate trie joins
+//	        + ρ·(n1·ds + n2·dt)                    join outputs
+//	        + estL·estR                            decode of surviving pairs
+//
+// where ρ is the sampled reachability density, ds/dt the seed tag's
+// distinct source/target counts, and estL = n1·min(1, ρ·ds) (resp. estR)
+// estimates the candidate set sizes — the probability a random endpoint
+// reaches one of ds seed sources is ≈ min(1, ρ·ds). Every term degrades
+// gracefully: an empty run, an empty list or an absent seed tag yields
+// zero estimates, never a division.
+func (p *Planner) Plan(env *core.Env, n1, n2 int) Decision {
+	f1, f2 := float64(n1), float64(n2)
+	rho := p.ReachDensity()
+	d := Decision{
+		Strategy:   OptRPL,
+		CostRPL:    f1 * f2,
+		CostOptRPL: f1 + f2 + rho*f1*f2,
+	}
+
+	seed, count := "", -1
+	for _, sym := range env.RequiredSyms() {
+		if c := p.ix.Count(sym); count < 0 || c < count {
+			seed, count = sym, c
+		}
+	}
+	if seed != "" {
+		de := p.ix.DistinctEndpoints(seed)
+		ds, dt := float64(de.Sources), float64(de.Targets)
+		estL := f1 * minf(1, rho*ds)
+		estR := f2 * minf(1, rho*dt)
+		d.SeedTag, d.SeedCount = seed, count
+		d.Reverse = de.Targets < de.Sources
+		d.CostSeeded = (f1 + f2 + ds + dt) + rho*(f1*ds+f2*dt) + estL*estR
+		if d.CostSeeded < d.CostOptRPL {
+			d.Strategy = Seeded
+		}
+	}
+	if d.CostRPL < d.cost() {
+		d.Strategy = RPL
+	}
+	return d
+}
+
+// cost returns the estimate of the currently chosen strategy.
+func (d Decision) cost() float64 {
+	switch d.Strategy {
+	case RPL:
+		return d.CostRPL
+	case Seeded:
+		return d.CostSeeded
+	}
+	return d.CostOptRPL
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

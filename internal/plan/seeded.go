@@ -1,0 +1,221 @@
+package plan
+
+import (
+	"provrpq/internal/automata"
+	"provrpq/internal/core"
+	"provrpq/internal/derive"
+	"provrpq/internal/index"
+	"provrpq/internal/label"
+	"provrpq/internal/reach"
+)
+
+// AllPairsSeeded evaluates the compiled query over l1 × l2 anchored on the
+// decision's seed tag, emitting each matching pair by list indices. It is
+// exact for every query, safe or unsafe:
+//
+//  1. Every matching path traverses a seed-tagged edge (the seed is a
+//     required symbol), so sources that reach no occurrence source and
+//     targets unreachable from every occurrence target are discarded by two
+//     output-linear label joins (reach.AllPairs against the distinct seed
+//     endpoints). An absent seed tag means no pair can match.
+//  2. The surviving candidate pairs are verified exactly: safe queries by
+//     the constant-time label decode; unsafe queries by expanding through
+//     the minimal DFA — forward from each source candidate, or backward
+//     from each target candidate with the DFA of the reversed query
+//     (automata.Node.Reverse()) when the target side is smaller.
+//
+// The decision's Reverse flag (which end the planner estimated more
+// selective) orders the candidate joins so the emptier side is resolved —
+// and can short-circuit the whole scan — first; the unsafe expansion then
+// re-decides its direction from the actual candidate counts.
+//
+// A decision without a seed tag (the query requires no symbol) falls back
+// to OptRPL for safe queries and to a full bidirectional expansion for
+// unsafe ones — the shapes where seeding has nothing to anchor on.
+func AllPairsSeeded(env *core.Env, ix *index.Index, dec Decision, l1, l2 []derive.NodeID, emit func(i, j int)) error {
+	run := ix.Run()
+	seed := dec.SeedTag
+	if seed != "" && !isRequired(env, seed) {
+		// Defensive: a seed the query does not require would drop matches
+		// that avoid it. Fall back to the unseeded paths instead.
+		seed = ""
+	}
+	la, lb := labelsOf(run, l1), labelsOf(run, l2)
+	if seed == "" {
+		if env.Safe() {
+			return env.AllPairsSafe(la, lb, core.OptRPL, emit)
+		}
+		return expandPairs(env, run, allIdx(len(l1)), allIdx(len(l2)), l1, l2, len(l2) < len(l1), emit)
+	}
+	if ix.Count(seed) == 0 {
+		return nil // required tag absent from the run: nothing can match
+	}
+
+	// Distinct seed endpoints: several occurrences often share sources or
+	// targets, and the candidate joins only care about the distinct sets.
+	var srcLabels, dstLabels []label.Label
+	srcSeen := map[derive.NodeID]struct{}{}
+	dstSeen := map[derive.NodeID]struct{}{}
+	ix.EachPair(seed, func(p index.Pair) {
+		if _, ok := srcSeen[p.From]; !ok {
+			srcSeen[p.From] = struct{}{}
+			srcLabels = append(srcLabels, run.Label(p.From))
+		}
+		if _, ok := dstSeen[p.To]; !ok {
+			dstSeen[p.To] = struct{}{}
+			dstLabels = append(dstLabels, run.Label(p.To))
+		}
+	})
+
+	candSources := func() []int {
+		in := make([]bool, len(l1))
+		reach.AllPairs(run.Spec, la, srcLabels, func(i, _ int) { in[i] = true })
+		return collect(in)
+	}
+	candTargets := func() []int {
+		in := make([]bool, len(l2))
+		reach.AllPairs(run.Spec, dstLabels, lb, func(_, j int) { in[j] = true })
+		return collect(in)
+	}
+	var L, R []int
+	if dec.Reverse {
+		if R = candTargets(); len(R) == 0 {
+			return nil
+		}
+		L = candSources()
+	} else {
+		if L = candSources(); len(L) == 0 {
+			return nil
+		}
+		R = candTargets()
+	}
+	if len(L) == 0 || len(R) == 0 {
+		return nil
+	}
+	if env.Safe() {
+		d := env.NewDecoder()
+		for _, i := range L {
+			for _, j := range R {
+				if d.PairwiseUnchecked(la[i], lb[j]) {
+					emit(i, j)
+				}
+			}
+		}
+		return nil
+	}
+	return expandPairs(env, run, L, R, l1, l2, len(R) < len(L), emit)
+}
+
+// isRequired reports whether the compiled query requires sym.
+func isRequired(env *core.Env, sym string) bool {
+	for _, s := range env.RequiredSyms() {
+		if s == sym {
+			return true
+		}
+	}
+	return false
+}
+
+// expandPairs verifies candidate pairs by product traversal of the run with
+// the query DFA. Forward mode expands from each source candidate with the
+// compiled minimal DFA; reverse mode (rev, chosen when the target side is
+// smaller) expands from each target candidate over incoming edges with the
+// DFA of the reversed query, which accepts exactly the reversals of the
+// query's words. Emission is deterministic: candidate-major in the
+// expansion side's order, list order on the other side.
+func expandPairs(env *core.Env, run *derive.Run, L, R []int, l1, l2 []derive.NodeID, rev bool, emit func(i, j int)) error {
+	if len(L) == 0 || len(R) == 0 {
+		return nil
+	}
+	if !rev {
+		for _, i := range L {
+			hits := expand(run, env.DFA, l1[i], false)
+			for _, j := range R {
+				if hits[l2[j]] {
+					emit(i, j)
+				}
+			}
+		}
+		return nil
+	}
+	rdfa := automata.CompileDFA(env.Query.Reverse(), run.Spec.Tags())
+	for _, j := range R {
+		hits := expand(run, rdfa, l2[j], true)
+		for _, i := range L {
+			if hits[l1[i]] {
+				emit(i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// expand runs the product traversal of run × dfa from one node and returns
+// the set of nodes reached in an accepting state; the start node itself is
+// included when the start state accepts (the empty path). backward walks
+// incoming edges instead of outgoing ones.
+func expand(run *derive.Run, dfa *automata.DFA, from derive.NodeID, backward bool) map[derive.NodeID]bool {
+	nq := dfa.NumStates()
+	seen := make([]bool, run.NumNodes()*nq)
+	type item struct {
+		n derive.NodeID
+		q int
+	}
+	stack := []item{{from, dfa.Start}}
+	seen[int(from)*nq+dfa.Start] = true
+	hits := map[derive.NodeID]bool{}
+	if dfa.Accept[dfa.Start] {
+		hits[from] = true
+	}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		edges := run.Out(it.n)
+		if backward {
+			edges = run.In(it.n)
+		}
+		for _, ei := range edges {
+			e := run.Edges[ei]
+			next := e.To
+			if backward {
+				next = e.From
+			}
+			q2 := dfa.Step(it.q, e.Tag)
+			if q2 < 0 || seen[int(next)*nq+q2] {
+				continue
+			}
+			seen[int(next)*nq+q2] = true
+			if dfa.Accept[q2] {
+				hits[next] = true
+			}
+			stack = append(stack, item{next, q2})
+		}
+	}
+	return hits
+}
+
+func labelsOf(run *derive.Run, ids []derive.NodeID) []label.Label {
+	out := make([]label.Label, len(ids))
+	for i, id := range ids {
+		out[i] = run.Label(id)
+	}
+	return out
+}
+
+func allIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func collect(in []bool) []int {
+	var out []int
+	for i, ok := range in {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}

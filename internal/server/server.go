@@ -11,6 +11,7 @@
 //	POST /v1/runs/{name}/edges grow a run by one batch    {"nodes"?, "edges"?}
 //	POST /v1/runs/{name}/compact fold the run's append log into one stored base
 //	POST /v1/evaluate          full evaluation on one run {"run", "query", "count_only"?, "limit"?, "offset"?}
+//	POST /v1/explain           plan report, no evaluation {"run", "query"}
 //	POST /v1/pairwise          one pair on one run        {"run", "query", "from", "to"}
 //	POST /v1/batch             runs × queries fan-out     {"runs"?, "queries", "count_only"?}
 //	GET  /v1/snapshot          durable-store contents (what a restart restores)
@@ -104,6 +105,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs/{name}/edges", s.handleAppendEdges)
 	mux.HandleFunc("POST /v1/runs/{name}/compact", s.handleCompactRun)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/pairwise", s.handlePairwise)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
@@ -253,6 +255,10 @@ type evaluateResponse struct {
 	Run   string `json:"run"`
 	Query string `json:"query"`
 	Safe  bool   `json:"safe"`
+	// Strategy is the plan that actually answered: "rpl", "optrpl" or
+	// "seeded" for safe queries, "decompose" for the unsafe safe-subtree
+	// decomposition.
+	Strategy string `json:"strategy"`
 	// Count and Total both report the full match count — Count predates
 	// paging and keeps its meaning for old clients; pagers read Total and
 	// Offset to walk the windows.
@@ -260,6 +266,33 @@ type evaluateResponse struct {
 	Total  int        `json:"total"`
 	Offset int        `json:"offset,omitempty"`
 	Pairs  []pairJSON `json:"pairs,omitempty"`
+}
+
+type explainRequest struct {
+	Run   string `json:"run"`
+	Query string `json:"query"`
+}
+
+type planCostsJSON struct {
+	RPL    float64 `json:"rpl"`
+	OptRPL float64 `json:"optrpl"`
+	Seeded float64 `json:"seeded"`
+}
+
+type explainResponse struct {
+	Run      string `json:"run"`
+	Query    string `json:"query"`
+	Safe     bool   `json:"safe"`
+	Strategy string `json:"strategy"`
+	SeedTag  string `json:"seed_tag,omitempty"`
+	// SeedCount accompanies every reported seed tag — zero is meaningful
+	// (the required tag is absent from the run, so the query matches
+	// nothing), so it must not be dropped by omitempty.
+	SeedCount       *int           `json:"seed_count,omitempty"`
+	Reverse         bool           `json:"reverse,omitempty"`
+	Costs           *planCostsJSON `json:"costs,omitempty"`
+	SafeSubtrees    []string       `json:"safe_subtrees,omitempty"`
+	RelationalNodes int            `json:"relational_nodes,omitempty"`
 }
 
 type pairwiseRequest struct {
@@ -594,18 +627,22 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad_request", `"limit" must be >= 0`)
 		return
 	}
-	safe, err := eng.IsSafe(q)
-	if err != nil {
+	if _, err := eng.IsSafe(q); err != nil {
+		// Compilation failures (e.g. a query whose minimal DFA exceeds the
+		// supported state count) are the client's query, not our evaluation.
 		s.writeError(w, http.StatusBadRequest, "bad_query", err.Error())
 		return
 	}
-	pairs, err := eng.Evaluate(q)
+	pairs, rep, err := eng.EvaluatePlanned(q)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "evaluate_failed", err.Error())
 		return
 	}
 	total := len(pairs)
-	resp := evaluateResponse{Run: req.Run, Query: q.String(), Safe: safe, Count: total, Total: total, Offset: req.Offset}
+	resp := evaluateResponse{
+		Run: req.Run, Query: q.String(), Safe: rep.Safe,
+		Strategy: strategyName(rep), Count: total, Total: total, Offset: req.Offset,
+	}
 	if !req.CountOnly {
 		// Page the serialized window, not the evaluation: a full pair list
 		// is O(n²) in the worst case, and an unbounded response body is
@@ -624,6 +661,54 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		resp.Pairs = toPairJSON(eng.Run(), window)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExplain returns the evaluation plan for (run, query) without
+// evaluating it: the planner's strategy choice, seed tag and cost
+// estimates for safe queries, the safe-subtree decomposition for unsafe
+// ones.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	eng, q, ok := s.resolve(w, req.Run, req.Query)
+	if !ok {
+		return
+	}
+	rep, err := eng.Explain(q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return
+	}
+	resp := explainResponse{
+		Run:             req.Run,
+		Query:           rep.Query,
+		Safe:            rep.Safe,
+		Strategy:        strategyName(rep),
+		SeedTag:         rep.SeedTag,
+		Reverse:         rep.Reverse,
+		SafeSubtrees:    rep.SafeSubtrees,
+		RelationalNodes: rep.RelationalNodes,
+	}
+	if rep.SeedTag != "" {
+		count := rep.SeedCount
+		resp.SeedCount = &count
+	}
+	if rep.Safe {
+		resp.Costs = &planCostsJSON{RPL: rep.CostRPL, OptRPL: rep.CostOptRPL, Seeded: rep.CostSeeded}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// strategyName renders a plan report's strategy for the wire: the unsafe
+// decomposition has no single all-pairs strategy, so it reports
+// "decompose" rather than Auto's enum name.
+func strategyName(rep *provrpq.PlanReport) string {
+	if rep.Decomposed {
+		return "decompose"
+	}
+	return rep.Strategy.String()
 }
 
 func (s *Server) handlePairwise(w http.ResponseWriter, r *http.Request) {

@@ -307,6 +307,103 @@ func TestServerCatalogEndpoints(t *testing.T) {
 	}
 }
 
+// TestServerExplain covers the plan endpoint: safe queries report a
+// concrete strategy with seed and cost estimates, unsafe ones the
+// decomposition, and /v1/evaluate names the strategy that answered.
+func TestServerExplain(t *testing.T) {
+	_, c := newService(t, Options{})
+	runs := registerFixture(t, c)
+
+	type explainResp struct {
+		Run       string `json:"run"`
+		Query     string `json:"query"`
+		Safe      bool   `json:"safe"`
+		Strategy  string `json:"strategy"`
+		SeedTag   string `json:"seed_tag"`
+		SeedCount *int   `json:"seed_count"`
+		Costs     *struct {
+			RPL    float64 `json:"rpl"`
+			OptRPL float64 `json:"optrpl"`
+			Seeded float64 `json:"seeded"`
+		} `json:"costs"`
+		SafeSubtrees    []string `json:"safe_subtrees"`
+		RelationalNodes int      `json:"relational_nodes"`
+	}
+
+	var ex explainResp
+	c.do("POST", "/v1/explain", map[string]any{"run": runs[0], "query": "_*.publish"},
+		http.StatusOK, &ex)
+	if !ex.Safe || ex.Costs == nil {
+		t.Fatalf("explain safe query = %+v", ex)
+	}
+	switch ex.Strategy {
+	case "rpl", "optrpl", "seeded":
+	default:
+		t.Fatalf("safe strategy = %q", ex.Strategy)
+	}
+	if ex.SeedTag != "publish" {
+		t.Errorf("seed tag = %q, want publish (rarest required tag)", ex.SeedTag)
+	}
+	if ex.SeedCount == nil || *ex.SeedCount < 1 {
+		t.Errorf("seed count = %v, want >= 1 alongside the seed tag", ex.SeedCount)
+	}
+	if ex.Costs.RPL <= 0 || ex.Costs.OptRPL <= 0 {
+		t.Errorf("cost estimates missing: %+v", ex.Costs)
+	}
+
+	// A required tag absent from the run reports seed_count 0 explicitly —
+	// zero is meaningful (the query cannot match), not an omitted field.
+	var exAbsent explainResp
+	c.do("POST", "/v1/explain", map[string]any{"run": runs[0], "query": "_*.ghost._*"},
+		http.StatusOK, &exAbsent)
+	if exAbsent.SeedTag != "ghost" || exAbsent.SeedCount == nil || *exAbsent.SeedCount != 0 {
+		t.Errorf("absent-tag explain = seed %q count %v, want ghost with explicit 0", exAbsent.SeedTag, exAbsent.SeedCount)
+	}
+
+	var exU explainResp
+	c.do("POST", "/v1/explain", map[string]any{"run": runs[0], "query": "a1.(_*.s._*)"},
+		http.StatusOK, &exU)
+	if exU.Safe || exU.Strategy != "decompose" || exU.Costs != nil {
+		t.Fatalf("explain unsafe query = %+v", exU)
+	}
+	if exU.RelationalNodes == 0 {
+		t.Errorf("unsafe explain reports zero relational nodes: %+v", exU)
+	}
+
+	// The evaluate response carries the strategy the plan chose.
+	var ev struct {
+		Strategy string `json:"strategy"`
+		Count    int    `json:"count"`
+	}
+	c.do("POST", "/v1/evaluate", map[string]any{"run": runs[0], "query": "_*.publish", "count_only": true},
+		http.StatusOK, &ev)
+	if ev.Strategy != ex.Strategy {
+		t.Errorf("evaluate strategy %q != explain strategy %q", ev.Strategy, ex.Strategy)
+	}
+	c.do("POST", "/v1/evaluate", map[string]any{"run": runs[0], "query": "a1.(_*.s._*)", "count_only": true},
+		http.StatusOK, &ev)
+	if ev.Strategy != "decompose" {
+		t.Errorf("unsafe evaluate strategy = %q, want decompose", ev.Strategy)
+	}
+
+	// Error paths share the uniform shape.
+	var eb struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	c.do("POST", "/v1/explain", map[string]any{"run": "nope", "query": "_*"},
+		http.StatusNotFound, &eb)
+	if eb.Error.Code != "not_found" {
+		t.Errorf("explain unknown run code = %q", eb.Error.Code)
+	}
+	c.do("POST", "/v1/explain", map[string]any{"run": runs[0], "query": "(("},
+		http.StatusBadRequest, &eb)
+	if eb.Error.Code != "bad_query" {
+		t.Errorf("explain bad query code = %q", eb.Error.Code)
+	}
+}
+
 func TestServerErrorShape(t *testing.T) {
 	_, c := newService(t, Options{})
 	registerFixture(t, c)

@@ -139,14 +139,18 @@ func TestExplain(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := NewEngine(run)
-	safe, subtrees, err := eng.Explain(MustParseQuery("a1.(_*.s._*)"))
+	rep, err := eng.Explain(MustParseQuery("a1.(_*.s._*)"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if safe {
+	if rep.Safe {
 		t.Error("a1.(_*.s._*) should be unsafe: only recursive Analysis executions start with a1")
 	}
-	_ = subtrees // decomposition depends on the cost model; presence tested in core
+	if !rep.Decomposed {
+		t.Error("unsafe query should report the decomposition path")
+	}
+	// The exact decomposition depends on the cost model; presence tested in
+	// core and in the dedicated plan-report tests.
 }
 
 func TestReachability(t *testing.T) {
