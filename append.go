@@ -185,7 +185,9 @@ func (c *Catalog) appendEdges(runName string, b *Batch, expectedVersion int) (Ap
 		return AppendResult{}, err
 	}
 	if c.store != nil {
-		data, err := EncodeBatch(b)
+		// The append log persists columnar batches (DecodeBatch sniffs, so
+		// JSON batches from an older log replay identically).
+		data, err := derive.EncodeBatchColumnar(b.spec.s, b.b)
 		if err != nil {
 			return AppendResult{}, err
 		}
@@ -238,7 +240,7 @@ func (c *Catalog) CompactRun(runName string) error {
 	if !ok {
 		return fmt.Errorf("provrpq: catalog: unknown run %q", runName)
 	}
-	data, err := EncodeRun(cur)
+	data, err := EncodeRunColumnar(cur)
 	if err != nil {
 		return err
 	}

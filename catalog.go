@@ -148,10 +148,12 @@ func (c *Catalog) putRunDurable(name, specName string, r *Run) error {
 	if c.store == nil || name == "" {
 		return c.reg.PutRun(name, specName, r) // PutRun owns the empty-name error
 	}
-	// Encode outside persistMu: varint label packing over a large run is
-	// the expensive part of a save, and only the disk write itself needs
-	// serializing — two concurrent uploads should overlap their encodes.
-	data, err := EncodeRun(r)
+	// Encode outside persistMu: encoding a large run is the expensive part
+	// of a save, and only the disk write itself needs serializing — two
+	// concurrent uploads should overlap their encodes. The durable store
+	// persists the columnar format natively, so a restart opens the payload
+	// zero-copy instead of re-parsing JSON.
+	data, err := EncodeRunColumnar(r)
 	if err != nil {
 		return err
 	}

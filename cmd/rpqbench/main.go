@@ -5,6 +5,7 @@
 //	rpqbench -fig 13c          # one figure, full workload
 //	rpqbench -all              # every figure
 //	rpqbench -all -quick       # smoke-sized workloads
+//	rpqbench -fig boot -json . # also write machine-readable BENCH_boot.json
 package main
 
 import (
@@ -22,9 +23,10 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
 	seed := flag.Int64("seed", 1, "workload seed")
 	workers := flag.Int("parallel", 0, "extra worker count for the parallel-scaling figure (par)")
+	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<figure>.json records (figures boot, plan)")
 	flag.Parse()
 
-	cfg := bench.Config{W: os.Stdout, Quick: *quick, Seed: *seed, Workers: *workers}
+	cfg := bench.Config{W: os.Stdout, Quick: *quick, Seed: *seed, Workers: *workers, JSONDir: *jsonDir}
 	var ids []string
 	switch {
 	case *all:

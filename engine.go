@@ -167,9 +167,16 @@ type EngineOptions struct {
 // exactly).
 type Engine struct {
 	run     *Run
-	lbls    []label.Label
 	plans   *plancache.Cache
 	workers int
+
+	// lblOnce/lbls defer the materialized per-node label slice to the
+	// first all-pairs scan: the pairwise entry points answer straight from
+	// the run's label column (LabelBytes), so an engine over a
+	// columnar-opened run serves point queries without ever decoding every
+	// label.
+	lblOnce sync.Once
+	lbls    []label.Label
 
 	// envMemo fronts the shared plan cache with a per-engine, lock-free
 	// hit path (the pairwise decode is nanosecond-scale; a contended
@@ -216,16 +223,18 @@ func NewEngineOpts(run *Run, opts EngineOptions) *Engine {
 	if opts.PlanCache != nil {
 		plans = opts.PlanCache.c
 	}
-	e := &Engine{
+	return &Engine{
 		run:     run,
 		plans:   plans,
 		workers: parallel.Workers(opts.Workers),
 		g2s:     map[string]*g2entry{},
 	}
-	for _, n := range run.r.Nodes {
-		e.lbls = append(e.lbls, n.Label)
-	}
-	return e
+}
+
+// labels returns the materialized per-node label slice, built on first use.
+func (e *Engine) labels() []label.Label {
+	e.lblOnce.Do(func() { e.lbls = e.run.r.MaterializeLabels() })
+	return e.lbls
 }
 
 // Run returns the engine's run.
@@ -325,7 +334,9 @@ func (e *Engine) Pairwise(q *Query, u, v NodeID) (bool, error) {
 		return false, err
 	}
 	if env.Safe() {
-		return env.Pairwise(e.lbls[u], e.lbls[v])
+		// Decode straight from the run's label column — no materialized
+		// []Entry labels on the point-query path.
+		return env.PairwiseBytes(e.run.r.LabelBytes(derive.NodeID(u)), e.run.r.LabelBytes(derive.NodeID(v)))
 	}
 	g2 := e.g2For(q)
 	return g2.Pairwise(derive.NodeID(u), derive.NodeID(v)), nil
@@ -339,7 +350,7 @@ func (e *Engine) Reachable(u, v NodeID) (bool, error) {
 	if err := e.checkNode(v); err != nil {
 		return false, err
 	}
-	return reach.Pairwise(e.run.r.Spec, e.lbls[u], e.lbls[v]), nil
+	return reach.PairwiseBytes(e.run.r.Spec, e.run.r.LabelBytes(derive.NodeID(u)), e.run.r.LabelBytes(derive.NodeID(v))), nil
 }
 
 // AllPairsReachable returns all reachable pairs of l1 × l2 in time linear
@@ -581,21 +592,23 @@ func fromPlanStrategy(s plan.Strategy) Strategy {
 }
 
 func (e *Engine) labelsOf(ids []NodeID) ([]label.Label, error) {
+	lbls := e.labels()
 	out := make([]label.Label, len(ids))
 	for i, id := range ids {
 		if err := e.checkNode(id); err != nil {
 			return nil, err
 		}
-		out[i] = e.lbls[id]
+		out[i] = lbls[id]
 	}
 	return out, nil
 }
 
 // labelsUnchecked is labelsOf for ids the caller already validated.
 func (e *Engine) labelsUnchecked(ids []NodeID) []label.Label {
+	lbls := e.labels()
 	out := make([]label.Label, len(ids))
 	for i, id := range ids {
-		out[i] = e.lbls[id]
+		out[i] = lbls[id]
 	}
 	return out
 }
@@ -610,8 +623,8 @@ func (e *Engine) checkNodes(ids []NodeID) error {
 }
 
 func (e *Engine) checkNode(n NodeID) error {
-	if n < 0 || int(n) >= len(e.lbls) {
-		return fmt.Errorf("provrpq: node id %d out of range [0,%d)", n, len(e.lbls))
+	if n < 0 || int(n) >= e.run.r.NumNodes() {
+		return fmt.Errorf("provrpq: node id %d out of range [0,%d)", n, e.run.r.NumNodes())
 	}
 	return nil
 }

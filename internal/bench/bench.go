@@ -31,13 +31,17 @@ type Config struct {
 	// Workers extends the worker sweep of the parallel figure ("par")
 	// beyond its default 1/2/4/8 ladder.
 	Workers int
+	// JSONDir, when non-empty, makes figures with machine-readable output
+	// ("boot" and "plan") also write a BENCH_<figure>.json file into this
+	// directory, alongside the textual report on W.
+	JSONDir string
 }
 
 // Figures lists the available experiment ids in paper order; "par" is the
-// parallel-scaling experiment and "plan" the selectivity-planner experiment,
-// both beyond the paper.
+// parallel-scaling experiment, "plan" the selectivity-planner experiment
+// and "boot" the zero-copy columnar boot experiment, all beyond the paper.
 func Figures() []string {
-	return []string{"13a", "13b", "13c", "13d", "13e", "13f", "13g", "13h", "15a", "15b", "par", "plan"}
+	return []string{"13a", "13b", "13c", "13d", "13e", "13f", "13g", "13h", "15a", "15b", "par", "plan", "boot"}
 }
 
 // Run dispatches one figure by id.
@@ -67,6 +71,8 @@ func Run(id string, cfg Config) error {
 		return FigPar(cfg)
 	case "plan":
 		return FigPlan(cfg)
+	case "boot":
+		return FigBoot(cfg)
 	}
 	return fmt.Errorf("bench: unknown figure %q (have %v)", id, Figures())
 }

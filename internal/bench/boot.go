@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"provrpq/internal/derive"
+	"provrpq/internal/reach"
+	"provrpq/internal/workload"
+)
+
+// BootReport is the machine-readable record of the boot experiment,
+// written as BENCH_boot.json when Config.JSONDir is set. One row per
+// measured run size.
+type BootReport struct {
+	Dataset string    `json:"dataset"`
+	Quick   bool      `json:"quick"`
+	Rows    []BootRow `json:"rows"`
+}
+
+// BootRow compares opening one persisted run as JSON versus columnar.
+type BootRow struct {
+	Edges             int     `json:"edges"`
+	Nodes             int     `json:"nodes"`
+	JSONBytes         int     `json:"json_bytes"`
+	ColumnarBytes     int     `json:"columnar_bytes"`
+	JSONDecodeMS      float64 `json:"json_decode_ms"`
+	ColumnarOpenMS    float64 `json:"columnar_open_ms"`
+	Speedup           float64 `json:"speedup"`
+	JSONHeapBytes     uint64  `json:"json_heap_bytes"`
+	ColumnarHeapBytes uint64  `json:"columnar_heap_bytes"`
+	PairsChecked      int     `json:"pairs_checked"`
+}
+
+// FigBoot is the zero-copy boot experiment (beyond the paper): persist one
+// derived run both as the legacy JSON payload and as the columnar format,
+// then measure the cost of bringing each back to a query-ready state —
+// full JSON decode (parse, validate, materialize labels, build adjacency)
+// versus columnar open (checksum + structural validation over the raw
+// bytes; names, adjacency and labels stay lazy). Decoded-structure heap is
+// sampled around each open, and every measurement is guarded by an
+// answer-equality check over sampled pairwise queries on both runs.
+func FigBoot(cfg Config) error {
+	header(cfg, "boot: catalog boot time — JSON decode vs zero-copy columnar open")
+	sizes := []int{100000, 1000000}
+	npairs := 2000
+	if cfg.Quick {
+		sizes = []int{20000}
+		npairs = 200
+	}
+	d := workload.BioAID()
+	report := BootReport{Dataset: d.Name, Quick: cfg.Quick}
+	fmt.Fprintf(cfg.W, "%-10s %-10s %-12s %-12s %-12s %-12s %-10s %-12s %-12s\n",
+		"edges", "nodes", "json-KB", "col-KB", "json-ms", "col-ms", "speedup", "json-heap", "col-heap")
+	for _, size := range sizes {
+		run, err := derive.Derive(d.Spec, derive.Options{Seed: cfg.Seed, TargetEdges: size})
+		if err != nil {
+			return err
+		}
+		jsonData, err := derive.EncodeRun(run)
+		if err != nil {
+			return err
+		}
+		colData, err := derive.EncodeColumnar(run)
+		if err != nil {
+			return err
+		}
+
+		var jsonRun, colRun *derive.Run
+		jsonHeap := heapDelta(func() error {
+			jsonRun, err = derive.DecodeRun(d.Spec, jsonData)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		colHeap := heapDelta(func() error {
+			colRun, err = derive.OpenColumnar(d.Spec, colData)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		jsonT, err := timeOfErr(func() error {
+			_, err := derive.DecodeRun(d.Spec, jsonData)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		colT, err := timeOfErr(func() error {
+			_, err := derive.OpenColumnar(d.Spec, colData)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		// Answer-equality guard: the fast boot must not change a single
+		// pairwise answer.
+		r := rand.New(rand.NewSource(cfg.Seed + int64(size)))
+		for _, p := range pairSample(r, run, npairs) {
+			ja := reach.PairwiseBytes(jsonRun.Spec, jsonRun.LabelBytes(p[0]), jsonRun.LabelBytes(p[1]))
+			ca := reach.PairwiseBytes(colRun.Spec, colRun.LabelBytes(p[0]), colRun.LabelBytes(p[1]))
+			if ja != ca {
+				return fmt.Errorf("bench: boot: pairwise(%d,%d) diverges: json=%v columnar=%v", p[0], p[1], ja, ca)
+			}
+		}
+
+		row := BootRow{
+			Edges:             run.NumEdges(),
+			Nodes:             run.NumNodes(),
+			JSONBytes:         len(jsonData),
+			ColumnarBytes:     len(colData),
+			JSONDecodeMS:      ms(jsonT),
+			ColumnarOpenMS:    ms(colT),
+			Speedup:           float64(jsonT) / float64(colT),
+			JSONHeapBytes:     jsonHeap,
+			ColumnarHeapBytes: colHeap,
+			PairsChecked:      npairs,
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(cfg.W, "%-10d %-10d %-12d %-12d %-12.2f %-12.3f %-10.1f %-12d %-12d\n",
+			row.Edges, row.Nodes, row.JSONBytes/1024, row.ColumnarBytes/1024,
+			row.JSONDecodeMS, row.ColumnarOpenMS, row.Speedup, row.JSONHeapBytes, row.ColumnarHeapBytes)
+		runtime.KeepAlive(jsonRun)
+		runtime.KeepAlive(colRun)
+	}
+	return writeFigJSON(cfg, "boot", report)
+}
+
+// heapDelta runs f and returns the live-heap growth it caused — the
+// memory its results keep reachable, not its transient allocation.
+func heapDelta(f func() error) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if f() != nil {
+		return 0 // the caller re-runs f for the error
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc < before.HeapAlloc {
+		return 0
+	}
+	return after.HeapAlloc - before.HeapAlloc
+}
+
+// writeFigJSON writes a figure's machine-readable record as
+// BENCH_<id>.json under Config.JSONDir; with no JSONDir set it is a no-op
+// (the textual report is the only output).
+func writeFigJSON(cfg Config, id string, v any) error {
+	if cfg.JSONDir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: figure %s: %w", id, err)
+	}
+	path := filepath.Join(cfg.JSONDir, "BENCH_"+id+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: figure %s: %w", id, err)
+	}
+	fmt.Fprintf(cfg.W, "(wrote %s)\n", path)
+	return nil
+}

@@ -27,6 +27,7 @@ func FigPlan(cfg Config) error {
 	if cfg.Quick {
 		size = 300
 	}
+	report := PlanFigReport{Quick: cfg.Quick, RunEdges: size}
 	fmt.Fprintf(cfg.W, "%-8s %-10s %-34s %-8s %-18s %-10s %-10s %-10s %-10s\n",
 		"dataset", "workload", "query", "matches", "chosen(seed)", "RPL-s", "optRPL-s", "seeded-s", "Auto-s")
 	for _, d := range []*workload.Dataset{workload.BioAID(), workload.QBLast()} {
@@ -99,7 +100,39 @@ func FigPlan(cfg Config) error {
 			chosen := fmt.Sprintf("%s(%s:%d)", dec.Strategy, dec.SeedTag, dec.SeedCount)
 			fmt.Fprintf(cfg.W, "%-8s %-10s %-34s %-8d %-18s %-10.4f %-10.4f %-10.4f %-10.4f\n",
 				d.Name, c.sel, qs, matches, chosen, sec(rplT), sec(optT), sec(seedT), sec(autoT))
+			report.Rows = append(report.Rows, PlanFigRow{
+				Dataset:  d.Name,
+				Workload: c.sel,
+				Query:    c.q,
+				Matches:  matches,
+				Chosen:   chosen,
+				RPLSec:   sec(rplT),
+				OptSec:   sec(optT),
+				SeedSec:  sec(seedT),
+				AutoSec:  sec(autoT),
+			})
 		}
 	}
-	return nil
+	return writeFigJSON(cfg, "plan", report)
+}
+
+// PlanFigReport is the machine-readable record of the planner experiment,
+// written as BENCH_plan.json when Config.JSONDir is set.
+type PlanFigReport struct {
+	Quick    bool         `json:"quick"`
+	RunEdges int          `json:"run_edges"`
+	Rows     []PlanFigRow `json:"rows"`
+}
+
+// PlanFigRow is one (dataset, workload) cell of the planner experiment.
+type PlanFigRow struct {
+	Dataset  string  `json:"dataset"`
+	Workload string  `json:"workload"`
+	Query    string  `json:"query"`
+	Matches  int     `json:"matches"`
+	Chosen   string  `json:"chosen"`
+	RPLSec   float64 `json:"rpl_sec"`
+	OptSec   float64 `json:"optrpl_sec"`
+	SeedSec  float64 `json:"seeded_sec"`
+	AutoSec  float64 `json:"auto_sec"`
 }

@@ -1,5 +1,7 @@
 package core
 
+import "provrpq/internal/label"
+
 // artifacts holds the decode structures derived from the query-intersected
 // specification G_R (Section III-B): per-production port-transition matrices
 // and per-cycle chain step matrices. They are valid only for safe queries,
@@ -125,6 +127,11 @@ type Decoder struct {
 	// path calls them with label-derived arguments that repeat heavily
 	// across an all-pairs scan. nil when Env.DisableRangeCache is set.
 	rangeCache map[rangeKey]Mat
+
+	// sa/sb are reusable scratch for PairwiseBytesUnchecked's suffix
+	// decode, so byte-path pairwise answers stop allocating once the
+	// scratch has grown to the label depth.
+	sa, sb label.Label
 }
 
 // NewDecoder returns a fresh decoder over the environment's current state.

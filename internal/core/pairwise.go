@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"math/bits"
 
@@ -57,21 +58,99 @@ func (e *Env) PairwiseUnchecked(a, b label.Label) bool {
 	return ok
 }
 
+// PairwiseBytes is Pairwise on encoded labels (see
+// Decoder.PairwiseBytesUnchecked): the answer is computed from the bytes
+// without materializing either label.
+func (e *Env) PairwiseBytes(a, b label.Bytes) (bool, error) {
+	d := e.decoder()
+	if d == nil {
+		return false, ErrUnsafe
+	}
+	ok := d.PairwiseBytesUnchecked(a, b)
+	e.release(d)
+	return ok, nil
+}
+
+// PairwiseBytesUnchecked is PairwiseBytes for callers that already
+// verified e.Safe().
+func (e *Env) PairwiseBytesUnchecked(a, b label.Bytes) bool {
+	d := e.decoder()
+	if d == nil {
+		panic("core: PairwiseBytesUnchecked on an unsafe query")
+	}
+	ok := d.PairwiseBytesUnchecked(a, b)
+	e.release(d)
+	return ok
+}
+
 // PairwiseUnchecked answers the safe pairwise query on the decoder's
 // environment (the hot path of the all-pairs scans). It propagates only the
 // start state's reachable-state set (a row vector) through the decode
 // factors, so each factor costs O(|Q|) word operations instead of a matrix
 // product — this is what makes the per-pair cost tens of nanoseconds.
 func (d *Decoder) PairwiseUnchecked(a, b label.Label) bool {
-	e := d.e
 	if label.Equal(a, b) {
-		return e.MatchesEmpty()
+		return d.e.MatchesEmpty()
 	}
 	dd := label.LCP(a, b)
 	if dd >= len(a) || dd >= len(b) {
 		return false
 	}
-	ea, eb := a[dd], b[dd]
+	return d.pairwiseTail(a[dd:], b[dd:])
+}
+
+// PairwiseBytesUnchecked is PairwiseUnchecked on encoded labels — the hot
+// path of a columnar-opened run, which never materializes []Entry labels.
+// The encodings are walked in lockstep with cursors to the divergence
+// entry; only the two (depth-bounded) suffixes from the divergence on are
+// decoded, into decoder-owned scratch, so a pairwise answer allocates
+// nothing after scratch warm-up. Byte equality is only a fast path: equal
+// labels with unequal bytes (overlong varints) are decided by the lockstep
+// walk, never assumed impossible.
+//
+// The inputs must be valid encodings (Encode output or a validated label
+// column); a malformed input panics, like a corrupt label column would.
+func (d *Decoder) PairwiseBytesUnchecked(a, b label.Bytes) bool {
+	if bytes.Equal(a, b) {
+		return d.e.MatchesEmpty()
+	}
+	ca, cb := label.NewCursor(a), label.NewCursor(b)
+	for {
+		ea, oka := ca.Next()
+		eb, okb := cb.Next()
+		if !oka || !okb {
+			if err := ca.Err(); err != nil {
+				panic(fmt.Sprintf("core: malformed label encoding: %v", err))
+			}
+			if err := cb.Err(); err != nil {
+				panic(fmt.Sprintf("core: malformed label encoding: %v", err))
+			}
+			if !oka && !okb {
+				return d.e.MatchesEmpty() // equal entry sequences
+			}
+			return false // proper prefix: labels cannot coexist in one run
+		}
+		if ea == eb {
+			continue
+		}
+		var err error
+		d.sa = append(d.sa[:0], ea)
+		if d.sa, err = label.DecodeInto(d.sa, ca.Rest()); err != nil {
+			panic(fmt.Sprintf("core: malformed label encoding: %v", err))
+		}
+		d.sb = append(d.sb[:0], eb)
+		if d.sb, err = label.DecodeInto(d.sb, cb.Rest()); err != nil {
+			panic(fmt.Sprintf("core: malformed label encoding: %v", err))
+		}
+		return d.pairwiseTail(d.sa, d.sb)
+	}
+}
+
+// pairwiseTail answers the divergent case given the two label suffixes
+// starting at the divergence entry (a[0] != b[0], both non-empty).
+func (d *Decoder) pairwiseTail(a, b label.Label) bool {
+	e := d.e
+	ea, eb := a[0], b[0]
 	if ea.Rec != eb.Rec {
 		return false
 	}
@@ -127,11 +206,11 @@ func (d *Decoder) PairwiseUnchecked(a, b label.Label) bool {
 		if mid.IsZero() {
 			return false
 		}
-		if !upApply(a, dd+1) {
+		if !upApply(a, 1) {
 			return false
 		}
 		apply(mid)
-		if sv == 0 || !downApply(b, dd+1) {
+		if sv == 0 || !downApply(b, 1) {
 			return false
 		}
 		return sv&e.AcceptMask() != 0
@@ -143,7 +222,7 @@ func (d *Decoder) PairwiseUnchecked(a, b label.Label) bool {
 	i, j := ea.Z, eb.Z
 	switch {
 	case i < j:
-		ki, cu, ok := childEntry(a, dd)
+		ki, cu, ok := childEntry(a, 0)
 		if !ok {
 			return false
 		}
@@ -156,7 +235,7 @@ func (d *Decoder) PairwiseUnchecked(a, b label.Label) bool {
 		if mid.IsZero() {
 			return false
 		}
-		if !upApply(a, dd+2) {
+		if !upApply(a, 2) {
 			return false
 		}
 		apply(mid)
@@ -164,12 +243,12 @@ func (d *Decoder) PairwiseUnchecked(a, b label.Label) bool {
 			return false
 		}
 		apply(d.chainIn(s, t, i+1, j-1))
-		if sv == 0 || !downApply(b, dd+1) {
+		if sv == 0 || !downApply(b, 1) {
 			return false
 		}
 		return sv&e.AcceptMask() != 0
 	case i > j:
-		kj, cv, ok := childEntry(b, dd)
+		kj, cv, ok := childEntry(b, 0)
 		if !ok {
 			return false
 		}
@@ -182,7 +261,7 @@ func (d *Decoder) PairwiseUnchecked(a, b label.Label) bool {
 		if mid.IsZero() {
 			return false
 		}
-		if !upApply(a, dd+1) {
+		if !upApply(a, 1) {
 			return false
 		}
 		apply(d.chainOut(s, t, i-1, j+1))
@@ -190,7 +269,7 @@ func (d *Decoder) PairwiseUnchecked(a, b label.Label) bool {
 			return false
 		}
 		apply(mid)
-		if sv == 0 || !downApply(b, dd+2) {
+		if sv == 0 || !downApply(b, 2) {
 			return false
 		}
 		return sv&e.AcceptMask() != 0

@@ -62,6 +62,12 @@ func AppendEdges(r *Run, b Batch) (AppendStats, error) {
 	base := len(r.Nodes)
 	total := base + len(b.Nodes)
 
+	// A columnar-opened run defers its name map and adjacency; growth
+	// needs both (duplicate-name checks, adjacency extension), so force
+	// them now, before any mutation.
+	r.names()
+	r.ensureAdj()
+
 	// ---- validate everything before mutating anything ----
 	seen := make(map[string]bool, len(b.Nodes))
 	for i, n := range b.Nodes {
@@ -149,6 +155,14 @@ func AppendEdges(r *Run, b Batch) (AppendStats, error) {
 		// per append.
 		r.nameOverlay[n.Name] = id
 		r.Nodes = append(r.Nodes, n)
+		if r.labelOffs != nil {
+			// Extend the label column in step with the node list. An
+			// mmap-backed or Grow-shared column has cap == len, so the
+			// first append reallocates to process-owned memory and never
+			// writes into a mapping or a sibling version's backing.
+			r.labelCol = n.Label.AppendEncode(r.labelCol)
+			r.labelOffs = append(r.labelOffs, uint32(len(r.labelCol)))
+		}
 		r.out = append(r.out, nil)
 		r.in = append(r.in, nil)
 		// A new node's list starts nil, so its backing is allocated by
@@ -210,6 +224,10 @@ func growIntSlice(s []int, n int) []int {
 // AppendEdges never writes into shared backing, and each clone starts
 // with no adjacency ownership.
 func (r *Run) Grow(b Batch) (*Run, AppendStats, error) {
+	// Materialize any deferred tables first: the clone must copy built
+	// state, and the shared byName below must actually exist.
+	r.names()
+	r.ensureAdj()
 	nr := &Run{
 		Spec:   r.Spec,
 		Nodes:  append(make([]Node, 0, len(r.Nodes)+len(b.Nodes)), r.Nodes...),
@@ -217,6 +235,12 @@ func (r *Run) Grow(b Batch) (*Run, AppendStats, error) {
 		byName: r.byName, // immutable: shared, not copied
 		out:    append(make([][]int, 0, len(r.out)+len(b.Nodes)), r.out...),
 		in:     append(make([][]int, 0, len(r.in)+len(b.Nodes)), r.in...),
+		// The label column is append-only, so the clone shares the backing
+		// with capacity clamped to length: the clone's first own append
+		// reallocates, and the parent extending its spare capacity stays
+		// invisible below the clone's length. No O(bytes) copy per version.
+		labelCol:  r.labelCol[:len(r.labelCol):len(r.labelCol)],
+		labelOffs: r.labelOffs[:len(r.labelOffs):len(r.labelOffs)],
 	}
 	if len(r.nameOverlay) > 0 {
 		nr.nameOverlay = make(map[string]NodeID, len(r.nameOverlay)+len(b.Nodes))

@@ -1,0 +1,620 @@
+package derive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+	"unsafe"
+
+	"provrpq/internal/label"
+	"provrpq/internal/wf"
+)
+
+// Columnar payload format ("RPQC", version 1)
+//
+// A run (or growth batch) is stored as a set of contiguous columns rather
+// than per-node JSON objects, so opening a persisted run is a handful of
+// bounds-checked slice views instead of a parse-and-allocate pass over
+// every node. All integers are little-endian uint32; every section starts
+// 4-byte aligned (variable-length blobs are zero-padded to 4 bytes).
+//
+//	offset  size          field
+//	0       4             magic "RPQC"
+//	4       4             format version (1)
+//	8       4             kind: 1 = run, 2 = growth batch
+//	12      4             node count N
+//	16      4             edge count E
+//	20      4             module dictionary size M
+//	24      4             tag dictionary size T
+//	28      4             reserved (0)
+//	32      ...           sections, in order:
+//	        4*(M+1)+blob    module dictionary (offsets + name blob + pad)
+//	        4*N             node module column (dictionary indices)
+//	        4*(N+1)+blob    node name column (offsets + blob + pad)
+//	        4*(N+1)+blob    label column (offsets + packed varint entries + pad)
+//	        4*E             edge source column
+//	        4*E             edge target column
+//	        4*E             edge tag column (dictionary indices)
+//	        4*(T+1)+blob    tag dictionary (offsets + blob + pad)
+//	last    4             CRC-32C (Castagnoli) of everything before it
+//
+// The label column holds each node's label.Label.Encode bytes
+// back-to-back; node n's encoding is labelCol[offs[n]:offs[n+1]]. This is
+// exactly the Run.labelCol / Run.labelOffs representation, so encoding a
+// finished run copies the column verbatim and opening a payload points the
+// run straight into the (possibly mmapped) file.
+//
+// The trailing checksum detects torn or bit-rotted writes; it does NOT
+// substitute for validation — a hostile payload can carry a valid checksum
+// — so both decode paths fully bounds-check every offset, index and label
+// entry against the specification before the run is used.
+//
+// Decoded runs and batches alias the payload: node names, edge tags and
+// the label column are zero-copy views into data, which therefore must not
+// be mutated afterwards (an mmapped payload is mapped read-only and never
+// unmapped).
+const (
+	colMagic      = "RPQC"
+	colVersion    = 1
+	colKindRun    = 1
+	colKindBatch  = 2
+	colHeaderSize = 32
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// IsColumnar reports whether data starts with the columnar payload magic.
+// The magic is not valid JSON, so the two on-disk formats are disjoint and
+// every decoder can sniff.
+func IsColumnar(data []byte) bool {
+	return len(data) >= len(colMagic) && string(data[:len(colMagic)]) == colMagic
+}
+
+// nativeLE reports whether the host is little-endian, which gates the
+// zero-copy uint32 column views (the payload is little-endian by
+// definition; a big-endian host decodes the columns by copying).
+var nativeLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// u32view reinterprets b (length 4*n) as n uint32s, zero-copy when the
+// host is little-endian and b is 4-aligned, copying otherwise. The view's
+// cap equals its length, so appending to it (AppendEdges growing the label
+// offsets) reallocates instead of writing through to the payload.
+func u32view(b []byte, n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	if nativeLE && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+// viewString returns b as a string without copying. The string aliases b.
+func viewString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// ---------------------------------------------------------------------------
+// encoding
+
+type colWriter struct{ buf []byte }
+
+func (w *colWriter) u32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+func (w *colWriter) pad4() {
+	for len(w.buf)%4 != 0 {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// dict writes an offsets-plus-blob string dictionary section.
+func (w *colWriter) dict(names []string) error {
+	total := 0
+	for _, s := range names {
+		total += len(s)
+		if total > math.MaxUint32 {
+			return fmt.Errorf("derive: columnar: dictionary blob exceeds 4 GiB")
+		}
+	}
+	off := uint32(0)
+	w.u32(0)
+	for _, s := range names {
+		off += uint32(len(s))
+		w.u32(off)
+	}
+	for _, s := range names {
+		w.buf = append(w.buf, s...)
+	}
+	w.pad4()
+	return nil
+}
+
+// EncodeColumnar serializes a run as a columnar payload. The label column
+// is taken verbatim from the run when present (finish builds it for every
+// derived or decoded run), so encode performs no per-entry work on labels.
+func EncodeColumnar(r *Run) ([]byte, error) {
+	col, offs := r.labelCol, r.labelOffs
+	if offs == nil {
+		// A hand-assembled run that never went through finish.
+		offs = make([]uint32, len(r.Nodes)+1)
+		col = make([]byte, 0, len(r.Nodes)*4)
+		for i := range r.Nodes {
+			col = r.Nodes[i].Label.AppendEncode(col)
+			if len(col) > math.MaxUint32 {
+				return nil, fmt.Errorf("derive: columnar: label column exceeds 4 GiB")
+			}
+			offs[i+1] = uint32(len(col))
+		}
+	}
+	return encodeColumnar(r.Spec, colKindRun, len(r.Nodes),
+		func(i int) wf.ModuleID { return r.Nodes[i].Module },
+		func(i int) string { return r.Nodes[i].Name },
+		offs, col, r.Edges)
+}
+
+// EncodeBatchColumnar serializes a growth batch as a columnar payload
+// (kind 2). Batch edge endpoints use the grown run's numbering and are
+// stored as-is; they are range-checked by AppendEdges against the run the
+// batch finally applies to, exactly like the JSON batch codec.
+func EncodeBatchColumnar(spec *wf.Spec, b Batch) ([]byte, error) {
+	offs := make([]uint32, len(b.Nodes)+1)
+	col := make([]byte, 0, len(b.Nodes)*4)
+	for i := range b.Nodes {
+		col = b.Nodes[i].Label.AppendEncode(col)
+		if len(col) > math.MaxUint32 {
+			return nil, fmt.Errorf("derive: columnar: label column exceeds 4 GiB")
+		}
+		offs[i+1] = uint32(len(col))
+	}
+	return encodeColumnar(spec, colKindBatch, len(b.Nodes),
+		func(i int) wf.ModuleID { return b.Nodes[i].Module },
+		func(i int) string { return b.Nodes[i].Name },
+		offs, col, b.Edges)
+}
+
+func encodeColumnar(spec *wf.Spec, kind uint32, n int,
+	module func(int) wf.ModuleID, name func(int) string,
+	labelOffs []uint32, labelCol []byte, edges []Edge) ([]byte, error) {
+
+	if n > math.MaxUint32 || len(edges) > math.MaxUint32 {
+		return nil, fmt.Errorf("derive: columnar: run too large for the format (%d nodes, %d edges)", n, len(edges))
+	}
+
+	// Dictionaries in first-use order, so encoding is deterministic.
+	modIdx := make(map[wf.ModuleID]uint32)
+	var modNames []string
+	nodeMod := make([]uint32, n)
+	nameLen := 0
+	for i := 0; i < n; i++ {
+		m := module(i)
+		idx, ok := modIdx[m]
+		if !ok {
+			idx = uint32(len(modNames))
+			modIdx[m] = idx
+			modNames = append(modNames, spec.Name(m))
+		}
+		nodeMod[i] = idx
+		nameLen += len(name(i))
+		if nameLen > math.MaxUint32 {
+			return nil, fmt.Errorf("derive: columnar: node name column exceeds 4 GiB")
+		}
+	}
+	tagIdx := make(map[string]uint32)
+	var tagNames []string
+	for i, e := range edges {
+		if _, ok := tagIdx[e.Tag]; !ok {
+			tagIdx[e.Tag] = uint32(len(tagNames))
+			tagNames = append(tagNames, e.Tag)
+		}
+		if e.From < 0 || int64(e.From) > math.MaxUint32 || e.To < 0 || int64(e.To) > math.MaxUint32 {
+			return nil, fmt.Errorf("derive: columnar: edge %d endpoint out of uint32 range", i)
+		}
+	}
+
+	est := colHeaderSize + 4 +
+		4*(len(modNames)+1) + 4*n + // module dict offs + node module column
+		4*(n+1) + nameLen + // name column
+		4*(n+1) + len(labelCol) + // label column
+		12*len(edges) + // edge columns
+		4*(len(tagNames)+1) + 64 // tag dict offs + blob slack + pads
+	w := &colWriter{buf: make([]byte, 0, est)}
+
+	w.buf = append(w.buf, colMagic...)
+	w.u32(colVersion)
+	w.u32(kind)
+	w.u32(uint32(n))
+	w.u32(uint32(len(edges)))
+	w.u32(uint32(len(modNames)))
+	w.u32(uint32(len(tagNames)))
+	w.u32(0) // reserved
+
+	if err := w.dict(modNames); err != nil {
+		return nil, err
+	}
+	for _, m := range nodeMod {
+		w.u32(m)
+	}
+	nameOff := uint32(0)
+	w.u32(0)
+	for i := 0; i < n; i++ {
+		nameOff += uint32(len(name(i)))
+		w.u32(nameOff)
+	}
+	for i := 0; i < n; i++ {
+		w.buf = append(w.buf, name(i)...)
+	}
+	w.pad4()
+	if len(labelCol) > math.MaxUint32 {
+		return nil, fmt.Errorf("derive: columnar: label column exceeds 4 GiB")
+	}
+	for _, o := range labelOffs {
+		w.u32(o)
+	}
+	w.buf = append(w.buf, labelCol...)
+	w.pad4()
+	for _, e := range edges {
+		w.u32(uint32(e.From))
+	}
+	for _, e := range edges {
+		w.u32(uint32(e.To))
+	}
+	for _, e := range edges {
+		w.u32(tagIdx[e.Tag])
+	}
+	if err := w.dict(tagNames); err != nil {
+		return nil, err
+	}
+
+	w.u32(crc32.Checksum(w.buf, castagnoli))
+	return w.buf, nil
+}
+
+// ---------------------------------------------------------------------------
+// decoding
+
+type colReader struct {
+	data []byte // sections only: past the header, before the checksum
+	off  int
+}
+
+func (r *colReader) remaining() int { return len(r.data) - r.off }
+
+// take returns the next n bytes as a cap-clamped view (so appending to a
+// column derived from it reallocates instead of scribbling past it).
+func (r *colReader) take(n int, what string) ([]byte, error) {
+	if n < 0 || n > r.remaining() {
+		return nil, fmt.Errorf("derive: columnar: truncated payload reading %s (%d bytes needed, %d left)", what, n, r.remaining())
+	}
+	b := r.data[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *colReader) u32s(n int, what string) ([]uint32, error) {
+	if n > r.remaining()/4 {
+		return nil, fmt.Errorf("derive: columnar: truncated payload reading %s (%d entries needed, %d bytes left)", what, n, r.remaining())
+	}
+	b, err := r.take(4*n, what)
+	if err != nil {
+		return nil, err
+	}
+	return u32view(b, n), nil
+}
+
+func (r *colReader) skipPad(blobLen int, what string) error {
+	pad := (4 - blobLen%4) % 4
+	_, err := r.take(pad, what+" padding")
+	return err
+}
+
+// checkOffs validates an offsets array (starts at 0, nondecreasing) and
+// returns the blob length it describes.
+func checkOffs(offs []uint32, what string) (int, error) {
+	if offs[0] != 0 {
+		return 0, fmt.Errorf("derive: columnar: %s offsets do not start at 0", what)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			return 0, fmt.Errorf("derive: columnar: %s offsets decrease at %d", what, i)
+		}
+	}
+	return int(offs[len(offs)-1]), nil
+}
+
+// dict reads an offsets-plus-blob string dictionary section.
+func (r *colReader) dict(count int, what string) ([]string, error) {
+	offs, err := r.u32s(count+1, what+" offsets")
+	if err != nil {
+		return nil, err
+	}
+	blobLen, err := checkOffs(offs, what)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := r.take(blobLen, what+" blob")
+	if err != nil {
+		return nil, err
+	}
+	if err := r.skipPad(blobLen, what); err != nil {
+		return nil, err
+	}
+	out := make([]string, count)
+	for i := range out {
+		out[i] = viewString(blob[offs[i]:offs[i+1]])
+	}
+	return out, nil
+}
+
+// colSections is a fully bounds-checked view of one columnar payload.
+type colSections struct {
+	nodes, edges int
+	modules      []wf.ModuleID // dictionary index -> specification module
+	nodeMod      []uint32
+	nameOffs     []uint32
+	nameBlob     []byte
+	labelOffs    []uint32
+	labelCol     []byte
+	edgeFrom     []uint32
+	edgeTo       []uint32
+	edgeTag      []uint32
+	tags         []string
+}
+
+// parseColumnar verifies the checksum and structurally validates every
+// section of a columnar payload against the specification: offsets in
+// bounds and monotone, dictionary indices in range, module names and edge
+// tags known to the specification, endpoints in range (runs), and every
+// label-column entry valid per ValidateLabel — walked with a cursor, never
+// materialized. Both the strict and the trusted open path run this; the
+// checksum alone proves nothing about a hostile payload.
+func parseColumnar(spec *wf.Spec, data []byte, wantKind uint32) (*colSections, error) {
+	if len(data) < colHeaderSize+4 {
+		return nil, fmt.Errorf("derive: columnar: payload too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != colMagic {
+		return nil, fmt.Errorf("derive: columnar: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != colVersion {
+		return nil, fmt.Errorf("derive: columnar: unsupported format version %d (this build reads version %d)", v, colVersion)
+	}
+	if k := binary.LittleEndian.Uint32(data[8:]); k != wantKind {
+		return nil, fmt.Errorf("derive: columnar: payload kind %d, want %d", k, wantKind)
+	}
+	body := data[:len(data)-4]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(data[len(data)-4:]); got != want {
+		return nil, fmt.Errorf("derive: columnar: checksum mismatch (torn write or corrupt payload)")
+	}
+	s := &colSections{
+		nodes: int(binary.LittleEndian.Uint32(data[12:])),
+		edges: int(binary.LittleEndian.Uint32(data[16:])),
+	}
+	modules := int(binary.LittleEndian.Uint32(data[20:]))
+	tags := int(binary.LittleEndian.Uint32(data[24:]))
+	if v := binary.LittleEndian.Uint32(data[28:]); v != 0 {
+		return nil, fmt.Errorf("derive: columnar: reserved header field is %d, want 0", v)
+	}
+
+	r := &colReader{data: body[colHeaderSize:]}
+	modNames, err := r.dict(modules, "module dictionary")
+	if err != nil {
+		return nil, err
+	}
+	s.modules = make([]wf.ModuleID, modules)
+	for i, name := range modNames {
+		m, ok := spec.ModuleByName(name)
+		if !ok {
+			return nil, fmt.Errorf("derive: columnar: references unknown module %q", name)
+		}
+		s.modules[i] = m
+	}
+	if s.nodeMod, err = r.u32s(s.nodes, "node module column"); err != nil {
+		return nil, err
+	}
+	for i, m := range s.nodeMod {
+		if int(m) >= modules {
+			return nil, fmt.Errorf("derive: columnar: node %d: module index %d out of range [0,%d)", i, m, modules)
+		}
+	}
+	if s.nameOffs, err = r.u32s(s.nodes+1, "node name offsets"); err != nil {
+		return nil, err
+	}
+	nameLen, err := checkOffs(s.nameOffs, "node name")
+	if err != nil {
+		return nil, err
+	}
+	if s.nameBlob, err = r.take(nameLen, "node name blob"); err != nil {
+		return nil, err
+	}
+	if err := r.skipPad(nameLen, "node name blob"); err != nil {
+		return nil, err
+	}
+	if s.labelOffs, err = r.u32s(s.nodes+1, "label offsets"); err != nil {
+		return nil, err
+	}
+	colLen, err := checkOffs(s.labelOffs, "label")
+	if err != nil {
+		return nil, err
+	}
+	if s.labelCol, err = r.take(colLen, "label column"); err != nil {
+		return nil, err
+	}
+	if err := r.skipPad(colLen, "label column"); err != nil {
+		return nil, err
+	}
+	if s.edgeFrom, err = r.u32s(s.edges, "edge source column"); err != nil {
+		return nil, err
+	}
+	if s.edgeTo, err = r.u32s(s.edges, "edge target column"); err != nil {
+		return nil, err
+	}
+	if s.edgeTag, err = r.u32s(s.edges, "edge tag column"); err != nil {
+		return nil, err
+	}
+	if s.tags, err = r.dict(tags, "tag dictionary"); err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("derive: columnar: %d bytes of trailing data after the last section", r.remaining())
+	}
+
+	alphabet := tagSet(spec)
+	for i, t := range s.tags {
+		if !alphabet[t] {
+			return nil, fmt.Errorf("derive: columnar: tag dictionary entry %d: tag %q not in the specification's alphabet", i, t)
+		}
+	}
+	for i := 0; i < s.edges; i++ {
+		if int(s.edgeTag[i]) >= tags {
+			return nil, fmt.Errorf("derive: columnar: edge %d: tag index %d out of range [0,%d)", i, s.edgeTag[i], tags)
+		}
+		if wantKind == colKindRun {
+			if int(s.edgeFrom[i]) >= s.nodes || int(s.edgeTo[i]) >= s.nodes {
+				return nil, fmt.Errorf("derive: columnar: edge %d (%d -> %d): endpoint out of range [0,%d)",
+					i, s.edgeFrom[i], s.edgeTo[i], s.nodes)
+			}
+		}
+	}
+
+	// Validate the label column entry by entry with a cursor: the pairwise
+	// decoders will index specification tables straight from these bytes,
+	// so every entry must pass the same checks ValidateLabel applies to
+	// materialized labels, and each node's range must decode exactly (no
+	// dangling half-entry at a range boundary).
+	for i := 0; i < s.nodes; i++ {
+		cur := label.NewCursor(label.Bytes(s.labelCol[s.labelOffs[i]:s.labelOffs[i+1]]))
+		for j := 0; ; j++ {
+			e, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if err := validateEntry(spec, e, j); err != nil {
+				return nil, fmt.Errorf("derive: columnar: node %d: %v", i, err)
+			}
+		}
+		if err := cur.Err(); err != nil {
+			return nil, fmt.Errorf("derive: columnar: node %d: %v", i, err)
+		}
+	}
+	return s, nil
+}
+
+// materializeEdges builds the Edge slice from the three endpoint/tag
+// columns; the Tag strings are the (shared, zero-copy) dictionary entries.
+func (s *colSections) materializeEdges() []Edge {
+	edges := make([]Edge, s.edges)
+	for i := range edges {
+		edges[i] = Edge{
+			From: NodeID(s.edgeFrom[i]),
+			To:   NodeID(s.edgeTo[i]),
+			Tag:  s.tags[s.edgeTag[i]],
+		}
+	}
+	return edges
+}
+
+// materializeNodes builds the Node slice with zero-copy names and nil
+// labels (the label column carries them).
+func (s *colSections) materializeNodes() []Node {
+	nodes := make([]Node, s.nodes)
+	for i := range nodes {
+		nodes[i] = Node{
+			Module: s.modules[s.nodeMod[i]],
+			Name:   viewString(s.nameBlob[s.nameOffs[i]:s.nameOffs[i+1]]),
+		}
+	}
+	return nodes
+}
+
+// DecodeColumnar is the strict columnar run decoder, used for untrusted
+// payloads (uploads): on top of the full structural validation it eagerly
+// checks node-name uniqueness — a duplicate would silently shadow all
+// earlier nodes of that name in every name-addressed lookup — and builds
+// the name map and adjacency up front, exactly like the JSON decoder.
+func DecodeColumnar(spec *wf.Spec, data []byte) (*Run, error) {
+	s, err := parseColumnar(spec, data, colKindRun)
+	if err != nil {
+		return nil, err
+	}
+	r := &Run{
+		Spec:      spec,
+		Nodes:     s.materializeNodes(),
+		Edges:     s.materializeEdges(),
+		labelCol:  s.labelCol,
+		labelOffs: s.labelOffs,
+	}
+	byName := make(map[string]NodeID, len(r.Nodes))
+	for i := range r.Nodes {
+		name := r.Nodes[i].Name
+		if first, dup := byName[name]; dup {
+			return nil, fmt.Errorf("derive: run node %d: duplicate node name %q (already used by node %d)", i, name, first)
+		}
+		byName[name] = NodeID(i)
+	}
+	r.byName = byName
+	r.buildAdj()
+	return r, nil
+}
+
+// OpenColumnar opens a trusted columnar run payload — one this process (or
+// a prior run of it) persisted from an already-validated run — for
+// serving. The payload is checksum-verified and fully bounds-checked like
+// any other, but per-node table construction is deferred: the name map and
+// adjacency lists build lazily on first use, labels stay as the zero-copy
+// column, and node names are views into data. Boot cost is therefore the
+// validation scans, not allocation proportional to the run.
+//
+// The returned run aliases data for its whole lifetime; an mmapped payload
+// must stay mapped (the store never unmaps).
+func OpenColumnar(spec *wf.Spec, data []byte) (*Run, error) {
+	s, err := parseColumnar(spec, data, colKindRun)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{
+		Spec:      spec,
+		Nodes:     s.materializeNodes(),
+		Edges:     s.materializeEdges(),
+		labelCol:  s.labelCol,
+		labelOffs: s.labelOffs,
+		nameOnce:  new(sync.Once),
+		adjOnce:   new(sync.Once),
+	}, nil
+}
+
+// DecodeBatchColumnar decodes a columnar growth batch. Labels are
+// materialized (AppendEdges consumes Node.Label) and endpoints are left to
+// AppendEdges to range-check against the run the batch applies to, the
+// same contract as the JSON batch decoder.
+func DecodeBatchColumnar(spec *wf.Spec, data []byte) (Batch, error) {
+	s, err := parseColumnar(spec, data, colKindBatch)
+	if err != nil {
+		return Batch{}, err
+	}
+	b := Batch{Edges: s.materializeEdges()}
+	if s.nodes > 0 {
+		b.Nodes = s.materializeNodes()
+		for i := range b.Nodes {
+			l, err := label.Decode(s.labelCol[s.labelOffs[i]:s.labelOffs[i+1]])
+			if err != nil {
+				// parseColumnar validated the column; unreachable.
+				return Batch{}, fmt.Errorf("derive: columnar: batch node %d: %v", i, err)
+			}
+			b.Nodes[i].Label = l
+		}
+	}
+	return b, nil
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"provrpq/internal/label"
 	"provrpq/internal/wf"
@@ -55,16 +56,35 @@ type Run struct {
 	Nodes []Node
 	Edges []Edge
 
-	// byName is immutable once built (by finish, or by an overlay merge
-	// that replaces it wholesale with a fresh map), so Grow versions share
-	// it without copying. Names added by appends land in nameOverlay —
-	// owned per Run value, copied (small) by Grow — and are folded into a
-	// new byName once the overlay outgrows a fraction of the base, keeping
-	// lookups at two probes and the fold cost amortized O(1) per name.
+	// labelCol/labelOffs are the packed label column: node n's varint
+	// label encoding (the Label.Encode bytes) occupies
+	// labelCol[labelOffs[n]:labelOffs[n+1]]. finish builds the column for
+	// derived and JSON-decoded runs; a columnar open points it straight
+	// into the (possibly mmapped) file, leaving Node.Label nil — the
+	// pairwise decoders read LabelBytes and never materialize entries.
+	labelCol  []byte
+	labelOffs []uint32
+
+	// byName is immutable once built (by buildByName, or by an overlay
+	// merge that replaces it wholesale with a fresh map), so Grow versions
+	// share it without copying. Names added by appends land in nameOverlay
+	// — owned per Run value, copied (small) by Grow — and are folded into
+	// a new byName once the overlay outgrows a fraction of the base,
+	// keeping lookups at two probes and the fold cost amortized O(1) per
+	// name.
 	byName      map[string]NodeID
 	nameOverlay map[string]NodeID
 	out         [][]int // node -> indices into Edges
 	in          [][]int
+
+	// nameOnce/adjOnce defer the byName map and the adjacency lists of a
+	// columnar-opened run: boot then costs O(labels+edges) validation
+	// passes instead of map and slice construction over every node, and a
+	// run that only ever answers label-based queries never builds either.
+	// nil (built eagerly) for derived and JSON-decoded runs. AppendEdges
+	// and Grow force both before mutating or cloning.
+	nameOnce *sync.Once
+	adjOnce  *sync.Once
 
 	// ownedOut/ownedIn mark adjacency lists whose backing this Run value
 	// allocated itself (by an AppendEdges copy-on-write), as opposed to
@@ -88,8 +108,25 @@ func (r *Run) NodeByName(name string) (NodeID, bool) {
 	if id, ok := r.nameOverlay[name]; ok {
 		return id, true
 	}
-	id, ok := r.byName[name]
+	id, ok := r.names()[name]
 	return id, ok
+}
+
+// names returns the byName map, building it on first use for
+// columnar-opened runs. Safe for concurrent readers (sync.Once).
+func (r *Run) names() map[string]NodeID {
+	if r.nameOnce != nil {
+		r.nameOnce.Do(r.buildByName)
+	}
+	return r.byName
+}
+
+// ensureAdj builds the adjacency lists on first use for columnar-opened
+// runs. Safe for concurrent readers (sync.Once).
+func (r *Run) ensureAdj() {
+	if r.adjOnce != nil {
+		r.adjOnce.Do(r.buildAdj)
+	}
 }
 
 // NodesOfModule returns all executions of the named module, in creation order.
@@ -113,34 +150,112 @@ func (r *Run) AllNodes() []NodeID {
 }
 
 // Out returns the indices (into r.Edges) of the outgoing edges of n.
-func (r *Run) Out(n NodeID) []int { return r.out[n] }
+func (r *Run) Out(n NodeID) []int { r.ensureAdj(); return r.out[n] }
 
 // In returns the indices (into r.Edges) of the incoming edges of n.
-func (r *Run) In(n NodeID) []int { return r.in[n] }
+func (r *Run) In(n NodeID) []int { r.ensureAdj(); return r.in[n] }
 
-// Label returns ψV(n).
-func (r *Run) Label(n NodeID) label.Label { return r.Nodes[n].Label }
+// Label returns ψV(n). For columnar-opened runs the entries are decoded on
+// demand from the label column (the hot pairwise paths read LabelBytes
+// instead and never pay this); derived and JSON-decoded runs return their
+// materialized labels.
+func (r *Run) Label(n NodeID) label.Label {
+	if l := r.Nodes[n].Label; l != nil || r.labelOffs == nil {
+		return l
+	}
+	l, err := label.Decode(r.LabelBytes(n))
+	if err != nil {
+		// The column is validated when the run is decoded or opened.
+		panic(fmt.Sprintf("derive: corrupt label column for node %d: %v", n, err))
+	}
+	return l
+}
+
+// LabelBytes returns the varint encoding of ψV(n) as a zero-copy view into
+// the run's label column.
+func (r *Run) LabelBytes(n NodeID) label.Bytes {
+	if r.labelOffs == nil {
+		// A run assembled in-package without finish: encode on the fly.
+		return r.Nodes[n].Label.Encode()
+	}
+	return label.Bytes(r.labelCol[r.labelOffs[n]:r.labelOffs[n+1]])
+}
+
+// MaterializeLabels decodes every node's label into one arena-backed slice
+// — the bulk form of Label for the all-pairs scans, which need []Entry
+// labels for sorting and tree construction. Materialized labels (derived
+// or JSON-decoded runs, appended nodes) are reused as-is.
+func (r *Run) MaterializeLabels() []label.Label {
+	out := make([]label.Label, len(r.Nodes))
+	if r.labelOffs == nil {
+		for i := range r.Nodes {
+			out[i] = r.Nodes[i].Label
+		}
+		return out
+	}
+	// Entries are at least two bytes, so one arena of len(column)/2 entries
+	// holds every decoded label without reallocating (keeping out[i] slices
+	// of a single backing array).
+	arena := make(label.Label, 0, len(r.labelCol)/2+1)
+	for i := range r.Nodes {
+		if l := r.Nodes[i].Label; l != nil {
+			out[i] = l
+			continue
+		}
+		start := len(arena)
+		var err error
+		arena, err = label.DecodeInto(arena, r.LabelBytes(NodeID(i)))
+		if err != nil {
+			panic(fmt.Sprintf("derive: corrupt label column for node %d: %v", i, err))
+		}
+		out[i] = arena[start:len(arena):len(arena)]
+	}
+	return out
+}
 
 // SortByLabel sorts the node list by label order (the order the all-pairs
 // tree construction requires) and returns it.
 func (r *Run) SortByLabel(ns []NodeID) []NodeID {
 	sort.Slice(ns, func(i, j int) bool {
-		return label.Compare(r.Nodes[ns[i]].Label, r.Nodes[ns[j]].Label) < 0
+		return label.CompareBytes(r.LabelBytes(ns[i]), r.LabelBytes(ns[j])) < 0
 	})
 	return ns
 }
 
 func (r *Run) finish() {
-	r.byName = make(map[string]NodeID, len(r.Nodes))
+	r.buildByName()
+	r.buildAdj()
+	if r.labelOffs == nil {
+		r.buildLabelColumn()
+	}
+}
+
+func (r *Run) buildByName() {
+	byName := make(map[string]NodeID, len(r.Nodes))
 	for i := range r.Nodes {
-		r.byName[r.Nodes[i].Name] = NodeID(i)
+		byName[r.Nodes[i].Name] = NodeID(i)
 	}
-	r.out = make([][]int, len(r.Nodes))
-	r.in = make([][]int, len(r.Nodes))
+	r.byName = byName
+}
+
+func (r *Run) buildAdj() {
+	out := make([][]int, len(r.Nodes))
+	in := make([][]int, len(r.Nodes))
 	for ei, e := range r.Edges {
-		r.out[e.From] = append(r.out[e.From], ei)
-		r.in[e.To] = append(r.in[e.To], ei)
+		out[e.From] = append(out[e.From], ei)
+		in[e.To] = append(in[e.To], ei)
 	}
+	r.out, r.in = out, in
+}
+
+func (r *Run) buildLabelColumn() {
+	offs := make([]uint32, len(r.Nodes)+1)
+	col := make([]byte, 0, len(r.Nodes)*4)
+	for i := range r.Nodes {
+		col = r.Nodes[i].Label.AppendEncode(col)
+		offs[i+1] = uint32(len(col))
+	}
+	r.labelCol, r.labelOffs = col, offs
 }
 
 // Policy chooses the production to fire when expanding a composite node.

@@ -24,11 +24,18 @@ type nodeJSON struct {
 }
 
 // EncodeRun serializes a run (without its specification; keep the spec's
-// JSON alongside).
+// JSON alongside). Label bytes come straight from the run's label column,
+// so a columnar-opened run (whose Node.Label stays nil) serializes the
+// same payload as a materialized one — JSON→columnar→JSON round-trips are
+// byte-identical.
 func EncodeRun(r *Run) ([]byte, error) {
 	rj := runJSON{Edges: r.Edges}
-	for _, n := range r.Nodes {
-		rj.Nodes = append(rj.Nodes, encodeNode(r.Spec, n))
+	for i, n := range r.Nodes {
+		rj.Nodes = append(rj.Nodes, nodeJSON{
+			Name:   n.Name,
+			Module: r.Spec.Name(n.Module),
+			Label:  base64.StdEncoding.EncodeToString(r.LabelBytes(NodeID(i))),
+		})
 	}
 	return json.Marshal(rj)
 }
@@ -61,6 +68,9 @@ func EncodeBatch(spec *wf.Spec, b Batch) ([]byte, error) {
 // every restart, so a typo that silently dropped half the payload would
 // be permanent.
 func DecodeBatch(spec *wf.Spec, data []byte) (Batch, error) {
+	if IsColumnar(data) {
+		return DecodeBatchColumnar(spec, data)
+	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var bj batchJSON
@@ -120,8 +130,14 @@ func nodeRef(name string) string {
 	return " (" + name + ")"
 }
 
-// DecodeRun deserializes a run against its specification.
+// DecodeRun deserializes a run against its specification. Both payload
+// formats are accepted: the binary columnar format is recognized by its
+// magic and routed to the strict columnar decoder; anything else is
+// treated as JSON.
 func DecodeRun(spec *wf.Spec, data []byte) (*Run, error) {
+	if IsColumnar(data) {
+		return DecodeColumnar(spec, data)
+	}
 	var rj runJSON
 	if err := json.Unmarshal(data, &rj); err != nil {
 		return nil, err

@@ -15,25 +15,35 @@ import (
 // (DecodeRun) must pass this check before use.
 func ValidateLabel(spec *wf.Spec, l label.Label) error {
 	for i, e := range l {
-		if e.Rec {
-			if e.X < 0 || e.X >= len(spec.Cycles()) {
-				return fmt.Errorf("label entry %d: cycle %d out of range", i, e.X)
-			}
-			c := spec.Cycles()[e.X]
-			if e.Y < 0 || e.Y >= c.Len() {
-				return fmt.Errorf("label entry %d: cycle entry edge %d out of range [0,%d)", i, e.Y, c.Len())
-			}
-			if e.Z < 1 {
-				return fmt.Errorf("label entry %d: iteration %d < 1", i, e.Z)
-			}
-			continue
+		if err := validateEntry(spec, e, i); err != nil {
+			return err
 		}
-		if e.X < 0 || e.X >= len(spec.Prods) {
-			return fmt.Errorf("label entry %d: production %d out of range", i, e.X)
+	}
+	return nil
+}
+
+// validateEntry checks one entry at position i of a label — shared by
+// ValidateLabel and the columnar decoder's label-column validation pass,
+// which walks encoded entries with a cursor instead of materializing them.
+func validateEntry(spec *wf.Spec, e label.Entry, i int) error {
+	if e.Rec {
+		if e.X < 0 || e.X >= len(spec.Cycles()) {
+			return fmt.Errorf("label entry %d: cycle %d out of range", i, e.X)
 		}
-		if e.Y < 0 || e.Y >= len(spec.Prods[e.X].Body.Nodes) {
-			return fmt.Errorf("label entry %d: body position %d out of range for production %d", i, e.Y, e.X)
+		c := spec.Cycles()[e.X]
+		if e.Y < 0 || e.Y >= c.Len() {
+			return fmt.Errorf("label entry %d: cycle entry edge %d out of range [0,%d)", i, e.Y, c.Len())
 		}
+		if e.Z < 1 {
+			return fmt.Errorf("label entry %d: iteration %d < 1", i, e.Z)
+		}
+		return nil
+	}
+	if e.X < 0 || e.X >= len(spec.Prods) {
+		return fmt.Errorf("label entry %d: production %d out of range", i, e.X)
+	}
+	if e.Y < 0 || e.Y >= len(spec.Prods[e.X].Body.Nodes) {
+		return fmt.Errorf("label entry %d: body position %d out of range for production %d", i, e.Y, e.X)
 	}
 	return nil
 }

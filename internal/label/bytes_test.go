@@ -1,0 +1,166 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCursorMatchesDecode walks random encodings entry-by-entry with the
+// cursor and checks it yields exactly what the reference decoder yields —
+// the cursor is the zero-copy path, Decode the reference.
+func TestCursorMatchesDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		l := randLabel(r)
+		buf := Bytes(l.Encode())
+		want, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		c := NewCursor(buf)
+		var got Label
+		for {
+			e, ok := c.Next()
+			if !ok {
+				break
+			}
+			got = append(got, e)
+		}
+		if err := c.Err(); err != nil {
+			t.Fatalf("cursor error on valid encoding %v: %v", l, err)
+		}
+		if !Equal(want, got) {
+			t.Fatalf("cursor decoded %v, reference decoded %v", got, want)
+		}
+	}
+}
+
+func TestCursorRest(t *testing.T) {
+	l := Label{Prod(1, 2), Rec(0, 1, 7), Prod(3, 0)}
+	buf := Bytes(l.Encode())
+	c := NewCursor(buf)
+	if _, ok := c.Next(); !ok {
+		t.Fatal("Next failed")
+	}
+	rest, err := c.Rest().Decode()
+	if err != nil {
+		t.Fatalf("Rest().Decode(): %v", err)
+	}
+	if !Equal(rest, l[1:]) {
+		t.Fatalf("Rest decoded %v, want %v", rest, l[1:])
+	}
+}
+
+func TestCursorTruncated(t *testing.T) {
+	l := Label{Rec(5, 2, 1000000)}
+	buf := l.Encode()
+	for n := 1; n < len(buf); n++ {
+		c := NewCursor(buf[:n])
+		for {
+			if _, ok := c.Next(); !ok {
+				break
+			}
+		}
+		if c.Err() == nil {
+			t.Fatalf("cursor accepted truncated encoding %d/%d bytes", n, len(buf))
+		}
+		if _, err := Decode(buf[:n]); err == nil {
+			t.Fatalf("Decode accepted truncated encoding %d/%d bytes", n, len(buf))
+		}
+	}
+}
+
+func TestCompareBytesMatchesCompare(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	sign := func(x int) int {
+		switch {
+		case x < 0:
+			return -1
+		case x > 0:
+			return 1
+		}
+		return 0
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := randLabel(r), randLabel(r)
+		if i%10 == 0 {
+			b = append(Label(nil), a...) // force equal pairs into the mix
+		}
+		want := sign(Compare(a, b))
+		got := sign(CompareBytes(a.Encode(), b.Encode()))
+		if want != got {
+			t.Fatalf("CompareBytes(%v, %v) sign = %d, Compare sign = %d", a, b, got, want)
+		}
+		if eq := EqualBytes(a.Encode(), b.Encode()); eq != (want == 0) {
+			t.Fatalf("EqualBytes(%v, %v) = %v, want %v", a, b, eq, want == 0)
+		}
+	}
+}
+
+func TestDecodeInto(t *testing.T) {
+	l := Label{Prod(1, 2), Rec(0, 1, 7)}
+	scratch := make(Label, 0, 8)
+	got, err := DecodeInto(scratch, l.Encode())
+	if err != nil {
+		t.Fatalf("DecodeInto: %v", err)
+	}
+	if !Equal(got, l) {
+		t.Fatalf("DecodeInto = %v, want %v", got, l)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatalf("DecodeInto did not reuse the provided backing array")
+	}
+	// Appending onto a non-empty prefix preserves it.
+	got2, err := DecodeInto(got, l.Encode())
+	if err != nil {
+		t.Fatalf("DecodeInto(append): %v", err)
+	}
+	if len(got2) != 2*len(l) || !Equal(got2[len(l):], l) {
+		t.Fatalf("DecodeInto append = %v", got2)
+	}
+}
+
+// BenchmarkDecode backs the allocation fix: Decode preallocates from the
+// byte-length estimate, so a decode is one allocation (the entry slice)
+// instead of log-many grows.
+func BenchmarkDecode(b *testing.B) {
+	l := make(Label, 64)
+	for i := range l {
+		if i%3 == 0 {
+			l[i] = Rec(i%4, i%3, 1+i*37)
+		} else {
+			l[i] = Prod(i%8, i%5)
+		}
+	}
+	buf := l.Encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCursor is the zero-copy counterpart: walking the same encoding
+// through the cursor allocates nothing.
+func BenchmarkCursor(b *testing.B) {
+	l := make(Label, 64)
+	for i := range l {
+		l[i] = Prod(i%8, i%5)
+	}
+	buf := Bytes(l.Encode())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCursor(buf)
+		for {
+			if _, ok := c.Next(); !ok {
+				break
+			}
+		}
+		if c.Err() != nil {
+			b.Fatal(c.Err())
+		}
+	}
+}

@@ -150,29 +150,22 @@ func LCP(a, b Label) int {
 // Encode packs the label into a compact varint byte string: per entry, a
 // head varint X*2 + recBit, then Y, then (recursion only) Z.
 func (l Label) Encode() []byte {
-	buf := make([]byte, 0, len(l)*3)
-	var tmp [binary.MaxVarintLen64]byte
-	put := func(v int) {
-		n := binary.PutUvarint(tmp[:], uint64(v))
-		buf = append(buf, tmp[:n]...)
-	}
-	for _, e := range l {
-		head := e.X * 2
-		if e.Rec {
-			head++
-		}
-		put(head)
-		put(e.Y)
-		if e.Rec {
-			put(e.Z)
-		}
-	}
-	return buf
+	return l.AppendEncode(make([]byte, 0, len(l)*3))
 }
 
-// Decode parses an Encode result.
+// Decode parses an Encode result. An entry occupies at least two bytes, so
+// the entry count is bounded by len(buf)/2 and the label is allocated in
+// one shot instead of growing by repeated appends.
 func Decode(buf []byte) (Label, error) {
-	var l Label
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	return DecodeInto(make(Label, 0, len(buf)/2), buf)
+}
+
+// DecodeInto appends the encoded entries to dst (which may be a reused
+// scratch slice, typically dst[:0]) and returns the extended label.
+func DecodeInto(dst Label, buf []byte) (Label, error) {
 	for len(buf) > 0 {
 		head, n := binary.Uvarint(buf)
 		if n <= 0 {
@@ -194,7 +187,7 @@ func Decode(buf []byte) (Label, error) {
 			buf = buf[n:]
 			e.Z = int(z)
 		}
-		l = append(l, e)
+		dst = append(dst, e)
 	}
-	return l, nil
+	return dst, nil
 }

@@ -112,9 +112,9 @@ func (p *Planner) ReachDensity() float64 {
 		rng := rand.New(rand.NewSource(1))
 		hits := 0
 		for i := 0; i < densitySamples; i++ {
-			u := run.Label(derive.NodeID(rng.Intn(n)))
-			v := run.Label(derive.NodeID(rng.Intn(n)))
-			if reach.Pairwise(run.Spec, u, v) {
+			u := run.LabelBytes(derive.NodeID(rng.Intn(n)))
+			v := run.LabelBytes(derive.NodeID(rng.Intn(n)))
+			if reach.PairwiseBytes(run.Spec, u, v) {
 				hits++
 			}
 		}

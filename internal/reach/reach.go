@@ -20,6 +20,8 @@
 package reach
 
 import (
+	"bytes"
+
 	"provrpq/internal/label"
 	"provrpq/internal/wf"
 )
@@ -65,14 +67,70 @@ func Pairwise(spec *wf.Spec, a, b label.Label) bool {
 	return false // same iteration yet diverged at the R node: malformed
 }
 
+// PairwiseBytes is Pairwise on encoded labels: both encodings are walked
+// in lockstep with cursors to the divergence entry, materializing nothing.
+// Byte equality is only a fast path — distinct byte strings can encode
+// equal labels (binary.Uvarint accepts overlong varints), so equality is
+// otherwise decided by the lockstep walk itself, never assumed from byte
+// comparison.
+func PairwiseBytes(spec *wf.Spec, a, b label.Bytes) bool {
+	if bytes.Equal(a, b) {
+		return true
+	}
+	ca, cb := label.NewCursor(a), label.NewCursor(b)
+	for {
+		ea, oka := ca.Next()
+		eb, okb := cb.Next()
+		if !oka || !okb {
+			// Both ended cleanly: equal entry sequences. One ended: a
+			// proper prefix (leaf labels of a run are prefix-free, so the
+			// labels cannot coexist). A malformed tail counts as ended.
+			return !oka && !okb && ca.Err() == nil && cb.Err() == nil
+		}
+		if ea == eb {
+			continue
+		}
+		if ea.Rec != eb.Rec {
+			return false // malformed: a parse-tree node has children of one kind
+		}
+		if !ea.Rec {
+			if ea.X != eb.X {
+				return false
+			}
+			return spec.BodyReach(ea.X, ea.Y, eb.Y)
+		}
+		if ea.X != eb.X || ea.Y != eb.Y {
+			return false
+		}
+		switch {
+		case ea.Z < eb.Z:
+			// u in an earlier iteration: red condition on u's child entry —
+			// the next entry of a's encoding.
+			e, ok := ca.Next()
+			return ok && redCond(spec, e)
+		case ea.Z > eb.Z:
+			e, ok := cb.Next()
+			return ok && blueCond(spec, e)
+		}
+		return false // same iteration yet diverged at the R node: malformed
+	}
+}
+
 // redEntry evaluates the red condition for the label's child entry just
 // below the recursion entry at index d: can that body position reach the
 // cycle-successor position of its production?
 func redEntry(spec *wf.Spec, l label.Label, d int) bool {
-	if d+1 >= len(l) {
-		return false
-	}
-	e := l[d+1]
+	return d+1 < len(l) && redCond(spec, l[d+1])
+}
+
+// blueEntry evaluates the blue condition: can the cycle-successor position
+// of the production below the recursion entry reach the label's child
+// position?
+func blueEntry(spec *wf.Spec, l label.Label, d int) bool {
+	return d+1 < len(l) && blueCond(spec, l[d+1])
+}
+
+func redCond(spec *wf.Spec, e label.Entry) bool {
 	if e.Rec {
 		return false
 	}
@@ -86,14 +144,7 @@ func redEntry(spec *wf.Spec, l label.Label, d int) bool {
 	return spec.BodyReach(k, c, cyclePos)
 }
 
-// blueEntry evaluates the blue condition: can the cycle-successor position
-// of the production below the recursion entry reach the label's child
-// position?
-func blueEntry(spec *wf.Spec, l label.Label, d int) bool {
-	if d+1 >= len(l) {
-		return false
-	}
-	e := l[d+1]
+func blueCond(spec *wf.Spec, e label.Entry) bool {
 	if e.Rec {
 		return false
 	}

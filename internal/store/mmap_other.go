@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapRO is unavailable on this platform; GetRunDataMapped falls back to a
+// plain read.
+func mmapRO(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("store: memory mapping unsupported on this platform")
+}

@@ -1,0 +1,19 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapRO maps size bytes of f read-only. The mapping is deliberately never
+// unmapped: the caller hands the bytes to zero-copy decoders whose runs
+// alias them for the rest of the process lifetime, and an unmap under a
+// live view would be a use-after-free. Superseded payload files are
+// replaced by rename (writeAtomic) and unlinked, so a stale mapping pins
+// only its own dead inode's pages, which the kernel reclaims under memory
+// pressure (the mapping is file-backed and clean).
+func mmapRO(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}

@@ -10,6 +10,15 @@
 //	<dir>/manifest.json            {"runs": {"<run>": "<spec>"},
 //	                                "appends": {"<run>": <batch count>}}
 //
+// Payloads are opaque bytes and self-describing — the root layer stores
+// specifications as JSON and run/batch payloads in either JSON or the
+// binary columnar format, and decoders sniff the content. The ".json"
+// filename extension is the store's path contract (one fixed path per
+// logical entry), not a format claim: keeping a single path per entry is
+// what makes every crash window of the temp-file + rename + manifest
+// protocol leave either the old or the new complete payload, never an
+// ambiguous pair.
+//
 // Names are opaque non-empty strings; they are path-escaped on the way to
 // a filename (so "a/b" and "a b" are valid catalog names) and unescaped
 // when listing. Every write is atomic: the payload goes to a temp file in
@@ -259,6 +268,47 @@ func (s *Store) GetRunData(name string, epoch int) ([]byte, error) {
 	return data, nil
 }
 
+// GetRunDataMapped is GetRunData backed by a read-only memory mapping
+// when the platform supports it (falling back to a plain read when it
+// does not): boot over a large columnar base then touches pages on
+// demand instead of copying the whole payload through the heap. The
+// mapping is never unmapped — the zero-copy run opened over it aliases
+// the bytes for its whole lifetime — and it stays coherent across later
+// compactions or rewrites because writeAtomic always replaces the path
+// with a fresh inode via rename, never writing a payload in place: the
+// mapping keeps referencing the old inode as a stable snapshot.
+func (s *Store) GetRunDataMapped(name string, epoch int) ([]byte, error) {
+	data, err := mapFile(s.runPath(name, epoch))
+	if err == nil {
+		return data, nil
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: run %q: %w", name, ErrNotFound)
+	}
+	return s.GetRunData(name, epoch)
+}
+
+// mapFile memory-maps a whole file read-only (platform-gated via mmapRO).
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("store: %s: too large to map", path)
+	}
+	return mmapRO(f, int(size))
+}
+
 // Bases returns the manifest's run → base-payload compaction epoch (a
 // copy); never-compacted runs are absent (epoch 0).
 func (s *Store) Bases() (map[string]int, error) {
@@ -317,6 +367,64 @@ func (s *Store) CompactRun(name string, data []byte) (int, error) {
 		_ = os.Remove(s.appendPath(name, seq))
 	}
 	return epoch, nil
+}
+
+// RewriteRunPayload atomically replaces a committed run's base payload at
+// its current compaction epoch, leaving every other piece of the run's
+// state — its specification binding, append-log count, generation-bearing
+// batches and base epoch — untouched. This is the format-migration
+// primitive: the caller hands it a re-encoding of the exact same logical
+// run, so whichever payload a crash leaves at the (single) base path is a
+// valid base for the unchanged manifest. Contrast PutRun (resets the run's
+// history) and CompactRun (advances the epoch and folds the log): neither
+// can rewrite a payload in place without destroying state a migration
+// must preserve.
+func (s *Store) RewriteRunPayload(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wedged {
+		return fmt.Errorf("store: run %q: %w", name, ErrWedged)
+	}
+	m, err := s.readManifest()
+	if err != nil {
+		return err
+	}
+	if _, ok := m.Runs[name]; !ok {
+		return fmt.Errorf("store: run %q: %w", name, ErrNotFound)
+	}
+	return s.noteAmbiguous(writeAtomic(s.runPath(name, m.Bases[name]), data))
+}
+
+// Format returns the manifest's payload-format generation (see
+// manifest.Format).
+func (s *Store) Format() (int, error) {
+	s.mu.Lock()
+	m, err := s.readManifest()
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return m.Format, nil
+}
+
+// SetFormat durably records the payload-format generation. Callers set it
+// only after every base payload has been rewritten to the new format, so
+// the flag is a pure fast-path marker for subsequent opens.
+func (s *Store) SetFormat(v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wedged {
+		return fmt.Errorf("store: %w", ErrWedged)
+	}
+	m, err := s.readManifest()
+	if err != nil {
+		return err
+	}
+	if m.Format == v {
+		return nil
+	}
+	m.Format = v
+	return s.noteAmbiguous(s.writeManifest(m))
 }
 
 // HasRun reports whether a run is committed under name.
@@ -485,6 +593,13 @@ type manifest struct {
 	// bases/<name>.<e>.json. The manifest switch is what commits a
 	// compaction.
 	Bases map[string]int `json:"bases,omitempty"`
+	// Format is the store-wide payload format generation, advanced by the
+	// owning layer once it has rewritten every base payload to a newer
+	// codec (0 = legacy/unmigrated, 1 = columnar-native run bases). It is
+	// a migration fast-path marker, not a decode directive — payloads are
+	// self-describing and readers sniff each one — so a crash anywhere
+	// during a migration simply re-runs it on the next open.
+	Format int `json:"format,omitempty"`
 }
 
 func (s *Store) specPath(name string) string {

@@ -35,7 +35,7 @@ func (r *Run) NodeModule(n NodeID) string { return r.r.Spec.Name(r.r.Nodes[n].Mo
 
 // NodeLabel returns the paper-notation rendering of a node's reachability
 // label, e.g. "(1,3)(4,1)".
-func (r *Run) NodeLabel(n NodeID) string { return r.r.Nodes[n].Label.String() }
+func (r *Run) NodeLabel(n NodeID) string { return r.r.Label(derive.NodeID(n)).String() }
 
 // NodeByName resolves a display id.
 func (r *Run) NodeByName(name string) (NodeID, bool) {
@@ -73,11 +73,22 @@ func EncodeRun(r *Run) ([]byte, error) {
 	return derive.EncodeRun(r.r)
 }
 
+// EncodeRunColumnar serializes the run to the binary columnar format
+// ("RPQC"): packed label column, endpoint columns, name/module/tag
+// dictionaries and a trailing checksum. DecodeRun accepts both this and
+// the JSON payload (it sniffs the magic); JSON remains the wire format of
+// the HTTP API, the columnar format is what the durable store persists.
+func EncodeRunColumnar(r *Run) ([]byte, error) {
+	return derive.EncodeColumnar(r.r)
+}
+
 // DecodeRun deserializes a run against its specification, validating node
 // modules, labels and edge tags against the grammar: a payload referencing
 // an unknown module, a structurally invalid label, an out-of-range edge or
 // a tag outside the specification's alphabet Γ is rejected with a
-// positioned error.
+// positioned error. Both payload formats are accepted — the binary
+// columnar format is recognized by its leading magic, anything else is
+// decoded as JSON.
 func DecodeRun(spec *Spec, data []byte) (*Run, error) {
 	dr, err := derive.DecodeRun(spec.s, data)
 	if err != nil {

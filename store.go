@@ -19,13 +19,20 @@ import (
 var ErrStoreFailed = errors.New("provrpq: store persistence failed")
 
 // Store is a durable, disk-backed catalog store: named specifications and
-// named runs (labels included), surviving process restarts. Payloads are
-// the package's JSON codecs — the same bytes SaveSpec/SaveRun produce —
-// laid out as <dir>/specs/<name>.json, <dir>/runs/<name>.json and a
-// manifest binding each run to its specification. Writes are atomic
-// (temp file + fsync + rename) and a run becomes visible only once its
-// manifest entry lands, so a crash mid-save never surfaces a torn or
-// half-registered entry. A Store is safe for concurrent use.
+// named runs (labels included), surviving process restarts. Specifications
+// are stored as JSON; run bases and growth batches are persisted in the
+// binary columnar format ("RPQC" — packed label column, endpoint columns,
+// trailing checksum), which a restart opens zero-copy and memory-mapped
+// instead of re-parsing JSON. Every run/batch reader sniffs the payload,
+// so a data directory written by an older JSON-only build opens
+// transparently: OpenStore rewrites legacy run bases to columnar once
+// (preserving append logs, versions and compaction epochs) and records the
+// migration in the manifest so subsequent opens skip the scan. The layout
+// is <dir>/specs/<name>.json, <dir>/runs/<name>.json and a manifest
+// binding each run to its specification. Writes are atomic (temp file +
+// fsync + rename) and a run becomes visible only once its manifest entry
+// lands, so a crash mid-save never surfaces a torn or half-registered
+// entry. A Store is safe for concurrent use.
 //
 // Attach a Store to a Catalog via CatalogOptions.Store to persist every
 // successful RegisterSpec/AddRun/DeriveRun, and rebuild the catalog after
@@ -33,16 +40,93 @@ var ErrStoreFailed = errors.New("provrpq: store persistence failed")
 // nothing is re-derived.
 type Store struct {
 	st *store.Store
+	// migrated counts the legacy JSON run bases this OpenStore rewrote to
+	// the columnar format (0 on every open after the first migration).
+	migrated int
 }
 
-// OpenStore opens (creating if necessary) the store rooted at dir.
+// storeFormatColumnar is the manifest format generation recording that
+// every run base payload is columnar-native.
+const storeFormatColumnar = 1
+
+// OpenStore opens (creating if necessary) the store rooted at dir,
+// migrating any legacy JSON run bases to the columnar format (see Store).
 func OpenStore(dir string) (*Store, error) {
 	st, err := store.Open(dir)
 	if err != nil {
 		return nil, fmt.Errorf("provrpq: %w", err)
 	}
-	return &Store{st: st}, nil
+	s := &Store{st: st}
+	if err := s.migrate(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
+
+// migrate rewrites legacy JSON run bases as columnar payloads, in place at
+// their current compaction epoch — append logs, run versions and epochs
+// are untouched, so replay behaves exactly as before — then marks the
+// manifest so the next open skips the scan entirely. Each rewrite is an
+// atomic single-path replace of one logical run with a re-encoding of
+// itself, so a crash at any point leaves every base readable (old or new
+// bytes) and an unfinished migration simply resumes, skipping bases that
+// are already columnar.
+func (s *Store) migrate() error {
+	format, err := s.st.Format()
+	if err != nil {
+		return fmt.Errorf("provrpq: %w", err)
+	}
+	if format >= storeFormatColumnar {
+		return nil // fast path: migrated by a previous open
+	}
+	runs, _, bases, err := s.st.State()
+	if err != nil {
+		return fmt.Errorf("provrpq: %w", err)
+	}
+	names := make([]string, 0, len(runs))
+	for name := range runs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	specs := map[string]*Spec{}
+	for _, name := range names {
+		data, err := s.st.GetRunData(name, bases[name])
+		if err != nil {
+			return fmt.Errorf("provrpq: %w", err)
+		}
+		if derive.IsColumnar(data) {
+			continue // already rewritten (e.g. by a crashed migration)
+		}
+		specName := runs[name]
+		sp := specs[specName]
+		if sp == nil {
+			if sp, err = s.LoadSpec(specName); err != nil {
+				return fmt.Errorf("provrpq: store: migrating run %q: %w", name, err)
+			}
+			specs[specName] = sp
+		}
+		r, err := DecodeRun(sp, data)
+		if err != nil {
+			return fmt.Errorf("provrpq: store: migrating run %q: %w", name, err)
+		}
+		cdata, err := EncodeRunColumnar(r)
+		if err != nil {
+			return fmt.Errorf("provrpq: store: migrating run %q: %w", name, err)
+		}
+		if err := s.st.RewriteRunPayload(name, cdata); err != nil {
+			return fmt.Errorf("provrpq: %w", err)
+		}
+		s.migrated++
+	}
+	if err := s.st.SetFormat(storeFormatColumnar); err != nil {
+		return fmt.Errorf("provrpq: %w", err)
+	}
+	return nil
+}
+
+// MigratedRuns reports how many legacy JSON run bases this open rewrote to
+// the columnar format (0 when the store was already columnar-native).
+func (s *Store) MigratedRuns() int { return s.migrated }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.st.Dir() }
@@ -73,12 +157,13 @@ func (s *Store) LoadSpec(name string) (*Spec, error) {
 }
 
 // SaveRun durably writes a run under name, bound to the named
-// specification (labels varint-packed, exactly the EncodeRun payload).
+// specification (the columnar EncodeRunColumnar payload, which LoadRun
+// and a catalog boot open zero-copy).
 func (s *Store) SaveRun(name, specName string, r *Run) error {
 	if r == nil || r.r == nil {
 		return fmt.Errorf("provrpq: store: nil run %q", name)
 	}
-	data, err := EncodeRun(r)
+	data, err := EncodeRunColumnar(r)
 	if err != nil {
 		return err
 	}
@@ -133,9 +218,14 @@ func (s *Store) Appends() (map[string]int, error) {
 // AppendRun durably commits one growth batch for the named stored run and
 // returns its sequence number. The batch must decode (DecodeBatch) against
 // the run's specification — Catalog.AppendEdges guarantees this; direct
-// store users own the check.
+// store users own the check. Batches persist in the columnar format;
+// replay sniffs, so logs mixing columnar and legacy JSON batches replay
+// identically.
 func (s *Store) AppendRun(name string, b *Batch) (int, error) {
-	data, err := EncodeBatch(b)
+	if b == nil || b.spec == nil || b.spec.s == nil {
+		return 0, fmt.Errorf("provrpq: nil batch")
+	}
+	data, err := derive.EncodeBatchColumnar(b.spec.s, b.b)
 	if err != nil {
 		return 0, err
 	}
@@ -234,14 +324,27 @@ func NewCatalogFromStore(st *Store, opts CatalogOptions) (*Catalog, error) {
 			}
 			// The binding, batch count and base epoch are already in hand
 			// from the manifest reads above, so fetch just the payload
-			// (LoadRun would re-read the manifest for every run).
-			data, err := st.st.GetRunData(name, bases[name])
+			// (LoadRun would re-read the manifest for every run) — memory
+			// mapped, so a columnar base is opened zero-copy over the file
+			// instead of being copied through the heap.
+			data, err := st.st.GetRunDataMapped(name, bases[name])
 			if err != nil {
 				errs[i] = fmt.Errorf("provrpq: %w", err)
 				continue
 			}
-			r, err := DecodeRun(sp, data)
-			if err != nil {
+			var r *Run
+			if derive.IsColumnar(data) {
+				// The store's own payloads are trusted (persisted from
+				// validated runs, checksummed): open them with the lazy
+				// columnar path, which defers name-map and adjacency
+				// construction and never materializes labels.
+				dr, derr := derive.OpenColumnar(sp.s, data)
+				if derr != nil {
+					errs[i] = fmt.Errorf("provrpq: store: run %q: %w", name, derr)
+					continue
+				}
+				r = &Run{r: dr, spec: sp}
+			} else if r, err = DecodeRun(sp, data); err != nil {
 				errs[i] = fmt.Errorf("provrpq: store: run %q: %w", name, err)
 				continue
 			}
