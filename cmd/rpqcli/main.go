@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"provrpq"
+	"provrpq/internal/metrics"
 )
 
 func main() {
@@ -28,11 +30,7 @@ func main() {
 	flag.Parse()
 
 	if *stats {
-		defer func() {
-			s := provrpq.DefaultPlanCache().Stats()
-			fmt.Printf("plan cache: %d plans resident, %d hits, %d misses, %d evictions\n",
-				s.Plans, s.Hits, s.Misses, s.Evictions)
-		}()
+		defer printStats()
 	}
 
 	if *specPath == "" || *runPath == "" || *queryStr == "" {
@@ -65,6 +63,8 @@ func main() {
 			}
 			fmt.Printf("  estimated decodes: rpl=%.0f optrpl=%.0f seeded=%.0f\n",
 				rep.CostRPL, rep.CostOptRPL, rep.CostSeeded)
+			fmt.Printf("  unit costs (%s): rpl=%.1fns optrpl=%.1fns seeded=%.1fns\n",
+				rep.CostSource, rep.UnitNanosRPL, rep.UnitNanosOptRPL, rep.UnitNanosSeeded)
 			return
 		}
 		fmt.Printf("plan: decomposition; safe subtrees evaluated with labels: %v (%d relational node(s))\n",
@@ -96,6 +96,41 @@ func main() {
 			break
 		}
 		fmt.Printf("  %s -> %s\n", run.NodeName(p.From), run.NodeName(p.To))
+	}
+}
+
+// printStats dumps the process-wide metrics registry: the plan-cache
+// summary rpqcli has always printed, then every counter and gauge the
+// evaluation touched, with per-strategy latency summaries (p50/p95/p99
+// estimated from the histogram buckets) for the strategies that ran.
+func printStats() {
+	s := provrpq.DefaultPlanCache().Stats()
+	fmt.Printf("plan cache: %d plans resident, %d hits, %d misses, %d evictions\n",
+		s.Plans, s.Hits, s.Misses, s.Evictions)
+	for _, fam := range metrics.Default().Snapshot() {
+		for _, sm := range fam.Samples {
+			name := fam.Name
+			if len(sm.LabelValues) > 0 {
+				name += "{" + strings.Join(sm.LabelValues, ",") + "}"
+			}
+			if sm.Histogram == nil {
+				if sm.Value != 0 {
+					fmt.Printf("%s: %g\n", name, sm.Value)
+				}
+				continue
+			}
+			h := sm.Histogram
+			if h.Count == 0 {
+				continue
+			}
+			unit := ""
+			if strings.HasSuffix(fam.Name, "_seconds") {
+				unit = "s"
+			}
+			fmt.Printf("%s: n=%d mean=%.3g%s p50=%.3g%s p95=%.3g%s p99=%.3g%s\n",
+				name, h.Count, h.Sum/float64(h.Count), unit,
+				h.Quantile(0.50), unit, h.Quantile(0.95), unit, h.Quantile(0.99), unit)
+		}
 	}
 }
 

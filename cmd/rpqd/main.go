@@ -5,6 +5,7 @@
 //	rpqd -addr :8080 -data-dir /var/lib/rpqd
 //	rpqd -addr 127.0.0.1:0 -spec wf=wf.spec.json -run r1=wf=wf.run.json
 //	rpqd -timeout 10s -max-inflight 128 -workers 4 -plan-cache 4096
+//	rpqd -log-requests -pprof-addr 127.0.0.1:6060
 //
 // With -data-dir the catalog is durable: every registered specification,
 // every uploaded or derived run (labels included) and every growth batch
@@ -18,7 +19,12 @@
 // runtime via POST /v1/specs and POST /v1/runs. Evaluation strategies are
 // chosen per run by the selectivity planner; POST /v1/explain reports the
 // plan (strategy, seed tag, cost estimates) without evaluating, and every
-// /v1/evaluate response names the strategy that answered. The daemon prints its
+// /v1/evaluate response names the strategy that answered. GET /metrics
+// exposes Prometheus text metrics for every layer (HTTP routes,
+// evaluation strategies, planner timings, store durability);
+// -log-requests emits one structured JSON log line per request (with
+// request ids) on stderr, and -pprof-addr serves net/http/pprof on a
+// separate private listener. The daemon prints its
 // actual listen address on startup (useful with port 0) and shuts down
 // gracefully on SIGINT or SIGTERM, draining in-flight requests.
 package main
@@ -28,8 +34,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +56,8 @@ func main() {
 	planCap := flag.Int("plan-cache", 0, "plan-cache capacity in compiled plans (0 = default)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for graceful shutdown")
 	dataDir := flag.String("data-dir", "", "durable catalog directory (created if missing); registered specs and runs survive restarts")
+	logRequests := flag.Bool("log-requests", false, "emit one structured (JSON, stderr) log line per request, with request ids")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled); keep it private")
 
 	type specFlag struct{ name, path string }
 	type runFlag struct{ name, spec, path string }
@@ -124,7 +134,25 @@ func main() {
 		fmt.Printf("rpqd: loaded run %q (%d nodes, %d edges) from %s\n", rf.name, run.NumNodes(), run.NumEdges(), rf.path)
 	}
 
-	srv := server.New(cat, server.Options{Timeout: *timeout, MaxInFlight: *maxInFlight})
+	srvOpts := server.Options{Timeout: *timeout, MaxInFlight: *maxInFlight}
+	if *logRequests {
+		srvOpts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	srv := server.New(cat, srvOpts)
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener so profiling never
+		// shares a port (or the request limiter) with the public API.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		fatal(err)
+		fmt.Printf("rpqd: pprof on %s\n", pln.Addr())
+		go func() { _ = http.Serve(pln, pm) }()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	fatal(err)
 	httpSrv := &http.Server{Handler: srv.Handler()}

@@ -1,0 +1,464 @@
+// Command rpqload is a closed- or open-loop load generator for rpqd: it
+// discovers the daemon's runs, drives a mixed evaluate/pairwise/append
+// workload against them, and reports throughput and latency percentiles
+// — machine-readably, so CI can gate on them.
+//
+// Usage:
+//
+//	rpqload -addr http://127.0.0.1:8080 -duration 10s -workers 8
+//	rpqload -addr ... -qps 200 -mix evaluate=8,pairwise=2 -warmup 2s
+//	rpqload -addr ... -duration 5s -out BENCH_serve.json
+//
+// With -qps 0 (the default) the generator is closed-loop: -workers
+// goroutines each keep exactly one request in flight, so the measured
+// throughput is the server's capacity at that concurrency. With -qps N
+// it is open-loop: requests start on a fixed schedule regardless of
+// completions, which measures latency at a target arrival rate (and
+// honestly reports the overload cliff — queueing shows up as latency,
+// not as a slower generator).
+//
+// The workload mix is a weighted choice per request:
+//
+//	evaluate  POST /v1/evaluate with count_only (full all-pairs scan)
+//	pairwise  POST /v1/pairwise on a random node pair
+//	append    POST /v1/runs/{name}/edges with one single-edge batch
+//
+// Append traffic requires the daemon to accept growth for the target
+// run; runs are never mutated unless "append" has nonzero weight.
+// Requests during -warmup are sent but excluded from the report.
+//
+// The JSON report (stdout, or -out) carries the per-op and overall
+// counts, achieved QPS, and exact p50/p95/p99 latencies computed from
+// every recorded sample (no bucketing).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type opStats struct {
+	Count     int     `json:"count"`
+	Errors    int     `json:"errors"`
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+}
+
+type report struct {
+	Addr            string             `json:"addr"`
+	Run             string             `json:"run"`
+	Query           string             `json:"query"`
+	Mix             string             `json:"mix"`
+	Workers         int                `json:"workers"`
+	TargetQPS       float64            `json:"target_qps,omitempty"`
+	WarmupSeconds   float64            `json:"warmup_seconds"`
+	DurationSeconds float64            `json:"duration_seconds"`
+	Requests        int                `json:"requests"`
+	Errors          int                `json:"errors"`
+	QPS             float64            `json:"qps"`
+	P50Millis       float64            `json:"p50_ms"`
+	P95Millis       float64            `json:"p95_ms"`
+	P99Millis       float64            `json:"p99_ms"`
+	Ops             map[string]opStats `json:"ops"`
+}
+
+type sample struct {
+	op  string
+	dur time.Duration
+	err bool
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "rpqd base URL")
+	runName := flag.String("run", "", "target run (default: the daemon's first run)")
+	queryStr := flag.String("query", "_*", "query for evaluate/pairwise ops")
+	duration := flag.Duration("duration", 10*time.Second, "measured load duration (after warmup)")
+	warmup := flag.Duration("warmup", time.Second, "warmup window; requests sent but not recorded")
+	workers := flag.Int("workers", 4, "concurrent workers (closed loop) or senders (open loop)")
+	qps := flag.Float64("qps", 0, "target arrival rate; 0 = closed loop at -workers concurrency")
+	mixSpec := flag.String("mix", "evaluate=7,pairwise=3", "weighted op mix, op=weight[,op=weight...]; ops: evaluate, pairwise, append")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	outPath := flag.String("out", "", "write the JSON report here instead of stdout")
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	fatal(err)
+	hc := &http.Client{Timeout: 60 * time.Second}
+	base := strings.TrimRight(*addr, "/")
+
+	tgt, err := discover(hc, base, *runName)
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "rpqload: run %q (%d nodes), spec %q, tags %v\n",
+		tgt.run, len(tgt.nodes), tgt.spec, tgt.tags)
+	if mix.weight("append") > 0 && len(tgt.tags) == 0 {
+		fatal(fmt.Errorf("append ops requested but specification %q reports no tags", tgt.spec))
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	workStart := time.Now()
+	measureFrom := workStart.Add(*warmup)
+	deadline := measureFrom.Add(*duration)
+	record := func(s sample, started time.Time) {
+		if started.Before(measureFrom) {
+			return
+		}
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	oneRequest := func(rng *rand.Rand) {
+		op := mix.pick(rng)
+		started := time.Now()
+		err := tgt.do(hc, base, op, *queryStr, rng)
+		record(sample{op: op, dur: time.Since(started), err: err != nil}, started)
+	}
+
+	var wg sync.WaitGroup
+	if *qps > 0 {
+		// Open loop: a ticker paces arrivals; a bounded sender pool keeps
+		// the generator from spawning unbounded goroutines under overload
+		// (beyond the pool the arrival falls behind schedule, which the
+		// achieved-QPS figure then reports).
+		tick := time.NewTicker(time.Duration(float64(time.Second) / *qps))
+		defer tick.Stop()
+		reqs := make(chan struct{}, *workers)
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(*seed + int64(w)))
+				for range reqs {
+					oneRequest(rng)
+				}
+			}(w)
+		}
+		for time.Now().Before(deadline) {
+			<-tick.C
+			select {
+			case reqs <- struct{}{}:
+			default: // all senders busy; this arrival is dropped late
+			}
+		}
+		close(reqs)
+	} else {
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(*seed + int64(w)))
+				for time.Now().Before(deadline) {
+					oneRequest(rng)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	measured := time.Since(measureFrom)
+
+	rep := summarize(samples, measured)
+	rep.Addr, rep.Run, rep.Query, rep.Mix = base, tgt.run, *queryStr, *mixSpec
+	rep.Workers, rep.TargetQPS = *workers, *qps
+	rep.WarmupSeconds = warmup.Seconds()
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	fatal(err)
+	out = append(out, '\n')
+	if *outPath != "" {
+		fatal(os.WriteFile(*outPath, out, 0o644))
+		fmt.Fprintf(os.Stderr, "rpqload: report written to %s\n", *outPath)
+	} else {
+		os.Stdout.Write(out)
+	}
+	fmt.Fprintf(os.Stderr, "rpqload: %d requests in %.1fs = %.1f qps, p50 %.2fms p95 %.2fms p99 %.2fms, %d error(s)\n",
+		rep.Requests, rep.DurationSeconds, rep.QPS, rep.P50Millis, rep.P95Millis, rep.P99Millis, rep.Errors)
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// ---- workload target ----
+
+// target is what discovery learned about the daemon: the run to drive,
+// its node names (for pairwise endpoints), its node count (for append
+// edge endpoints) and its specification's tags (for append batches).
+type target struct {
+	run       string
+	spec      string
+	nodes     []string
+	tags      []string
+	nodeCount int
+}
+
+func discover(hc *http.Client, base, runName string) (*target, error) {
+	var runs struct {
+		Runs []struct {
+			Name  string `json:"name"`
+			Spec  string `json:"spec"`
+			Nodes int    `json:"nodes"`
+		} `json:"runs"`
+	}
+	if err := getJSON(hc, base+"/v1/runs", &runs); err != nil {
+		return nil, err
+	}
+	if len(runs.Runs) == 0 {
+		return nil, fmt.Errorf("daemon at %s serves no runs", base)
+	}
+	t := &target{}
+	for _, r := range runs.Runs {
+		if runName == "" || r.Name == runName {
+			t.run, t.spec, t.nodeCount = r.Name, r.Spec, r.Nodes
+			break
+		}
+	}
+	if t.run == "" {
+		return nil, fmt.Errorf("run %q not served (have %d runs)", runName, len(runs.Runs))
+	}
+	var specs struct {
+		Specs []struct {
+			Name string   `json:"name"`
+			Tags []string `json:"tags"`
+		} `json:"specs"`
+	}
+	if err := getJSON(hc, base+"/v1/specs", &specs); err != nil {
+		return nil, err
+	}
+	for _, s := range specs.Specs {
+		if s.Name == t.spec {
+			t.tags = s.Tags
+		}
+	}
+	// One evaluate with a generous page pulls real node names for the
+	// pairwise workload; reachability "_*" matches every node with itself,
+	// so every node name appears.
+	var ev struct {
+		Pairs []struct {
+			From string `json:"from"`
+			To   string `json:"to"`
+		} `json:"pairs"`
+	}
+	limit := 512
+	if err := postJSON(hc, base+"/v1/evaluate",
+		map[string]any{"run": t.run, "query": "_*", "limit": limit}, &ev); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, p := range ev.Pairs {
+		for _, name := range []string{p.From, p.To} {
+			if !seen[name] {
+				seen[name] = true
+				t.nodes = append(t.nodes, name)
+			}
+		}
+	}
+	if len(t.nodes) == 0 {
+		return nil, fmt.Errorf("run %q yielded no node names for the pairwise workload", t.run)
+	}
+	return t, nil
+}
+
+// do issues one request of the given op, returning a non-nil error for
+// any non-2xx answer.
+func (t *target) do(hc *http.Client, base, op, query string, rng *rand.Rand) error {
+	switch op {
+	case "pairwise":
+		from := t.nodes[rng.Intn(len(t.nodes))]
+		to := t.nodes[rng.Intn(len(t.nodes))]
+		return postJSON(hc, base+"/v1/pairwise",
+			map[string]any{"run": t.run, "query": query, "from": from, "to": to}, nil)
+	case "append":
+		// One edges-only single-edge batch between existing nodes with a
+		// real tag: always valid (endpoints in range, tag in the
+		// alphabet), and it exercises the durable append path, the delta
+		// labeling frontier and the engine swap on every request.
+		body := map[string]any{
+			"edges": []map[string]any{{
+				"From": rng.Intn(t.nodeCount),
+				"To":   rng.Intn(t.nodeCount),
+				"Tag":  t.tags[rng.Intn(len(t.tags))],
+			}},
+		}
+		return postJSON(hc, base+"/v1/runs/"+t.run+"/edges", body, nil)
+	default: // evaluate
+		return postJSON(hc, base+"/v1/evaluate",
+			map[string]any{"run": t.run, "query": query, "count_only": true}, nil)
+	}
+}
+
+// ---- reporting ----
+
+func summarize(samples []sample, measured time.Duration) report {
+	rep := report{
+		DurationSeconds: measured.Seconds(),
+		Ops:             map[string]opStats{},
+	}
+	byOp := map[string][]time.Duration{}
+	errsByOp := map[string]int{}
+	var all []time.Duration
+	for _, s := range samples {
+		rep.Requests++
+		if s.err {
+			rep.Errors++
+			errsByOp[s.op]++
+			continue
+		}
+		byOp[s.op] = append(byOp[s.op], s.dur)
+		all = append(all, s.dur)
+	}
+	if measured > 0 {
+		rep.QPS = float64(rep.Requests) / measured.Seconds()
+	}
+	rep.P50Millis, rep.P95Millis, rep.P99Millis = percentiles(all)
+	for op, ds := range byOp {
+		p50, p95, p99 := percentiles(ds)
+		var sum time.Duration
+		for _, d := range ds {
+			sum += d
+		}
+		st := opStats{Count: len(ds) + errsByOp[op], Errors: errsByOp[op], P50Millis: p50, P95Millis: p95, P99Millis: p99}
+		if len(ds) > 0 {
+			st.MeanMs = float64(sum.Microseconds()) / 1000 / float64(len(ds))
+		}
+		rep.Ops[op] = st
+	}
+	for op, n := range errsByOp {
+		if _, ok := rep.Ops[op]; !ok {
+			rep.Ops[op] = opStats{Count: n, Errors: n}
+		}
+	}
+	return rep
+}
+
+// percentiles returns exact p50/p95/p99 in milliseconds from the full
+// sample set (nearest-rank on the sorted samples).
+func percentiles(ds []time.Duration) (p50, p95, p99 float64) {
+	if len(ds) == 0 {
+		return 0, 0, 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return float64(sorted[i].Microseconds()) / 1000
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// ---- HTTP plumbing ----
+
+func getJSON(hc *http.Client, url string, out any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, url, out)
+}
+
+func postJSON(hc *http.Client, url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, url, out)
+}
+
+func decodeJSON(resp *http.Response, url string, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, raw)
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ---- op mix ----
+
+type opMix struct {
+	ops     []string
+	weights []int
+	total   int
+}
+
+func parseMix(spec string) (*opMix, error) {
+	m := &opMix{}
+	for _, part := range strings.Split(spec, ",") {
+		op, ws, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want op=weight", part)
+		}
+		switch op {
+		case "evaluate", "pairwise", "append":
+		default:
+			return nil, fmt.Errorf("mix entry %q: unknown op (want evaluate, pairwise or append)", part)
+		}
+		w, err := strconv.Atoi(ws)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
+		}
+		m.ops = append(m.ops, op)
+		m.weights = append(m.weights, w)
+		m.total += w
+	}
+	if m.total == 0 {
+		return nil, fmt.Errorf("mix %q: total weight is zero", spec)
+	}
+	return m, nil
+}
+
+func (m *opMix) pick(rng *rand.Rand) string {
+	n := rng.Intn(m.total)
+	for i, w := range m.weights {
+		if n < w {
+			return m.ops[i]
+		}
+		n -= w
+	}
+	return m.ops[len(m.ops)-1]
+}
+
+func (m *opMix) weight(op string) int {
+	for i, o := range m.ops {
+		if o == op {
+			return m.weights[i]
+		}
+	}
+	return 0
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpqload:", err)
+		os.Exit(1)
+	}
+}

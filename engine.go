@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"provrpq/internal/automata"
 	"provrpq/internal/baseline"
@@ -11,11 +12,43 @@ import (
 	"provrpq/internal/derive"
 	"provrpq/internal/index"
 	"provrpq/internal/label"
+	"provrpq/internal/metrics"
 	"provrpq/internal/parallel"
 	"provrpq/internal/plan"
 	"provrpq/internal/plancache"
 	"provrpq/internal/reach"
 )
+
+var (
+	mEvalSeconds = metrics.Default().HistogramVec("provrpq_eval_seconds",
+		"All-pairs evaluation latency, by the strategy that ran.",
+		metrics.LatencyBuckets, "strategy")
+	mEvalUnits = metrics.Default().HistogramVec("provrpq_eval_decode_units",
+		"Cost model decode-unit estimate per all-pairs evaluation, by the strategy that ran.",
+		metrics.WorkBuckets, "strategy")
+)
+
+// observeEval feeds one completed all-pairs evaluation back into the
+// measured cost model and the exported histograms: the strategy that
+// ran, the decode units the model estimated for it, and the elapsed
+// wall time. This is the calibration loop behind plan.NewWithTimings —
+// after enough observations the planner weighs estimates by what a unit
+// of each strategy actually costs here, not by the static constant.
+func observeEval(s plan.Strategy, units float64, start time.Time) {
+	d := time.Since(start)
+	plan.SharedTimings().Observe(s, units, d)
+	name := s.String()
+	mEvalSeconds.With(name).Observe(d.Seconds())
+	if units > 0 {
+		mEvalUnits.With(name).Observe(units)
+	}
+}
+
+// observeEvalLatency records latency for evaluation paths outside the
+// measured cost model (the G1 baseline, unsafe-query decomposition).
+func observeEvalLatency(name string, start time.Time) {
+	mEvalSeconds.With(name).Observe(time.Since(start).Seconds())
+}
 
 // Query is a parsed regular path query.
 type Query struct {
@@ -259,7 +292,7 @@ func (e *Engine) index() *index.Index {
 }
 
 func (e *Engine) planner() *plan.Planner {
-	e.plOnce.Do(func() { e.pl = plan.New(e.index()) })
+	e.plOnce.Do(func() { e.pl = plan.NewWithTimings(e.index(), plan.SharedTimings()) })
 	return e.pl
 }
 
@@ -393,36 +426,51 @@ func (e *Engine) AllPairs(q *Query, l1, l2 []NodeID, strategy Strategy) ([]Pair,
 	safeScan := func(st core.AllPairsStrategy) error {
 		return env.AllPairsSafeParallel(e.labelsUnchecked(l1), e.labelsUnchecked(l2), st, e.workers, emit)
 	}
+	start := time.Now()
 	switch strategy {
 	case StrategyRPL, StrategyOptRPL:
 		if !env.Safe() {
 			return nil, fmt.Errorf("provrpq: query %s is unsafe; RPL/OptRPL require a safe query", q)
 		}
-		st := core.OptRPL
+		st, ps := core.OptRPL, plan.OptRPL
 		if strategy == StrategyRPL {
-			st = core.RPL
+			st, ps = core.RPL, plan.RPL
 		}
-		return out, safeScan(st)
+		dec := e.planner().Plan(env, len(l1), len(l2))
+		if err := safeScan(st); err != nil {
+			return nil, err
+		}
+		observeEval(ps, dec.UnitCost(ps), start)
+		return out, nil
 	case StrategyG1:
 		g1 := baseline.NewG1(e.index())
 		g1.AllPairs(q.node, toDerive(l1), toDerive(l2), emit)
+		observeEvalLatency("g1", start)
 		return out, nil
 	case StrategySeeded:
 		dec := e.planner().Plan(env, len(l1), len(l2))
-		err := plan.AllPairsSeeded(env, e.index(), dec, toDerive(l1), toDerive(l2), emit)
-		return out, err
+		if err := plan.AllPairsSeeded(env, e.index(), dec, toDerive(l1), toDerive(l2), emit); err != nil {
+			return nil, err
+		}
+		observeEval(plan.Seeded, dec.CostSeeded, start)
+		return out, nil
 	default: // Auto
 		if env.Safe() {
 			dec := e.planner().Plan(env, len(l1), len(l2))
+			var err error
 			switch dec.Strategy {
 			case plan.RPL:
-				return out, safeScan(core.RPL)
+				err = safeScan(core.RPL)
 			case plan.Seeded:
-				err := plan.AllPairsSeeded(env, e.index(), dec, toDerive(l1), toDerive(l2), emit)
-				return out, err
+				err = plan.AllPairsSeeded(env, e.index(), dec, toDerive(l1), toDerive(l2), emit)
 			default:
-				return out, safeScan(core.OptRPL)
+				err = safeScan(core.OptRPL)
 			}
+			if err != nil {
+				return nil, err
+			}
+			observeEval(dec.Strategy, dec.UnitCost(dec.Strategy), start)
+			return out, nil
 		}
 		rel, _, err := e.general().Eval(q.node)
 		if err != nil {
@@ -442,6 +490,7 @@ func (e *Engine) AllPairs(q *Query, l1, l2 []NodeID, strategy Strategy) ([]Pair,
 					}
 				}
 			}
+			observeEvalLatency("decompose", start)
 			return out, nil
 		}
 		parallel.Gather(len(l1), e.workers, func(_, lo, hi int, emit func(Pair)) {
@@ -453,6 +502,7 @@ func (e *Engine) AllPairs(q *Query, l1, l2 []NodeID, strategy Strategy) ([]Pair,
 				}
 			}
 		}, func(p Pair) { out = append(out, p) })
+		observeEvalLatency("decompose", start)
 		return out, nil
 	}
 }
@@ -486,6 +536,15 @@ type PlanReport struct {
 	// CostRPL, CostOptRPL and CostSeeded are the planner's estimates for a
 	// full scan; CostSeeded is meaningful only when SeedTag != "".
 	CostRPL, CostOptRPL, CostSeeded float64
+	// UnitNanosRPL, UnitNanosOptRPL and UnitNanosSeeded are the
+	// per-decode-unit costs (nanoseconds) the comparison weighted each
+	// estimate by: the static constant until a strategy's measured
+	// timings are warm, then its live EWMA of observed evaluations.
+	UnitNanosRPL, UnitNanosOptRPL, UnitNanosSeeded float64
+	// CostSource reports where the chosen strategy's per-unit cost came
+	// from: "measured" (warm EWMA) or "static" (constant). Empty for
+	// decomposed plans, where the decode-count model does not apply.
+	CostSource string
 	// SafeSubtrees and RelationalNodes describe the decomposition of an
 	// unsafe query (empty / zero for safe ones: the whole query is one
 	// safe scan).
@@ -495,8 +554,11 @@ type PlanReport struct {
 
 // Explain reports the evaluation plan without evaluating: for safe queries
 // the planner's strategy choice with its cost estimates, for unsafe ones
-// the safe-subtree decomposition. The report is deterministic for a given
-// run version (the planner's statistics are sampled with a fixed seed).
+// the safe-subtree decomposition. The unit estimates are deterministic for
+// a given run version (the planner's statistics are sampled with a fixed
+// seed); the per-unit costs weighting them come from the process-wide
+// measured timings once warm (CostSource reports which applied), so the
+// chosen strategy can shift as calibration accumulates.
 func (e *Engine) Explain(q *Query) (*PlanReport, error) {
 	env, err := e.env(q)
 	if err != nil {
@@ -509,6 +571,11 @@ func (e *Engine) Explain(q *Query) (*PlanReport, error) {
 		rep.Strategy = fromPlanStrategy(dec.Strategy)
 		rep.SeedTag, rep.SeedCount, rep.Reverse = dec.SeedTag, dec.SeedCount, dec.Reverse
 		rep.CostRPL, rep.CostOptRPL, rep.CostSeeded = dec.CostRPL, dec.CostOptRPL, dec.CostSeeded
+		rep.UnitNanosRPL, rep.UnitNanosOptRPL, rep.UnitNanosSeeded = dec.UnitNanosRPL, dec.UnitNanosOptRPL, dec.UnitNanosSeeded
+		rep.CostSource = "static"
+		if dec.Measured() {
+			rep.CostSource = "measured"
+		}
 		return rep, nil
 	}
 	grep, err := e.general().Plan(q.node)

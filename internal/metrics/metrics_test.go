@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact Prometheus text rendering: family
+// ordering, label ordering and escaping, histogram bucket cumulation,
+// +Inf handling, HELP escaping. The format is a wire contract — scrapers
+// parse it — so it is golden-tested byte for byte.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Total requests.").Add(42)
+	rv := r.CounterVec("test_route_total", "Per-route requests.", "route", "code")
+	rv.With("/v1/evaluate", "200").Add(7)
+	rv.With("/v1/evaluate", "400").Inc()
+	rv.With(`/weird"path`+"\n", "200").Inc() // label escaping
+	r.Gauge("test_in_flight", "In-flight requests.").Set(3)
+	h := r.Histogram("test_latency_seconds", "Latency with a \\ backslash\nand newline.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.1) // boundary: le="0.1" is inclusive
+	h.Observe(0.5)
+	h.Observe(2) // +Inf bucket
+	r.Func("test_uptime_seconds", "Uptime.", KindGauge, func() float64 { return 12.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_in_flight In-flight requests.
+# TYPE test_in_flight gauge
+test_in_flight 3
+# HELP test_latency_seconds Latency with a \\ backslash\nand newline.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 2
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 2.65
+test_latency_seconds_count 4
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total 42
+# HELP test_route_total Per-route requests.
+# TYPE test_route_total counter
+test_route_total{route="/v1/evaluate",code="200"} 7
+test_route_total{route="/v1/evaluate",code="400"} 1
+test_route_total{route="/weird\"path\n",code="200"} 1
+# HELP test_uptime_seconds Uptime.
+# TYPE test_uptime_seconds gauge
+test_uptime_seconds 12.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound contract
+// on exact boundary values and the +Inf overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0, 0.5, 1} { // le="1"
+		h.Observe(v)
+	}
+	h.Observe(1.0000001) // le="2"
+	h.Observe(2)         // le="2": boundary is inclusive
+	h.Observe(3)         // le="4"
+	h.Observe(4)         // le="4"
+	h.Observe(4.5)       // +Inf
+	h.Observe(math.Inf(1))
+
+	s := h.Snapshot()
+	want := []uint64{3, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d count = %d, want %d (snapshot %+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 9 {
+		t.Errorf("total count = %d, want 9", s.Count)
+	}
+	// A negative observation lands in the first bucket.
+	h2 := newHistogram([]float64{0.5})
+	h2.Observe(-1)
+	if got := h2.Snapshot().Counts[0]; got != 1 {
+		t.Errorf("negative observation bucket count = %d, want 1", got)
+	}
+}
+
+// TestQuantile checks the interpolated estimates against a known
+// distribution, including the +Inf clamp.
+func TestQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 40})
+	// 10 observations uniformly inside (0,10], 10 inside (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	// Median rank = 10 → exactly fills bucket (0,10] → estimate 10.
+	if got := s.Quantile(0.5); math.Abs(got-10) > 1e-9 {
+		t.Errorf("p50 = %v, want 10", got)
+	}
+	// p75 → rank 15 → halfway through (10,20] → 15.
+	if got := s.Quantile(0.75); math.Abs(got-15) > 1e-9 {
+		t.Errorf("p75 = %v, want 15", got)
+	}
+	// Everything beyond the last finite bound clamps to it.
+	h.Observe(1e9)
+	s = h.Snapshot()
+	if got := s.Quantile(1); got != 40 {
+		t.Errorf("p100 with +Inf observation = %v, want clamp to 40", got)
+	}
+	// Empty histogram.
+	if got := newHistogram([]float64{1}).Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+// TestGetOrCreate: re-registration returns the same instruments, so
+// independently-initialized layers share families; schema mismatches
+// panic.
+func TestGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_shared_total", "x")
+	b := r.Counter("test_shared_total", "x")
+	if a != b {
+		t.Error("re-registered counter is a different instrument")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("shared counter did not share state")
+	}
+	v := r.CounterVec("test_vec_total", "x", "op")
+	if v.With("a") != v.With("a") {
+		t.Error("vec child not shared")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind mismatch did not panic")
+			}
+		}()
+		r.Gauge("test_shared_total", "x")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("label arity mismatch did not panic")
+			}
+		}()
+		v.With("a", "b")
+	}()
+}
+
+// TestLabelKeyCollision: values containing the join separator cannot
+// alias a different tuple.
+func TestLabelKeyCollision(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_collide_total", "x", "a", "b")
+	v.With(`x","b`, "y").Inc()
+	if got := v.With("x", `b","y`).Value(); got != 0 {
+		t.Errorf("colliding label tuples shared a counter (count %d)", got)
+	}
+}
+
+// TestConcurrentIncrements hammers one counter, one gauge and one
+// histogram from many goroutines; run under -race this is the data-race
+// proof, and the final values prove no increment was lost.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "x")
+	g := r.Gauge("test_conc_gauge", "x")
+	h := r.Histogram("test_conc_hist", "x", LatencyBuckets)
+	v := r.CounterVec("test_conc_vec_total", "x", "op")
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				v.With([]string{"read", "write"}[i%2]).Inc()
+				if i%16 == 0 {
+					_ = r.Snapshot() // concurrent scrape
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := h.Snapshot().Count; got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	sum := v.With("read").Value() + v.With("write").Value()
+	if sum != workers*perWorker {
+		t.Errorf("vec sum = %d, want %d", sum, workers*perWorker)
+	}
+}

@@ -78,9 +78,42 @@ type Decision struct {
 	// first, and an unsafe seeded expansion would run the reversed query
 	// backward from them.
 	Reverse bool
-	// CostRPL, CostOptRPL and CostSeeded are the model's estimates; CostSeeded
-	// is +Inf-free but only meaningful when SeedTag != "".
+	// CostRPL, CostOptRPL and CostSeeded are the model's estimates in
+	// decode units; CostSeeded is +Inf-free but only meaningful when
+	// SeedTag != "".
 	CostRPL, CostOptRPL, CostSeeded float64
+	// UnitNanosRPL, UnitNanosOptRPL and UnitNanosSeeded are the
+	// per-decode-unit costs (nanoseconds) the comparison weighted each
+	// estimate by; MeasuredRPL/MeasuredOptRPL/MeasuredSeeded report
+	// whether each came from the live EWMA of observed evaluations
+	// (warm) or from the static StaticUnitNanos constant (cold). A
+	// planner built without timings (New) is always static.
+	UnitNanosRPL, UnitNanosOptRPL, UnitNanosSeeded float64
+	MeasuredRPL, MeasuredOptRPL, MeasuredSeeded    bool
+}
+
+// Measured reports whether the chosen strategy's unit cost came from
+// measured timings rather than the static constant.
+func (d Decision) Measured() bool {
+	switch d.Strategy {
+	case RPL:
+		return d.MeasuredRPL
+	case Seeded:
+		return d.MeasuredSeeded
+	}
+	return d.MeasuredOptRPL
+}
+
+// UnitCost returns the decode units the model estimates for strategy s
+// under this decision (the Cost* field matching s).
+func (d Decision) UnitCost(s Strategy) float64 {
+	switch s {
+	case RPL:
+		return d.CostRPL
+	case Seeded:
+		return d.CostSeeded
+	}
+	return d.CostOptRPL
 }
 
 // densitySamples is the size of the deterministic reachability sample
@@ -90,13 +123,24 @@ const densitySamples = 1024
 // Planner owns the per-run statistics and the cost model.
 type Planner struct {
 	ix *index.Index
+	tm *Timings // nil = static unit costs only
 
 	densityOnce sync.Once
 	density     float64
 }
 
-// New returns a planner over the run the index was built from.
+// New returns a planner over the run the index was built from, using the
+// static unit-cost constants — decisions depend only on the run's
+// statistics, so they are fully deterministic.
 func New(ix *index.Index) *Planner { return &Planner{ix: ix} }
+
+// NewWithTimings is New with measured decode-unit timings attached: once
+// a strategy is warm, its observed nanoseconds-per-unit EWMA replaces
+// the static constant in the cost comparison (cold strategies keep the
+// constant, in the same nanosecond unit, so the comparison stays
+// consistent). Engines pass SharedTimings so calibration survives engine
+// swaps on run growth.
+func NewWithTimings(ix *index.Index, tm *Timings) *Planner { return &Planner{ix: ix, tm: tm} }
 
 // ReachDensity estimates P(u ⇝ v) for a uniform random ordered node pair by
 // a fixed-seed sample of constant-time label decodes (so the estimate — and
@@ -139,6 +183,12 @@ func (p *Planner) ReachDensity() float64 {
 // reaches one of ds seed sources is ≈ min(1, ρ·ds). Every term degrades
 // gracefully: an empty run, an empty list or an absent seed tag yields
 // zero estimates, never a division.
+//
+// The decision compares the unit estimates weighted by per-strategy
+// per-unit costs: the static StaticUnitNanos constant for every strategy
+// on a planner built with New, and each strategy's measured EWMA (once
+// warm) on a planner built with NewWithTimings. With uniform constants
+// the weighting cancels and the comparison reduces to the unit counts.
 func (p *Planner) Plan(env *core.Env, n1, n2 int) Decision {
 	f1, f2 := float64(n1), float64(n2)
 	rho := p.ReachDensity()
@@ -147,6 +197,9 @@ func (p *Planner) Plan(env *core.Env, n1, n2 int) Decision {
 		CostRPL:    f1 * f2,
 		CostOptRPL: f1 + f2 + rho*f1*f2,
 	}
+	d.UnitNanosRPL, d.MeasuredRPL = p.tm.UnitNanos(RPL)
+	d.UnitNanosOptRPL, d.MeasuredOptRPL = p.tm.UnitNanos(OptRPL)
+	d.UnitNanosSeeded, d.MeasuredSeeded = p.tm.UnitNanos(Seeded)
 
 	seed, count := "", -1
 	for _, sym := range env.RequiredSyms() {
@@ -162,25 +215,26 @@ func (p *Planner) Plan(env *core.Env, n1, n2 int) Decision {
 		d.SeedTag, d.SeedCount = seed, count
 		d.Reverse = de.Targets < de.Sources
 		d.CostSeeded = (f1 + f2 + ds + dt) + rho*(f1*ds+f2*dt) + estL*estR
-		if d.CostSeeded < d.CostOptRPL {
+		if d.CostSeeded*d.UnitNanosSeeded < d.CostOptRPL*d.UnitNanosOptRPL {
 			d.Strategy = Seeded
 		}
 	}
-	if d.CostRPL < d.cost() {
+	if d.CostRPL*d.UnitNanosRPL < d.weighted() {
 		d.Strategy = RPL
 	}
 	return d
 }
 
-// cost returns the estimate of the currently chosen strategy.
-func (d Decision) cost() float64 {
+// weighted returns the nanosecond estimate of the currently chosen
+// strategy (units × per-unit cost).
+func (d Decision) weighted() float64 {
 	switch d.Strategy {
 	case RPL:
-		return d.CostRPL
+		return d.CostRPL * d.UnitNanosRPL
 	case Seeded:
-		return d.CostSeeded
+		return d.CostSeeded * d.UnitNanosSeeded
 	}
-	return d.CostOptRPL
+	return d.CostOptRPL * d.UnitNanosOptRPL
 }
 
 func minf(a, b float64) float64 {

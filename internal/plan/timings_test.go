@@ -1,0 +1,155 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"provrpq/internal/derive"
+	"provrpq/internal/index"
+	"provrpq/internal/workload"
+)
+
+// TestTimingsWarmup: a strategy reports the static constant until it has
+// timingsWarmSamples observations, then the EWMA of what was observed.
+func TestTimingsWarmup(t *testing.T) {
+	var tm Timings
+	if ns, measured := tm.UnitNanos(Seeded); measured || ns != StaticUnitNanos {
+		t.Fatalf("cold strategy = (%v, %v), want (%v, false)", ns, measured, StaticUnitNanos)
+	}
+	// 1000 units in 50µs = 50ns/unit, observed repeatedly.
+	for i := 0; i < timingsWarmSamples-1; i++ {
+		tm.Observe(Seeded, 1000, 50*time.Microsecond)
+		if _, measured := tm.UnitNanos(Seeded); measured {
+			t.Fatalf("strategy warm after %d samples, want >= %d", i+1, timingsWarmSamples)
+		}
+	}
+	tm.Observe(Seeded, 1000, 50*time.Microsecond)
+	ns, measured := tm.UnitNanos(Seeded)
+	if !measured {
+		t.Fatalf("strategy still cold after %d samples", timingsWarmSamples)
+	}
+	if math.Abs(ns-50) > 1e-9 {
+		t.Errorf("uniform 50ns/unit observations -> EWMA %v, want 50", ns)
+	}
+	// Other strategies stay cold: warmth is per strategy.
+	if _, measured := tm.UnitNanos(OptRPL); measured {
+		t.Error("OptRPL warmed from Seeded observations")
+	}
+	// EWMA tracks a shift: feed 200ns/unit and watch it move toward it.
+	for i := 0; i < 50; i++ {
+		tm.Observe(Seeded, 1000, 200*time.Microsecond)
+	}
+	if ns, _ := tm.UnitNanos(Seeded); math.Abs(ns-200) > 1 {
+		t.Errorf("EWMA after sustained 200ns/unit = %v, want ~200", ns)
+	}
+	tm.Reset()
+	if n := tm.Samples(Seeded); n != 0 {
+		t.Errorf("samples after Reset = %d, want 0", n)
+	}
+	// Degenerate observations are ignored, never poison the average.
+	tm.Observe(Seeded, 0, time.Second)
+	tm.Observe(Seeded, -5, time.Second)
+	tm.Observe(Seeded, 100, 0)
+	tm.Observe(Strategy(99), 100, time.Second)
+	if n := tm.Samples(Seeded); n != 0 {
+		t.Errorf("degenerate observations counted: %d samples", n)
+	}
+	// A nil Timings (planner built with New) is inert and static.
+	var nilTM *Timings
+	nilTM.Observe(RPL, 100, time.Second)
+	if ns, measured := nilTM.UnitNanos(RPL); measured || ns != StaticUnitNanos {
+		t.Errorf("nil Timings = (%v, %v), want static", ns, measured)
+	}
+}
+
+// TestPlanUsesMeasuredTimings: with measured per-unit costs attached,
+// the same unit estimates can flip the decision — a strategy whose units
+// are observed to be expensive loses to one observed cheap — while a
+// planner without timings keeps the static choice. This is the
+// replace-static-constants contract of the measured cost model.
+func TestPlanUsesMeasuredTimings(t *testing.T) {
+	d := workload.BioAID()
+	run, err := derive.Derive(d.Spec, derive.Options{Seed: 1, TargetEdges: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(run)
+	r := rand.New(rand.NewSource(1))
+	_, env := compile(t, d.Spec, d.SafeIFQ(r, 3, false))
+	n := run.NumNodes()
+
+	static := New(ix).Plan(env, n, n)
+	if static.Strategy != Seeded {
+		t.Fatalf("static choice = %v, want Seeded (test needs the selective workload)", static.Strategy)
+	}
+	if static.Measured() || static.UnitNanosSeeded != StaticUnitNanos {
+		t.Fatalf("static planner reported measured costs: %+v", static)
+	}
+
+	// Warm the timings with seeded observed 1000x more expensive per unit
+	// than optrpl: the weighted comparison must flip to OptRPL.
+	var tm Timings
+	for i := 0; i < timingsWarmSamples; i++ {
+		tm.Observe(Seeded, 1000, 100*time.Millisecond) // 100_000 ns/unit
+		tm.Observe(OptRPL, 1000, 100*time.Microsecond) // 100 ns/unit
+	}
+	measured := NewWithTimings(ix, &tm).Plan(env, n, n)
+	if !measured.MeasuredSeeded || !measured.MeasuredOptRPL {
+		t.Fatalf("warm planner did not report measured unit costs: %+v", measured)
+	}
+	if measured.MeasuredRPL {
+		t.Errorf("RPL was never observed but reports measured")
+	}
+	if measured.Strategy != OptRPL {
+		t.Errorf("with seeded 1000x more expensive per unit, choice = %v, want OptRPL", measured.Strategy)
+	}
+	// The unit estimates themselves are model outputs and unchanged.
+	if measured.CostSeeded != static.CostSeeded || measured.CostOptRPL != static.CostOptRPL {
+		t.Errorf("unit estimates changed under timings: %+v vs %+v", measured, static)
+	}
+
+	// Timings agreeing with the static ratio (uniform per-unit costs)
+	// must reproduce the static choice exactly.
+	var uniform Timings
+	for i := 0; i < timingsWarmSamples; i++ {
+		for _, s := range []Strategy{RPL, OptRPL, Seeded} {
+			uniform.Observe(s, 1000, 100*time.Microsecond)
+		}
+	}
+	agree := NewWithTimings(ix, &uniform).Plan(env, n, n)
+	if agree.Strategy != static.Strategy {
+		t.Errorf("uniform measured costs flipped the choice: %v vs %v", agree.Strategy, static.Strategy)
+	}
+	if !agree.Measured() {
+		t.Errorf("uniform warm planner reports static")
+	}
+}
+
+// TestTimingsConcurrent: concurrent observers and readers are race-free
+// (-race) and every observation is counted.
+func TestTimingsConcurrent(t *testing.T) {
+	var tm Timings
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tm.Observe(OptRPL, 100, time.Duration(1+i%7)*time.Microsecond)
+				tm.UnitNanos(OptRPL)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := tm.Samples(OptRPL); n != workers*per {
+		t.Errorf("samples = %d, want %d", n, workers*per)
+	}
+	ns, measured := tm.UnitNanos(OptRPL)
+	if !measured || ns <= 0 || ns > 100 {
+		t.Errorf("EWMA = (%v, %v), want measured in (0,100] ns/unit", ns, measured)
+	}
+}

@@ -15,8 +15,18 @@
 //	POST /v1/pairwise          one pair on one run        {"run", "query", "from", "to"}
 //	POST /v1/batch             runs × queries fan-out     {"runs"?, "queries", "count_only"?}
 //	GET  /v1/snapshot          durable-store contents (what a restart restores)
-//	GET  /healthz              liveness (never limited)
-//	GET  /statsz               plan-cache / worker-pool / request metrics (never limited)
+//	GET  /healthz              liveness (never limited); 503 "wedged" when the
+//	                           durable store refused further mutations
+//	GET  /statsz               plan-cache / worker-pool / request metrics,
+//	                           uptime and build info (never limited)
+//	GET  /metrics              Prometheus text exposition (never limited)
+//
+// Every request is counted, timed and (optionally) logged: per-route
+// request counters and latency histograms land in the server's metrics
+// registry (Options.Metrics, the process-wide default registry unless
+// overridden), and Options.Logger, when set, emits one structured log
+// line per request with a request id that is also returned in the
+// X-Request-Id response header.
 //
 // Errors share one shape: {"error": {"code": "...", "message": "..."}}.
 // When the catalog has a durable store attached (rpqd -data-dir), every
@@ -33,12 +43,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"provrpq"
+	"provrpq/internal/metrics"
 )
 
 // DefaultTimeout bounds one request's total handling time.
@@ -59,6 +74,14 @@ type Options struct {
 	// MaxInFlight bounds concurrently-served requests (0 selects
 	// DefaultMaxInFlight, negative disables the limit).
 	MaxInFlight int
+	// Metrics is the registry request counters, latency histograms and
+	// catalog gauges register into; nil selects the process-wide default
+	// registry (which /metrics then also exposes for every other layer —
+	// engine, planner, store).
+	Metrics *metrics.Registry
+	// Logger, when set, receives one structured log line per request
+	// (request id, route, status, duration).
+	Logger *slog.Logger
 }
 
 // Server serves a Catalog over HTTP. Create with New, mount via Handler.
@@ -67,11 +90,19 @@ type Server struct {
 	timeout     time.Duration
 	maxInFlight int
 	sem         chan struct{}
+	reg         *metrics.Registry
+	log         *slog.Logger
+	start       time.Time
 
-	requests atomic.Uint64 // every request reaching the JSON routes, admitted or not
-	rejected atomic.Uint64 // turned away by the in-flight limit (a subset of requests)
-	failed   atomic.Uint64 // error responses from routed handlers (rejections and timeouts excluded)
 	inFlight atomic.Int64  // handlers currently doing work (held across a timeout)
+	reqSeq   atomic.Uint64 // request-id source
+
+	mRequests   *metrics.Counter      // every request reaching the JSON routes, admitted or not
+	mRejected   *metrics.Counter      // turned away by the in-flight limit (a subset of requests)
+	mFailed     *metrics.Counter      // error responses from routed handlers (rejections and timeouts excluded)
+	mRouteTotal *metrics.CounterVec   // responses by (route, status code), all routes
+	mLatency    *metrics.HistogramVec // request latency by route, all routes
+	mRunGen     *metrics.GaugeVec     // per-run growth generation, synced at scrape time
 
 	// testDelay, when set (tests only), runs inside the timeout scope
 	// before every routed request, making deadline expiry deterministic.
@@ -80,7 +111,14 @@ type Server struct {
 
 // New returns a server over the catalog.
 func New(cat *provrpq.Catalog, opts Options) *Server {
-	s := &Server{cat: cat, timeout: opts.Timeout, maxInFlight: opts.MaxInFlight}
+	s := &Server{
+		cat:         cat,
+		timeout:     opts.Timeout,
+		maxInFlight: opts.MaxInFlight,
+		reg:         opts.Metrics,
+		log:         opts.Logger,
+		start:       time.Now(),
+	}
 	if s.timeout == 0 {
 		s.timeout = DefaultTimeout
 	}
@@ -90,6 +128,40 @@ func New(cat *provrpq.Catalog, opts Options) *Server {
 	if s.maxInFlight > 0 {
 		s.sem = make(chan struct{}, s.maxInFlight)
 	}
+	if s.reg == nil {
+		s.reg = metrics.Default()
+	}
+	s.mRequests = s.reg.Counter("provrpq_http_requests_total",
+		"Requests reaching the JSON routes, admitted or not.")
+	s.mRejected = s.reg.Counter("provrpq_http_rejected_total",
+		"Requests turned away by the in-flight limit (a subset of requests_total).")
+	s.mFailed = s.reg.Counter("provrpq_http_failed_total",
+		"Error responses from routed handlers (rejections and timeouts excluded).")
+	s.mRouteTotal = s.reg.CounterVec("provrpq_http_route_requests_total",
+		"Responses by route and status code, every route included.", "route", "code")
+	s.mLatency = s.reg.HistogramVec("provrpq_http_request_seconds",
+		"Request latency by route, as written to the wire.",
+		metrics.LatencyBuckets, "route")
+	s.mRunGen = s.reg.GaugeVec("provrpq_run_generation",
+		"Growth batches applied to each served run (synced at scrape time).", "run")
+	// Callback metrics sample live state at scrape time; re-registration
+	// rebinds them, so the newest server over a shared registry wins.
+	s.reg.Func("provrpq_http_in_flight", "Handlers currently doing work (held across a timeout).",
+		metrics.KindGauge, func() float64 { return float64(s.inFlight.Load()) })
+	s.reg.Func("provrpq_uptime_seconds", "Seconds since the server was created.",
+		metrics.KindGauge, func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.Func("provrpq_catalog_specs", "Registered specifications.",
+		metrics.KindGauge, func() float64 { return float64(s.cat.Stats().Specs) })
+	s.reg.Func("provrpq_catalog_runs", "Registered runs.",
+		metrics.KindGauge, func() float64 { return float64(s.cat.Stats().Runs) })
+	s.reg.Func("provrpq_plan_cache_hits_total", "Compiled-plan cache hits.",
+		metrics.KindCounter, func() float64 { return float64(s.cat.Stats().PlanCache.Hits) })
+	s.reg.Func("provrpq_plan_cache_misses_total", "Compiled-plan cache misses.",
+		metrics.KindCounter, func() float64 { return float64(s.cat.Stats().PlanCache.Misses) })
+	s.reg.Func("provrpq_plan_cache_evictions_total", "Compiled-plan cache evictions.",
+		metrics.KindCounter, func() float64 { return float64(s.cat.Stats().PlanCache.Evictions) })
+	s.reg.Func("provrpq_plan_cache_plans", "Resident compiled plans.",
+		metrics.KindGauge, func() float64 { return float64(s.cat.Stats().PlanCache.Plans) })
 	return s
 }
 
@@ -143,13 +215,13 @@ func (s *Server) Handler() http.Handler {
 		// body (which writes without setting a Content-Type itself);
 		// handlers that produce something else override this.
 		w.Header().Set("Content-Type", "application/json")
-		s.requests.Add(1)
+		s.mRequests.Inc()
 		if s.sem != nil {
 			select {
 			case s.sem <- struct{}{}:
 				// Released by the work wrapper when the handler finishes.
 			default:
-				s.rejected.Add(1)
+				s.mRejected.Inc()
 				// Not routed through writeError: a rejection is tallied in
 				// rejected, never double-counted in failed.
 				var body errorBody
@@ -163,14 +235,93 @@ func (s *Server) Handler() http.Handler {
 		work.ServeHTTP(w, r)
 	}))
 
-	// healthz and statsz live outside the limiter and the timeout: probes
-	// must succeed and metrics must stay readable precisely when the
-	// server is saturated — both are a handful of atomic loads.
+	// healthz, statsz and metrics live outside the limiter and the
+	// timeout: probes must succeed and metrics must stay scrapeable
+	// precisely when the server is saturated — all three are reads of
+	// atomic state.
 	outer := http.NewServeMux()
 	outer.HandleFunc("GET /healthz", s.handleHealth)
 	outer.HandleFunc("GET /statsz", s.handleStats)
+	outer.HandleFunc("GET /metrics", s.handleMetrics)
 	outer.Handle("/", limited)
-	return outer
+	return s.instrument(outer)
+}
+
+// instrument wraps the whole route tree with per-request accounting:
+// the (route, status) counter and per-route latency histogram, the
+// X-Request-Id header, and one structured log line when a logger is
+// configured. It observes the response as written to the wire — a
+// request the TimeoutHandler answered 503 for counts as 503 even
+// though its handler is still running.
+func (s *Server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%d-%06d", s.start.UnixMilli(), s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		h.ServeHTTP(rec, r)
+		d := time.Since(begin)
+		route := routeOf(r)
+		s.mRouteTotal.With(route, strconv.Itoa(rec.status)).Inc()
+		s.mLatency.With(route).Observe(d.Seconds())
+		if s.log != nil {
+			s.log.Info("request",
+				"req_id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", rec.status,
+				"bytes", rec.bytes,
+				"duration_ms", float64(d.Microseconds())/1000,
+				"remote", r.RemoteAddr)
+		}
+	})
+}
+
+// statusRecorder captures the status code and body size a handler chain
+// wrote, so instrumentation reports the wire response.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status, r.wrote = code, true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// routeOf maps a request to a bounded route label: named routes keep
+// their pattern (path parameters collapsed to their placeholder, so one
+// run name per request cannot grow the label space), everything else is
+// "other".
+func routeOf(r *http.Request) string {
+	p := r.URL.Path
+	if strings.HasPrefix(p, "/v1/runs/") {
+		switch {
+		case strings.HasSuffix(p, "/edges"):
+			return r.Method + " /v1/runs/{name}/edges"
+		case strings.HasSuffix(p, "/compact"):
+			return r.Method + " /v1/runs/{name}/compact"
+		}
+		return "other"
+	}
+	switch p {
+	case "/v1/specs", "/v1/runs", "/v1/evaluate", "/v1/explain", "/v1/pairwise",
+		"/v1/batch", "/v1/snapshot", "/healthz", "/statsz", "/metrics":
+		return r.Method + " " + p
+	}
+	return "other"
 }
 
 // ---- request / response shapes ----
@@ -288,9 +439,15 @@ type explainResponse struct {
 	// SeedCount accompanies every reported seed tag — zero is meaningful
 	// (the required tag is absent from the run, so the query matches
 	// nothing), so it must not be dropped by omitempty.
-	SeedCount       *int           `json:"seed_count,omitempty"`
-	Reverse         bool           `json:"reverse,omitempty"`
-	Costs           *planCostsJSON `json:"costs,omitempty"`
+	SeedCount *int           `json:"seed_count,omitempty"`
+	Reverse   bool           `json:"reverse,omitempty"`
+	Costs     *planCostsJSON `json:"costs,omitempty"`
+	// UnitNanos carries the per-decode-unit costs (nanoseconds) the
+	// comparison weighted the estimates by; CostSource reports whether
+	// the chosen strategy's came from "measured" timings (warm EWMA of
+	// observed evaluations) or the "static" constant.
+	UnitNanos       *planCostsJSON `json:"unit_nanos,omitempty"`
+	CostSource      string         `json:"cost_source,omitempty"`
 	SafeSubtrees    []string       `json:"safe_subtrees,omitempty"`
 	RelationalNodes int            `json:"relational_nodes,omitempty"`
 }
@@ -345,6 +502,14 @@ type statsResponse struct {
 	InFlight    int64          `json:"in_flight"`
 	MaxInFlight int            `json:"max_in_flight"`
 	TimeoutMS   int64          `json:"timeout_ms"`
+	// UptimeSeconds, GoVersion and Revision describe the serving process;
+	// Revision is the VCS commit baked in by the toolchain, when present.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"vcs_revision,omitempty"`
+	// RunGenerations maps each served run to the growth batches applied
+	// to it (the same figure the provrpq_run_generation gauge exports).
+	RunGenerations map[string]int `json:"run_generations,omitempty"`
 }
 
 type snapshotResponse struct {
@@ -357,13 +522,23 @@ type snapshotResponse struct {
 
 // ---- handlers ----
 
+// handleHealth answers liveness. A catalog whose durable store has
+// wedged — an ambiguous commit failure latched it read-only — reports
+// 503 "wedged": the process is up but must be restarted (reopening the
+// store re-reads the committed manifest) before it accepts mutations
+// again, and a probe that kept reporting ok would hide that.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if st := s.cat.Store(); st != nil && st.Wedged() {
+		// Not writeError: a degraded health probe is not a handler failure.
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "wedged"})
+		return
+	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	cs := s.cat.Stats()
-	s.writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Specs: cs.Specs,
 		Runs:  cs.Runs,
 		PlanCache: cacheStatsJSON{
@@ -372,14 +547,54 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Evictions: cs.PlanCache.Evictions,
 			Plans:     cs.PlanCache.Plans,
 		},
-		Workers:     cs.Workers,
-		Requests:    s.requests.Load(),
-		Rejected:    s.rejected.Load(),
-		Failed:      s.failed.Load(),
-		InFlight:    s.inFlight.Load(),
-		MaxInFlight: s.maxInFlight,
-		TimeoutMS:   s.timeout.Milliseconds(),
-	})
+		Workers:       cs.Workers,
+		Requests:      s.mRequests.Value(),
+		Rejected:      s.mRejected.Value(),
+		Failed:        s.mFailed.Value(),
+		InFlight:      s.inFlight.Load(),
+		MaxInFlight:   s.maxInFlight,
+		TimeoutMS:     s.timeout.Milliseconds(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.Revision = kv.Value
+			}
+		}
+	}
+	if names := s.cat.RunNames(); len(names) > 0 {
+		resp.RunGenerations = make(map[string]int, len(names))
+		for _, name := range names {
+			if v, ok := s.cat.RunVersion(name); ok {
+				resp.RunGenerations[name] = v
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the Prometheus text exposition of the server's
+// registry — with the default registry, that is every instrumented
+// layer of the process: HTTP routes, evaluation strategies, planner
+// timings, store durability counters, boot timings.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.syncRunGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// syncRunGauges refreshes the per-run generation gauges from the
+// catalog. Scrape-time sync keeps the catalog free of metrics coupling;
+// a run deleted from a future catalog would leave a stale gauge, but
+// runs are never deleted today.
+func (s *Server) syncRunGauges() {
+	for _, name := range s.cat.RunNames() {
+		if v, ok := s.cat.RunVersion(name); ok {
+			s.mRunGen.With(name).Set(float64(v))
+		}
+	}
 }
 
 // handleSnapshot reports the durable store's committed contents — what a
@@ -697,6 +912,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	if rep.Safe {
 		resp.Costs = &planCostsJSON{RPL: rep.CostRPL, OptRPL: rep.CostOptRPL, Seeded: rep.CostSeeded}
+		resp.UnitNanos = &planCostsJSON{RPL: rep.UnitNanosRPL, OptRPL: rep.UnitNanosOptRPL, Seeded: rep.UnitNanosSeeded}
+		resp.CostSource = rep.CostSource
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -837,7 +1054,7 @@ func (s *Server) writeCatalogError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
-	s.failed.Add(1)
+	s.mFailed.Inc()
 	var body errorBody
 	body.Error.Code = code
 	body.Error.Message = message

@@ -3,15 +3,18 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"provrpq"
+	"provrpq/internal/store"
 )
 
 // introSpec is the workflow of the paper's introduction (same shape as the
@@ -502,8 +505,9 @@ func TestServerInFlightLimit(t *testing.T) {
 		t.Errorf("rejection code = %q, want overloaded", eb.Error.Code)
 	}
 
-	// healthz and statsz stay reachable even while saturated.
-	for _, path := range []string{"/healthz", "/statsz"} {
+	// healthz, statsz and the metrics scrape stay reachable even while
+	// saturated — observability must not die with the service.
+	for _, path := range []string{"/healthz", "/statsz", "/metrics"} {
 		hr, err := ts.Client().Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -1132,5 +1136,163 @@ func TestServerAppendDurableRestart(t *testing.T) {
 	plain.do("POST", "/v1/runs/mem/compact", nil, http.StatusBadRequest, &errResp)
 	if errResp.Error.Code != "bad_request" {
 		t.Fatalf("non-durable compact code = %q", errResp.Error.Code)
+	}
+}
+
+// TestServerHealthzWedged: when the durable store latches its wedge (an
+// ambiguous commit failure — here an injected post-rename dir-fsync
+// error), the liveness probe must flip to 503 {"status":"wedged"} so an
+// orchestrator restarts the process instead of routing mutations at a
+// read-only daemon.
+func TestServerHealthzWedged(t *testing.T) {
+	st, err := provrpq.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := provrpq.NewCatalog(provrpq.CatalogOptions{Store: st})
+	ts := httptest.NewServer(New(cat, Options{}).Handler())
+	t.Cleanup(ts.Close)
+	c := &testClient{t: t, base: ts.URL, hc: ts.Client()}
+
+	specJSON, err := introSpec(t).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.do("POST", "/v1/specs", map[string]any{"name": "intro", "spec": json.RawMessage(specJSON)},
+		http.StatusCreated, nil)
+	spec, _ := cat.Spec("intro")
+	native, err := spec.Derive(provrpq.DeriveOptions{Seed: 7, TargetEdges: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullJSON, err := provrpq.EncodeRun(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, batchJSON := splitRunJSON(t, fullJSON, native.NumNodes()/2)
+	c.do("POST", "/v1/runs", map[string]any{"name": "live", "spec": "intro", "run": json.RawMessage(baseJSON)},
+		http.StatusCreated, nil)
+
+	c.do("GET", "/healthz", nil, http.StatusOK, nil)
+
+	fail := true
+	orig := store.FsyncDir
+	store.FsyncDir = func(dir string) error {
+		if fail {
+			return fmt.Errorf("injected fsync failure")
+		}
+		return orig(dir)
+	}
+	defer func() { store.FsyncDir = orig }()
+
+	var errResp struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	c.do("POST", "/v1/runs/live/edges", json.RawMessage(batchJSON), http.StatusInternalServerError, &errResp)
+	if errResp.Error.Code != "store_failed" {
+		t.Fatalf("append with failing dir fsync code = %q, want store_failed", errResp.Error.Code)
+	}
+	fail = false
+
+	// The wedge latched: health degrades and stays degraded (reopening the
+	// directory is the only way out), while reads keep serving.
+	var health struct {
+		Status string `json:"status"`
+	}
+	c.do("GET", "/healthz", nil, http.StatusServiceUnavailable, &health)
+	if health.Status != "wedged" {
+		t.Fatalf("wedged healthz status = %q, want wedged", health.Status)
+	}
+	c.do("POST", "/v1/evaluate", map[string]any{"run": "live", "query": "_*"}, http.StatusOK, nil)
+	c.do("POST", "/v1/runs/live/edges", json.RawMessage(batchJSON), http.StatusInternalServerError, &errResp)
+	if errResp.Error.Code != "store_failed" {
+		t.Fatalf("append on wedged store code = %q, want store_failed", errResp.Error.Code)
+	}
+}
+
+// TestServerMetrics scrapes /metrics after real traffic and checks the
+// exposition: correct content type, every line well-formed, the HTTP
+// route counters, a populated per-strategy evaluation histogram, and
+// the per-run generation gauge. This is the contract the CI smoke (and
+// any Prometheus) scrapes against.
+func TestServerMetrics(t *testing.T) {
+	_, c := newService(t, Options{})
+	registerFixture(t, c)
+	c.do("POST", "/v1/evaluate", map[string]any{"run": "run-a", "query": "_*.s._*"}, http.StatusOK, nil)
+	c.do("POST", "/v1/evaluate", map[string]any{"run": "run-b", "query": "ingest._*"}, http.StatusOK, nil)
+
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q, want Prometheus text 0.0.4", ct)
+	}
+	if id := resp.Header.Get("X-Request-Id"); id == "" {
+		t.Errorf("missing X-Request-Id response header")
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// Well-formedness: every non-comment line ends in one parseable value,
+	// every TYPE line names a known kind.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			kind := line[strings.LastIndexByte(line, ' ')+1:]
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Errorf("unknown TYPE %q in line %q", kind, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Errorf("line %q: value %q does not parse: %v", line, line[i+1:], err)
+		}
+	}
+
+	for _, want := range []string{
+		"provrpq_http_requests_total ",
+		`provrpq_http_route_requests_total{route="POST /v1/evaluate",code="200"}`,
+		`provrpq_http_request_seconds_bucket{route="POST /v1/evaluate",le="+Inf"}`,
+		`provrpq_eval_seconds_bucket{strategy=`,
+		`provrpq_eval_decode_units_bucket{strategy=`,
+		`provrpq_run_generation{run="run-a"} 0`,
+		"provrpq_http_in_flight ",
+		"provrpq_uptime_seconds ",
+		"provrpq_plan_cache_hits_total ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics is missing %q", want)
+		}
+	}
+
+	// statsz rides the same registry and adds process identity.
+	var stats struct {
+		Requests       uint64         `json:"requests"`
+		UptimeSeconds  float64        `json:"uptime_seconds"`
+		GoVersion      string         `json:"go_version"`
+		RunGenerations map[string]int `json:"run_generations"`
+	}
+	c.do("GET", "/statsz", nil, http.StatusOK, &stats)
+	if stats.Requests == 0 || stats.UptimeSeconds <= 0 || stats.GoVersion == "" {
+		t.Errorf("statsz = %+v, want non-zero requests/uptime and a go version", stats)
+	}
+	if _, ok := stats.RunGenerations["run-a"]; !ok {
+		t.Errorf("statsz run_generations = %v, want run-a present", stats.RunGenerations)
 	}
 }

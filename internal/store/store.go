@@ -47,6 +47,21 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"provrpq/internal/metrics"
+)
+
+// Store-layer instruments on the process-wide registry: commit counts by
+// kind, the fsync count behind them (the store's dominant latency), and
+// the wedge latch — the one state a dashboard must alarm on, because a
+// wedged store refuses every mutation until reopened.
+var (
+	mWrites = metrics.Default().CounterVec("provrpq_store_writes_total",
+		"Durable store commits, by kind (spec, run, append, compact, rewrite, manifest).", "kind")
+	mFsyncs = metrics.Default().Counter("provrpq_store_fsyncs_total",
+		"File and directory fsyncs performed by the store's atomic-write protocol.")
+	mWedged = metrics.Default().Gauge("provrpq_store_wedged",
+		"1 after a store in this process wedged on an ambiguous commit failure (mutations refused until reopen), else 0.")
 )
 
 // ErrNotFound marks a lookup of a name the store has no entry for (match
@@ -152,7 +167,11 @@ func (s *Store) PutSpec(name string, data []byte) error {
 	if s.wedged {
 		return fmt.Errorf("store: specification %q: %w", name, ErrWedged)
 	}
-	return s.noteAmbiguous(writeAtomic(s.specPath(name), data))
+	if err := s.noteAmbiguous(writeAtomic(s.specPath(name), data)); err != nil {
+		return err
+	}
+	mWrites.With("spec").Inc()
+	return nil
 }
 
 // noteAmbiguous latches the wedge when a write failed after its rename
@@ -160,8 +179,20 @@ func (s *Store) PutSpec(name string, data []byte) error {
 func (s *Store) noteAmbiguous(err error) error {
 	if errors.Is(err, errAmbiguousCommit) {
 		s.wedged = true
+		mWedged.Set(1)
 	}
 	return err
+}
+
+// Wedged reports whether the store has latched the wedge: an ambiguous
+// commit failure happened and every further mutation is refused with
+// ErrWedged until the store is reopened. Liveness probes (rpqd /healthz)
+// surface this as degraded — the store still answers reads but cannot
+// accept writes.
+func (s *Store) Wedged() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wedged
 }
 
 // GetSpec reads a specification payload.
@@ -229,7 +260,11 @@ func (s *Store) PutRun(name, spec string, data []byte) error {
 	// payload (the payload just landed at epoch 0).
 	delete(m.Appends, name)
 	delete(m.Bases, name)
-	return s.noteAmbiguous(s.writeManifest(m))
+	if err := s.noteAmbiguous(s.writeManifest(m)); err != nil {
+		return err
+	}
+	mWrites.With("run").Inc()
+	return nil
 }
 
 // GetRun reads a run payload and the specification name it is bound to.
@@ -360,6 +395,7 @@ func (s *Store) CompactRun(name string, data []byte) (int, error) {
 	if err := s.noteAmbiguous(s.writeManifest(m)); err != nil {
 		return 0, err
 	}
+	mWrites.With("compact").Inc()
 	// Committed; the superseded files are garbage now. Best-effort: a
 	// failed remove leaves dead bytes, never wrong answers.
 	_ = os.Remove(s.runPath(name, oldEpoch))
@@ -392,7 +428,11 @@ func (s *Store) RewriteRunPayload(name string, data []byte) error {
 	if _, ok := m.Runs[name]; !ok {
 		return fmt.Errorf("store: run %q: %w", name, ErrNotFound)
 	}
-	return s.noteAmbiguous(writeAtomic(s.runPath(name, m.Bases[name]), data))
+	if err := s.noteAmbiguous(writeAtomic(s.runPath(name, m.Bases[name]), data)); err != nil {
+		return err
+	}
+	mWrites.With("rewrite").Inc()
+	return nil
 }
 
 // Format returns the manifest's payload-format generation (see
@@ -473,6 +513,7 @@ func (s *Store) AppendRun(name string, data []byte) (seq int, err error) {
 	if err := s.noteAmbiguous(s.writeManifest(m)); err != nil {
 		return 0, err
 	}
+	mWrites.With("append").Inc()
 	return seq, nil
 }
 
@@ -660,7 +701,11 @@ func (s *Store) writeManifest(m manifest) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	return writeAtomic(s.manifestPath(), data)
+	if err := writeAtomic(s.manifestPath(), data); err != nil {
+		return err
+	}
+	mWrites.With("manifest").Inc()
+	return nil
 }
 
 // writeAtomic writes data to path via a same-directory temp file, fsync
@@ -684,6 +729,7 @@ func writeAtomic(path string, data []byte) error {
 	if err := tmp.Sync(); err != nil {
 		return fmt.Errorf("store: %s: %w", path, err)
 	}
+	mFsyncs.Inc()
 	if err := tmp.Chmod(0o644); err != nil {
 		return fmt.Errorf("store: %s: %w", path, err)
 	}
@@ -704,15 +750,17 @@ func writeAtomic(path string, data []byte) error {
 	// rename already applied, so the write may or may not survive — and is
 	// classified as such so the store wedges instead of mutating on top of
 	// an unknowable disk state.
-	if err := fsyncDir(dir); err != nil {
+	if err := FsyncDir(dir); err != nil {
 		return fmt.Errorf("store: %s: %w: %v", path, errAmbiguousCommit, err)
 	}
 	return nil
 }
 
-// fsyncDir is syncDir, indirected so tests can inject post-rename fsync
-// failures.
-var fsyncDir = syncDir
+// FsyncDir is syncDir, indirected so tests — including tests of layers
+// above the store, like the server's degraded-/healthz coverage — can
+// inject post-rename fsync failures, the ambiguous-commit window that
+// wedges a store. Production code must never reassign it.
+var FsyncDir = syncDir
 
 // syncDir fsyncs a directory, making its entries (renames, creates)
 // durable.
@@ -725,5 +773,6 @@ func syncDir(dir string) error {
 	if err := d.Sync(); err != nil {
 		return fmt.Errorf("store: fsync %s: %w", dir, err)
 	}
+	mFsyncs.Inc()
 	return nil
 }

@@ -472,14 +472,14 @@ func TestAmbiguousCommitWedgesStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	fail := true
-	orig := fsyncDir
-	fsyncDir = func(dir string) error {
+	orig := FsyncDir
+	FsyncDir = func(dir string) error {
 		if fail {
 			return fmt.Errorf("injected fsync failure")
 		}
 		return orig(dir)
 	}
-	defer func() { fsyncDir = orig }()
+	defer func() { FsyncDir = orig }()
 
 	_, err = s.AppendRun("r1", []byte(`batch`))
 	if err == nil || !strings.Contains(err.Error(), "ambiguous commit") {

@@ -4,10 +4,21 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"provrpq/internal/derive"
+	"provrpq/internal/metrics"
 	"provrpq/internal/parallel"
 	"provrpq/internal/store"
+)
+
+var (
+	mBootSeconds = metrics.Default().Gauge("provrpq_boot_seconds",
+		"Wall-clock seconds the last NewCatalogFromStore boot spent decoding and replaying.")
+	mBootRuns = metrics.Default().Gauge("provrpq_boot_runs",
+		"Runs restored by the last NewCatalogFromStore boot.")
+	mBootBatches = metrics.Default().Gauge("provrpq_boot_replayed_batches",
+		"Growth batches replayed by the last NewCatalogFromStore boot.")
 )
 
 // ErrStoreFailed marks a durable catalog mutation whose disk persistence
@@ -236,6 +247,11 @@ func (s *Store) AppendRun(name string, b *Batch) (int, error) {
 	return seq, nil
 }
 
+// Wedged reports whether the underlying store has latched its wedge: an
+// ambiguous commit failure occurred and every further mutation is
+// refused until the process reopens the directory. Reads still serve.
+func (s *Store) Wedged() bool { return s.st.Wedged() }
+
 // HasSpec reports whether a specification is stored under name.
 func (s *Store) HasSpec(name string) bool { return s.st.HasSpec(name) }
 
@@ -279,6 +295,7 @@ func (s *Store) Snapshot() (StoreSnapshot, error) {
 // re-derivation — and later RegisterSpec/AddRun/DeriveRun calls are
 // durable before they return. opts.Store is ignored; st is used.
 func NewCatalogFromStore(st *Store, opts CatalogOptions) (*Catalog, error) {
+	bootStart := time.Now()
 	opts.Store = nil
 	c := NewCatalog(opts)
 	specNames, err := st.SpecNames()
@@ -391,5 +408,12 @@ func NewCatalogFromStore(st *Store, opts CatalogOptions) (*Catalog, error) {
 		}
 	}
 	c.store = st
+	replayed := 0
+	for _, n := range appends {
+		replayed += n
+	}
+	mBootSeconds.Set(time.Since(bootStart).Seconds())
+	mBootRuns.Set(float64(len(runNames)))
+	mBootBatches.Set(float64(replayed))
 	return c, nil
 }
