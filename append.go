@@ -194,7 +194,7 @@ func (c *Catalog) appendEdges(runName string, b *Batch, expectedVersion int) (Ap
 		// Durable before visible, like every catalog mutation: once a
 		// reader can see the grown version, a restart replays it.
 		if _, err := c.store.st.AppendRun(runName, data); err != nil {
-			return AppendResult{}, fmt.Errorf("%w: run %q append: %v", ErrStoreFailed, runName, err)
+			return AppendResult{}, fmt.Errorf("%w: run %q append: %w", ErrStoreFailed, runName, err)
 		}
 	}
 	newRun := &Run{r: grown, spec: cur.spec}
@@ -245,7 +245,7 @@ func (c *Catalog) CompactRun(runName string) error {
 		return err
 	}
 	if _, err := c.store.st.CompactRun(runName, data); err != nil {
-		return fmt.Errorf("%w: run %q compaction: %v", ErrStoreFailed, runName, err)
+		return fmt.Errorf("%w: run %q compaction: %w", ErrStoreFailed, runName, err)
 	}
 	c.reg.SetRunGeneration(runName, 0)
 	return nil

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"provrpq/internal/store"
 )
 
 // splitEncodedRun carves an encoded run into a base-run payload (nodes
@@ -814,5 +816,66 @@ func TestAppendEdgesCAS(t *testing.T) {
 	// The next intentional append carries the new version.
 	if _, err := cat.AppendEdgesCAS("r", batch, 1); err != nil {
 		t.Fatalf("CAS append at current version: %v", err)
+	}
+}
+
+// TestWedgedStoreSentinelSurvivesCatalog: when an ambiguous commit wedges
+// the store, the wedge sentinel must stay matchable with errors.Is through
+// the catalog's ErrStoreFailed wrapping. A regression test for the %v
+// wraps (caught by provlint's errsentinel) that flattened the chain and
+// made callers unable to distinguish "wedged, reopen to recover" from any
+// other persistence failure.
+func TestWedgedStoreSentinelSurvivesCatalog(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := introSpec(t)
+	full, err := spec.Derive(DeriveOptions{Seed: 31, TargetEdges: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := full.NumNodes()
+	baseJSON, batchJSONs := splitEncodedRun(t, mustEncode(t, full), []int{n / 3, 2 * n / 3, n})
+	base, err := DecodeRun(spec, baseJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(CatalogOptions{Store: st})
+	if err := cat.RegisterSpec("wf", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddRun("r", "wf", base); err != nil {
+		t.Fatal(err)
+	}
+	batch1, err := DecodeBatch(spec, batchJSONs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the store: a failing parent-directory fsync after the rename
+	// is an ambiguous commit.
+	fail := true
+	orig := store.FsyncDir
+	store.FsyncDir = func(d string) error {
+		if fail {
+			return fmt.Errorf("injected fsync failure")
+		}
+		return orig(d)
+	}
+	defer func() { store.FsyncDir = orig }()
+	if _, err := cat.AppendEdges("r", batch1); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("append with failing dir fsync = %v, want ErrStoreFailed", err)
+	}
+	fail = false
+
+	// The wedge latched; retrying the batch must surface the wedge
+	// sentinel through both wrapping layers.
+	_, err = cat.AppendEdges("r", batch1)
+	if !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("append on wedged store = %v, want ErrStoreFailed in the chain", err)
+	}
+	if !errors.Is(err, store.ErrWedged) {
+		t.Fatalf("append on wedged store = %v, want store.ErrWedged to survive the catalog wrap", err)
 	}
 }

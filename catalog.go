@@ -104,7 +104,7 @@ func (c *Catalog) RegisterSpec(name string, s *Spec) error {
 		return fmt.Errorf("provrpq: catalog: specification %q exists in the store but was not loaded into this catalog (rebuild with NewCatalogFromStore): %w", name, ErrAlreadyRegistered)
 	}
 	if err := c.store.SaveSpec(name, s); err != nil {
-		return fmt.Errorf("%w: specification %q: %v", ErrStoreFailed, name, err)
+		return fmt.Errorf("%w: specification %q: %w", ErrStoreFailed, name, err)
 	}
 	// On disk; now make it visible. persistMu is held, so the name checks
 	// above still hold and the insert cannot fail.
@@ -174,7 +174,7 @@ func (c *Catalog) putRunDurable(name, specName string, r *Run) error {
 		return fmt.Errorf("provrpq: catalog: run %q exists in the store but was not loaded into this catalog (rebuild with NewCatalogFromStore): %w", name, ErrAlreadyRegistered)
 	}
 	if err := c.store.st.PutRun(name, specName, data); err != nil {
-		return fmt.Errorf("%w: run %q: %v", ErrStoreFailed, name, err)
+		return fmt.Errorf("%w: run %q: %w", ErrStoreFailed, name, err)
 	}
 	return c.reg.PutRun(name, specName, r)
 }

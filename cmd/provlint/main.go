@@ -1,0 +1,76 @@
+// Command provlint runs provrpq's invariant analyzers over the module.
+//
+// Usage:
+//
+//	go run ./cmd/provlint ./...
+//	go run ./cmd/provlint -only immutable,cowalias ./internal/derive/
+//	go run ./cmd/provlint -list
+//
+// Exit status is 0 when the tree is clean, 1 when there are findings,
+// and 2 on usage or load errors. Findings print one per line as
+// file:line:col: analyzer: message. See the README's "Static analysis"
+// section for the invariants, the //provrpq: annotation syntax, and the
+// //provlint:ignore suppression directive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"provrpq/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: provlint [-list] [-only names] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.DefaultSuite()
+	if *list {
+		for _, a := range suite.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range suite.Analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+		if len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "provlint: no analyzers match -only=%s (try -list)\n", *only)
+			os.Exit(2)
+		}
+		suite.Analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.NewLoader().Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provlint:", err)
+		os.Exit(2)
+	}
+	diags := suite.Run(pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "provlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,390 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one invariant checker. Run is invoked once per target
+// package with a fully type-checked Pass.
+type Analyzer struct {
+	Name string
+	// Doc is the one-line invariant statement shown by `provlint -list`.
+	Doc string
+	Run func(*Pass)
+}
+
+// A Pass carries one package through one analyzer, plus the module-wide
+// directive table (annotations are collected across every loaded package
+// before any analyzer runs, so cross-package invariants hold).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Dirs     *Directives
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Directives is the module-wide annotation table, keyed by stable
+// package-path strings (object identity does not survive the export-data
+// import boundary, names do).
+//
+// Annotation syntax, attached as doc comments:
+//
+//	//provrpq:immutable            on a type: its fields/elements are
+//	                               frozen outside constructors (functions
+//	                               returning the type), init, and
+//	                               //provrpq:mutator functions
+//	//provrpq:mutator              on a function: reviewed mutation site
+//	//provrpq:trusted              on a function or type: its []byte
+//	                               params/results (or fields) alias a
+//	                               shared/mmap buffer
+//	//provrpq:fsyncsafe <reason>   on a function: exempt from the
+//	                               store's raw-file-operation ban
+//
+// File-scope domain markers (anywhere in a file's comments) opt testdata
+// packages into path-scoped analyzers:
+//
+//	//provrpq:fsyncdomain          treat this package like internal/store
+//	//provrpq:errdomain            treat this package like store/catalog/server
+type Directives struct {
+	immutableTypes map[string]bool   // "pkgpath.TypeName"
+	mutators       map[string]bool   // function key
+	trustedFuncs   map[string]bool   // function key
+	trustedTypes   map[string]bool   // "pkgpath.TypeName"
+	fsyncsafe      map[string]string // function key -> reason
+	fsyncDomains   map[string]bool   // package path
+	errDomains     map[string]bool   // package path
+}
+
+func newDirectives() *Directives {
+	return &Directives{
+		immutableTypes: map[string]bool{},
+		mutators:       map[string]bool{},
+		trustedFuncs:   map[string]bool{},
+		trustedTypes:   map[string]bool{},
+		fsyncsafe:      map[string]string{},
+		fsyncDomains:   map[string]bool{},
+		errDomains:     map[string]bool{},
+	}
+}
+
+// typeKey names a defined type: "pkgpath.Name".
+func typeKey(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}
+
+// funcKey names a function or method: "pkgpath.Name" or
+// "pkgpath.Recv.Name" (pointer receivers are normalized away).
+func funcKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if recv := fn.Signature().Recv(); recv != nil {
+		if tn := namedTypeName(recv.Type()); tn != nil {
+			return fn.Pkg().Path() + "." + tn.Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// namedTypeName unwraps pointers/aliases and returns the defined type's
+// name object, or nil.
+func namedTypeName(t types.Type) *types.TypeName {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt.Obj()
+		default:
+			return nil
+		}
+	}
+}
+
+// ImmutableType reports whether t (after unwrapping pointers) is
+// annotated //provrpq:immutable.
+func (d *Directives) ImmutableType(t types.Type) bool {
+	tn := namedTypeName(t)
+	return tn != nil && d.immutableTypes[typeKey(tn)]
+}
+
+// TrustedType reports whether t is annotated //provrpq:trusted.
+func (d *Directives) TrustedType(t types.Type) bool {
+	tn := namedTypeName(t)
+	return tn != nil && d.trustedTypes[typeKey(tn)]
+}
+
+// Mutator reports whether fn is an annotated mutation site.
+func (d *Directives) Mutator(fn *types.Func) bool { return fn != nil && d.mutators[funcKey(fn)] }
+
+// TrustedFunc reports whether fn's byte-slice params/results are
+// annotated as aliasing a shared buffer.
+func (d *Directives) TrustedFunc(fn *types.Func) bool {
+	return fn != nil && d.trustedFuncs[funcKey(fn)]
+}
+
+// FsyncSafe reports whether fn is exempt from the raw-file-operation ban.
+func (d *Directives) FsyncSafe(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	_, ok := d.fsyncsafe[funcKey(fn)]
+	return ok
+}
+
+// directiveLines extracts "provrpq:" directive verbs (with trailing
+// arguments) from a comment group.
+func directiveLines(g *ast.CommentGroup) []string {
+	if g == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range g.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//provrpq:"); ok {
+			out = append(out, strings.TrimSpace(rest))
+		}
+	}
+	return out
+}
+
+var knownDirectives = map[string]bool{
+	"immutable": true, "mutator": true, "trusted": true, "fsyncsafe": true,
+	"fsyncdomain": true, "errdomain": true,
+}
+
+// collect folds one package's annotations into the table, reporting
+// malformed or misplaced directives as provlint diagnostics.
+func (d *Directives) collect(pkg *Package, report func(token.Pos, string, ...any)) {
+	seen := map[*ast.CommentGroup]bool{}
+	note := func(g *ast.CommentGroup, apply func(verb, arg string, pos token.Pos) bool) {
+		if g == nil || seen[g] {
+			return
+		}
+		seen[g] = true
+		for _, line := range directiveLines(g) {
+			verb, arg, _ := strings.Cut(line, " ")
+			arg = strings.TrimSpace(arg)
+			if !knownDirectives[verb] {
+				report(g.Pos(), "unknown directive //provrpq:%s", verb)
+				continue
+			}
+			if !apply(verb, arg, g.Pos()) {
+				report(g.Pos(), "directive //provrpq:%s is not valid here", verb)
+			}
+		}
+	}
+	fileScope := func(verb string) bool {
+		switch verb {
+		case "fsyncdomain":
+			d.fsyncDomains[pkg.Pkg.Path()] = true
+			return true
+		case "errdomain":
+			d.errDomains[pkg.Pkg.Path()] = true
+			return true
+		}
+		return false
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				fn, _ := pkg.Info.Defs[decl.Name].(*types.Func)
+				note(decl.Doc, func(verb, arg string, pos token.Pos) bool {
+					if fn == nil {
+						return false
+					}
+					switch verb {
+					case "mutator":
+						d.mutators[funcKey(fn)] = true
+					case "trusted":
+						d.trustedFuncs[funcKey(fn)] = true
+					case "fsyncsafe":
+						if arg == "" {
+							report(pos, "//provrpq:fsyncsafe requires a reason")
+						}
+						d.fsyncsafe[funcKey(fn)] = arg
+					default:
+						return fileScope(verb)
+					}
+					return true
+				})
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					tn, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					apply := func(verb, arg string, pos token.Pos) bool {
+						if tn == nil {
+							return false
+						}
+						switch verb {
+						case "immutable":
+							d.immutableTypes[typeKey(tn)] = true
+						case "trusted":
+							d.trustedTypes[typeKey(tn)] = true
+						default:
+							return fileScope(verb)
+						}
+						return true
+					}
+					note(ts.Doc, apply)
+					if len(decl.Specs) == 1 {
+						note(decl.Doc, apply)
+					}
+				}
+			}
+		}
+		// File-scope domain markers may sit in any comment group,
+		// including the package doc.
+		for _, g := range f.Comments {
+			if seen[g] {
+				continue
+			}
+			for _, line := range directiveLines(g) {
+				verb, _, _ := strings.Cut(line, " ")
+				fileScope(verb) // other verbs were (or will be) handled via decls
+			}
+		}
+	}
+}
+
+// Suite runs a set of analyzers over loaded packages.
+type Suite struct{ Analyzers []*Analyzer }
+
+// DefaultSuite returns every provlint analyzer.
+func DefaultSuite() *Suite {
+	return &Suite{Analyzers: []*Analyzer{
+		ImmutableAnalyzer, CowAliasAnalyzer, AtomicMixAnalyzer, FsyncOrderAnalyzer, ErrSentinelAnalyzer,
+	}}
+}
+
+// Run collects directives across all packages, runs every analyzer on
+// every package, applies //provlint:ignore suppressions, and returns the
+// surviving diagnostics sorted by position.
+func (s *Suite) Run(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	meta := &Analyzer{Name: "provlint"}
+	dirs := newDirectives()
+	for _, pkg := range pkgs {
+		p := &Pass{Analyzer: meta, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info, diags: &diags}
+		dirs.collect(pkg, p.Reportf)
+	}
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg, func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{Pos: pkg.Fset.Position(pos), Analyzer: "provlint", Message: fmt.Sprintf(format, args...)})
+		})
+		var pkgDiags []Diagnostic
+		for _, a := range s.Analyzers {
+			p := &Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info, Dirs: dirs, diags: &pkgDiags}
+			a.Run(p)
+		}
+		for _, d := range pkgDiags {
+			if !sup.matches(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return dedupe(diags)
+}
+
+func dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// suppressions maps file -> line -> analyzer names silenced on that line.
+// A //provlint:ignore comment silences the line it sits on and, when it is
+// the only thing on its line, the line below.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) matches(d Diagnostic) bool {
+	return s[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+}
+
+func collectSuppressions(pkg *Package, report func(token.Pos, string, ...any)) suppressions {
+	sup := suppressions{}
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				rest, ok := strings.CutPrefix(c.Text, "//provlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(c.Pos(), "//provlint:ignore requires an analyzer name and a reason, e.g. //provlint:ignore immutable copied before publication")
+					continue
+				}
+				name := fields[0]
+				pos := pkg.Fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if lines[line] == nil {
+						lines[line] = map[string]bool{}
+					}
+					lines[line][name] = true
+				}
+			}
+		}
+	}
+	return sup
+}

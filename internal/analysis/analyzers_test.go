@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestImmutable(t *testing.T)   { runAnalyzerTest(t, ImmutableAnalyzer, "immutable") }
+func TestCowAlias(t *testing.T)    { runAnalyzerTest(t, CowAliasAnalyzer, "cowalias") }
+func TestAtomicMix(t *testing.T)   { runAnalyzerTest(t, AtomicMixAnalyzer, "atomicmix") }
+func TestFsyncOrder(t *testing.T)  { runAnalyzerTest(t, FsyncOrderAnalyzer, "fsyncorder") }
+func TestErrSentinel(t *testing.T) { runAnalyzerTest(t, ErrSentinelAnalyzer, "errsentinel") }
+func TestDirectives(t *testing.T)  { runAnalyzerTest(t, ImmutableAnalyzer, "directives") }
+
+// TestMalformedIgnoreDoesNotSuppress loads a package whose only
+// suppression lacks the required reason: the malformed directive must be
+// reported and the finding underneath it must still fire.
+func TestMalformedIgnoreDoesNotSuppress(t *testing.T) {
+	loader := NewLoader()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "badignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := (&Suite{Analyzers: []*Analyzer{ImmutableAnalyzer}}).Run([]*Package{pkg})
+	var gotMalformed, gotFinding bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "provlint" && strings.Contains(d.Message, "requires an analyzer name and a reason"):
+			gotMalformed = true
+		case d.Analyzer == "immutable" && strings.Contains(d.Message, "write to field n"):
+			gotFinding = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !gotMalformed {
+		t.Error("malformed //provlint:ignore was not reported")
+	}
+	if !gotFinding {
+		t.Error("malformed //provlint:ignore suppressed the finding it sits on")
+	}
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer flags the torn-protocol bug class the engine's
+// lock-free structures depend on never having: a variable or field that
+// is managed through sync/atomic functions in one place and read or
+// written with a plain load/store in another. A single plain access
+// silently demotes every atomic one — the race detector only catches it
+// when a test happens to race. It also flags copying a struct that
+// contains such an atomically-managed field: the copy forks the value
+// behind the atomics' back. (Copies of sync.Mutex-style types are
+// already covered by go vet's copylocks; this pass covers the plain
+// int64-with-atomic.AddInt64 pattern vet cannot see.)
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags variables accessed both via sync/atomic and by plain load/store, and copies of structs containing them",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: every &x handed to a sync/atomic function marks x's object
+	// as atomically managed, and the &x node itself as sanctioned.
+	managed := map[types.Object]bool{}
+	sanctioned := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := addressedObj(pass, un.X); obj != nil {
+					managed[obj] = true
+					sanctioned[un] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(managed) == 0 {
+		return
+	}
+	// Pass 2: any other mention of a managed object is a plain access.
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || !managed[obj] {
+				return true
+			}
+			for _, anc := range stack {
+				if sanctioned[anc] {
+					return true
+				}
+			}
+			pass.Reportf(id.Pos(), "plain access of %s, which is managed with sync/atomic elsewhere in this package; use the atomic API for every access", id.Name)
+			return true
+		})
+	}
+	// Pass 3: copying a struct that contains a managed field forks the
+	// value behind the atomics' back.
+	structsWithManaged := map[string]bool{}
+	for obj := range managed {
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			// Find the owning named struct by scanning package types.
+			scope := pass.Pkg.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok {
+					continue
+				}
+				st, ok := tn.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					if st.Field(i) == obj {
+						structsWithManaged[typeKey(tn)] = true
+					}
+				}
+			}
+		}
+	}
+	if len(structsWithManaged) == 0 {
+		return
+	}
+	copiesManaged := func(e ast.Expr) *types.TypeName {
+		tn := namedTypeName(pass.Info.TypeOf(e))
+		if tn == nil || !structsWithManaged[typeKey(tn)] {
+			return nil
+		}
+		if _, isPtr := pass.Info.TypeOf(e).(*types.Pointer); isPtr {
+			return nil
+		}
+		switch ast.Unparen(e).(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			return nil // construction, not a copy of a live value
+		}
+		return tn
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, r := range n.Rhs {
+					if tn := copiesManaged(r); tn != nil {
+						pass.Reportf(r.Pos(), "copy of %s, whose field is managed with sync/atomic; pass a pointer instead", tn.Name())
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, a := range n.Args {
+					if tn := copiesManaged(a); tn != nil {
+						pass.Reportf(a.Pos(), "%s passed by value, but its field is managed with sync/atomic; pass a pointer instead", tn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedObj resolves &x to the variable or field object being handed
+// to the atomic API.
+func addressedObj(pass *Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return objOf(pass, x)
+	case *ast.SelectorExpr:
+		if sel := pass.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return pass.Info.Uses[x.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CowAliasAnalyzer enforces the aliasing discipline around trusted
+// buffers — byte slices returned by //provrpq:trusted functions (mmap
+// payloads from GetRunDataMapped, columnar payloads handed to
+// OpenColumnar) or read from fields of //provrpq:trusted types. Such a
+// buffer is shared, possibly mapped read-only, and possibly the backing
+// of a published run, so:
+//
+//   - nothing may write through a view of it (index store, copy
+//     destination, append — append can scribble into the mapping when
+//     spare capacity reaches it);
+//   - a raw (unclamped) view may not escape a non-trusted function by
+//     return, composite literal or store into a field/global. Clamping
+//     with a three-index slice b[lo:hi:hi] is the sanctioned escape
+//     hatch (appends then reallocate), as is an explicit copy.
+//
+// The analysis is a per-function taint pass over local variables; it
+// does not chase aliases through calls or non-trusted struct fields.
+var CowAliasAnalyzer = &Analyzer{
+	Name: "cowalias",
+	Doc:  "flags writes through, and unclamped escapes of, views over trusted/mmap buffers",
+	Run:  runCowAlias,
+}
+
+type taint int
+
+const (
+	clean   taint = iota
+	clamped       // cap-clamped view: append-safe to share, still not writable
+	raw           // unclamped view: aliases spare capacity of the buffer
+)
+
+func runCowAlias(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeCow(pass, fd)
+		}
+	}
+}
+
+type cowState struct {
+	pass    *Pass
+	fd      *ast.FuncDecl
+	trusted bool // the function itself is annotated //provrpq:trusted
+	vars    map[*types.Var]taint
+}
+
+func analyzeCow(pass *Pass, fd *ast.FuncDecl) {
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	st := &cowState{pass: pass, fd: fd, trusted: pass.Dirs.TrustedFunc(fn), vars: map[*types.Var]taint{}}
+	if st.trusted && fn != nil {
+		params := fn.Signature().Params()
+		for i := 0; i < params.Len(); i++ {
+			if isByteSlice(params.At(i).Type()) {
+				st.vars[params.At(i)] = raw
+			}
+		}
+	}
+	// Propagate taint through local assignments to a fixpoint (loops can
+	// carry taint backwards), then scan for violations.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				changed = st.flow(n.Lhs, n.Rhs) || changed
+			case *ast.ValueSpec:
+				var lhs []ast.Expr
+				for _, name := range n.Names {
+					lhs = append(lhs, name)
+				}
+				changed = st.flow(lhs, n.Values) || changed
+			}
+			return true
+		})
+	}
+	st.scan()
+}
+
+func (st *cowState) flow(lhs, rhs []ast.Expr) (changed bool) {
+	assign := func(l ast.Expr, t taint) {
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := st.pass.Info.Defs[id]
+		if obj == nil {
+			obj = st.pass.Info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || !isByteSlice(v.Type()) {
+			return
+		}
+		if t > st.vars[v] {
+			st.vars[v] = t
+			changed = true
+		}
+	}
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Tuple assignment from a call: a trusted call taints every
+		// byte-slice result.
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok && st.trustedCall(call) {
+			for _, l := range lhs {
+				assign(l, raw)
+			}
+		}
+		return changed
+	}
+	for i, l := range lhs {
+		if i < len(rhs) {
+			assign(l, st.taintOf(rhs[i]))
+		}
+	}
+	return changed
+}
+
+func (st *cowState) trustedCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := st.pass.Info.Uses[fun].(*types.Func)
+		return st.pass.Dirs.TrustedFunc(fn)
+	case *ast.SelectorExpr:
+		fn, _ := st.pass.Info.Uses[fun.Sel].(*types.Func)
+		return st.pass.Dirs.TrustedFunc(fn)
+	}
+	return false
+}
+
+// taintOf computes the taint of an expression under the current variable
+// state.
+func (st *cowState) taintOf(e ast.Expr) taint {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := objOf(st.pass, e).(*types.Var); ok {
+			return st.vars[v]
+		}
+	case *ast.CallExpr:
+		if st.trustedCall(e) && isByteSlice(st.pass.Info.TypeOf(e)) {
+			return raw
+		}
+	case *ast.SliceExpr:
+		base := st.taintOf(e.X)
+		if base == clean {
+			return clean
+		}
+		if e.Slice3 {
+			return clamped
+		}
+		return base
+	case *ast.SelectorExpr:
+		if sel := st.pass.Info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal &&
+			st.pass.Dirs.TrustedType(sel.Recv()) && isByteSlice(st.pass.Info.TypeOf(e)) {
+			return raw
+		}
+	}
+	return clean
+}
+
+// scan reports violations under the final taint assignment.
+func (st *cowState) scan() {
+	pass := st.pass
+	ast.Inspect(st.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if ix, ok := ast.Unparen(l).(*ast.IndexExpr); ok && st.taintOf(ix.X) != clean {
+					pass.Reportf(l.Pos(), "write through a view of a trusted/mmap buffer (the backing may be shared or mapped read-only)")
+				}
+			}
+			for i, r := range n.Rhs {
+				if i < len(n.Lhs) && st.taintOf(r) == raw && escapeTarget(pass, n.Lhs[i]) {
+					pass.Reportf(r.Pos(), "unclamped view of a trusted/mmap buffer escapes to a field or global; clamp with a three-index slice or copy")
+				}
+			}
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && st.trustedCall(call) {
+					for _, l := range n.Lhs {
+						if isByteSlice(pass.Info.TypeOf(l)) && escapeTarget(pass, l) {
+							pass.Reportf(l.Pos(), "unclamped view of a trusted/mmap buffer escapes to a field or global; clamp with a three-index slice or copy")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			st.scanCall(n)
+		case *ast.ReturnStmt:
+			if st.trusted {
+				return true // trusted functions exist to hand the buffer out
+			}
+			for _, r := range n.Results {
+				if st.taintOf(r) == raw {
+					pass.Reportf(r.Pos(), "unclamped view of a trusted/mmap buffer returned; clamp with a three-index slice or copy")
+				}
+			}
+		case *ast.CompositeLit:
+			if st.pass.Dirs.TrustedType(pass.Info.TypeOf(n)) {
+				return true // the annotated carrier type is the sanctioned home
+			}
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if st.taintOf(v) == raw {
+					pass.Reportf(v.Pos(), "unclamped view of a trusted/mmap buffer stored in a composite literal; clamp with a three-index slice or copy")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (st *cowState) scanCall(call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	b, ok := st.pass.Info.Uses[id].(*types.Builtin)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	switch b.Name() {
+	case "append":
+		if st.taintOf(call.Args[0]) != clean {
+			st.pass.Reportf(call.Pos(), "append to a view of a trusted/mmap buffer can write into the shared backing; copy first")
+		}
+	case "copy":
+		if st.taintOf(call.Args[0]) != clean {
+			st.pass.Reportf(call.Pos(), "copy into a view of a trusted/mmap buffer (the backing may be shared or mapped read-only)")
+		}
+	}
+}
+
+// escapeTarget reports whether storing into lhs leaves function locals: a
+// struct field, an element of a non-local container, or a package-level
+// variable.
+func escapeTarget(pass *Pass, lhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		sel := pass.Info.Selections[l]
+		return sel != nil && sel.Kind() == types.FieldVal
+	case *ast.IndexExpr:
+		return escapeTarget(pass, l.X)
+	case *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if v, ok := objOf(pass, l).(*types.Var); ok {
+			return v.Parent() == pass.Pkg.Scope()
+		}
+	}
+	return false
+}
+
+func objOf(pass *Pass, id *ast.Ident) types.Object {
+	if o := pass.Info.Defs[id]; o != nil {
+		return o
+	}
+	return pass.Info.Uses[id]
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrSentinelAnalyzer keeps the error contract between the storage layer
+// and its callers intact. Callers branch on sentinels — errors.Is(err,
+// store.ErrWedged) decides whether a catalog retries or fails the
+// request — so within the error domain (the provrpq root package,
+// internal/store, internal/server, and anything marked
+// //provrpq:errdomain):
+//
+//   - an error passed to fmt.Errorf must be wrapped with %w, not
+//     flattened with %v/%s, or the sentinel becomes unmatchable one
+//     layer up (%T is allowed: printing an error's type is not
+//     wrapping);
+//   - errors.New inside a function body mints an unmatchable ad-hoc
+//     sentinel; declare an exported package-level Err* or wrap an
+//     existing one;
+//   - HTTP error codes handed to writeError must be string literals
+//     from the documented set in the README's error table.
+var ErrSentinelAnalyzer = &Analyzer{
+	Name: "errsentinel",
+	Doc:  "requires %w wrapping of errors, package-level sentinels, and documented HTTP error codes in the error domain",
+	Run:  runErrSentinel,
+}
+
+// documentedErrorCodes is the closed set of machine-readable `code`
+// values the HTTP API documents; writeError must not invent new ones.
+var documentedErrorCodes = map[string]bool{
+	"bad_batch":       true,
+	"bad_derive":      true,
+	"bad_query":       true,
+	"bad_request":     true,
+	"bad_run":         true,
+	"bad_spec":        true,
+	"conflict":        true,
+	"evaluate_failed": true,
+	"internal":        true,
+	"not_found":       true,
+	"overloaded":      true,
+	"store_failed":    true,
+	"timeout":         true,
+}
+
+func runErrSentinel(pass *Pass) {
+	path := pass.Pkg.Path()
+	inDomain := path == "provrpq" ||
+		strings.HasSuffix(path, "internal/store") ||
+		strings.HasSuffix(path, "internal/server") ||
+		pass.Dirs.errDomains[path]
+	if !inDomain {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkErrorfWrap(pass, call)
+				checkAdHocSentinel(pass, call)
+				checkWriteErrorCode(pass, call)
+				return true
+			})
+		}
+	}
+}
+
+// checkErrorfWrap pairs fmt.Errorf's format verbs with its arguments and
+// flags error-typed arguments rendered with anything but %w (or %T).
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringLit(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) || verb == 'w' || verb == 'T' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if isErrorType(pass.Info.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "error formatted with %%%c loses the sentinel for errors.Is/As; wrap with %%w instead", verb)
+		}
+	}
+}
+
+// checkAdHocSentinel flags errors.New calls inside function bodies (the
+// walk only visits bodies, so any call seen here is ad hoc).
+func checkAdHocSentinel(pass *Pass, call *ast.CallExpr) {
+	if isPkgFunc(pass, call, "errors", "New") {
+		pass.Reportf(call.Pos(), "errors.New inside a function mints an unmatchable ad-hoc error; declare a package-level Err* sentinel or wrap an existing one with %%w")
+	}
+}
+
+// checkWriteErrorCode checks the code argument of writeError-style
+// helpers (signature ..., code string, message string) against the
+// documented set.
+func checkWriteErrorCode(pass *Pass, call *ast.CallExpr) {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	if name != "writeError" || len(call.Args) < 3 {
+		return
+	}
+	code, ok := stringLit(pass, call.Args[2])
+	if !ok {
+		pass.Reportf(call.Args[2].Pos(), "writeError code must be a string literal from the documented error-code set")
+		return
+	}
+	if !documentedErrorCodes[code] {
+		pass.Reportf(call.Args[2].Pos(), "undocumented HTTP error code %q; add it to the README error table or use an existing code", code)
+	}
+}
+
+// formatVerbs extracts the verb letters of a printf format string in
+// argument order. Width/precision stars consume an argument slot and are
+// recorded as '*'; explicit argument indexes (%[1]s) abort the scan —
+// nothing in this codebase uses them and mispairing would misreport.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(runes) {
+			c := runes[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if c == '[' {
+				return verbs
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", c) {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}
+
+func isPkgFunc(pass *Pass, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkg
+}
+
+func stringLit(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if ok && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error" {
+		return true
+	}
+	// Concrete types implementing error also lose their identity under %v.
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FsyncOrderAnalyzer guards the store's crash-consistency contract:
+// every durable write follows the strict write → fsync → rename →
+// parent-dir-fsync sequence, and that sequence lives in exactly one
+// place, writeAtomic. Inside internal/store (or any package marked
+// //provrpq:fsyncdomain):
+//
+//   - raw os.Rename / os.Create / os.CreateTemp / os.WriteFile /
+//     os.OpenFile are forbidden outside writeAtomic, unless the function
+//     carries //provrpq:fsyncsafe <reason>;
+//   - every os.Rename must be followed, later in the same function, by a
+//     directory fsync (a call to FsyncDir/syncDir) — the rename is not
+//     durable until the parent directory is synced.
+var FsyncOrderAnalyzer = &Analyzer{
+	Name: "fsyncorder",
+	Doc:  "forbids raw file mutation outside writeAtomic and checks every rename-commit is followed by a parent-directory fsync",
+	Run:  runFsyncOrder,
+}
+
+// rawFileFuncs are the os entry points that create or replace files; all
+// durable mutations must flow through writeAtomic instead.
+var rawFileFuncs = map[string]bool{
+	"Rename": true, "Create": true, "CreateTemp": true, "WriteFile": true, "OpenFile": true,
+}
+
+func runFsyncOrder(pass *Pass) {
+	path := pass.Pkg.Path()
+	if !strings.HasSuffix(path, "internal/store") && !pass.Dirs.fsyncDomains[path] {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			allowed := fd.Name.Name == "writeAtomic" || pass.Dirs.FsyncSafe(fn)
+			var renames []token.Pos
+			var dirsyncs []token.Pos
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := osFunc(pass, call); ok && rawFileFuncs[name] {
+					if !allowed {
+						pass.Reportf(call.Pos(), "raw os.%s in the store outside writeAtomic; route the write through writeAtomic or annotate the function //provrpq:fsyncsafe <reason>", name)
+					}
+					if name == "Rename" {
+						renames = append(renames, call.Pos())
+					}
+				}
+				if isDirSyncCall(pass, call) {
+					dirsyncs = append(dirsyncs, call.End())
+				}
+				return true
+			})
+			for _, r := range renames {
+				synced := false
+				for _, s := range dirsyncs {
+					if s > r {
+						synced = true
+						break
+					}
+				}
+				if !synced {
+					pass.Reportf(r, "os.Rename commit is not followed by a parent-directory fsync (FsyncDir) in this function; the rename is not durable until the directory is synced")
+				}
+			}
+		}
+	}
+}
+
+// osFunc resolves a call to package os and returns the function name.
+func osFunc(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// isDirSyncCall recognizes the store's directory-fsync helpers by name:
+// the FsyncDir injection point and the syncDir implementation behind it.
+func isDirSyncCall(pass *Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	switch name {
+	case "FsyncDir", "syncDir", "fsyncDir":
+		return true
+	}
+	return false
+}

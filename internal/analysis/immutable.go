@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ImmutableAnalyzer enforces //provrpq:immutable: once such a value is
+// published, nothing may store into it — no field writes, no element
+// stores through its fields or values, no append/copy/delete/clear on
+// them — except inside the type's constructors (same-package functions
+// returning the type), package init, or functions explicitly annotated
+// //provrpq:mutator. This is what makes constant-time pairwise decode
+// and lock-free plan sharing sound: a compiled plan or a derivation
+// label observed by one goroutine is byte-for-byte the value every other
+// goroutine sees, forever.
+var ImmutableAnalyzer = &Analyzer{
+	Name: "immutable",
+	Doc:  "flags stores into //provrpq:immutable types outside constructors, init and //provrpq:mutator functions",
+	Run:  runImmutable,
+}
+
+func runImmutable(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkImmutableStore(pass, fd, lhs, "write")
+					}
+				case *ast.IncDecStmt:
+					checkImmutableStore(pass, fd, n.X, "write")
+				case *ast.CallExpr:
+					checkImmutableBuiltin(pass, fd, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkImmutableStore walks the access path of a store target and reports
+// the first immutable layer it pierces: a field of an annotated struct, an
+// element of an annotated slice/map value, or a write through a pointer to
+// an annotated type.
+func checkImmutableStore(pass *Pass, fd *ast.FuncDecl, e ast.Expr, what string) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel := pass.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+				if tn := namedTypeName(sel.Recv()); tn != nil && pass.Dirs.immutableTypes[typeKey(tn)] && !writeExempt(pass, fd, tn) {
+					pass.Reportf(x.Sel.Pos(), "%s to field %s of immutable type %s outside a constructor, init or //provrpq:mutator function", what, x.Sel.Name, tn.Name())
+					return
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if tn := namedTypeName(pass.Info.TypeOf(x.X)); tn != nil && pass.Dirs.immutableTypes[typeKey(tn)] && !writeExempt(pass, fd, tn) {
+				pass.Reportf(x.Pos(), "element %s through immutable type %s outside a constructor, init or //provrpq:mutator function", what, tn.Name())
+				return
+			}
+			e = x.X
+		case *ast.StarExpr:
+			if tn := namedTypeName(pass.Info.TypeOf(x.X)); tn != nil && pass.Dirs.immutableTypes[typeKey(tn)] && !writeExempt(pass, fd, tn) {
+				pass.Reportf(x.Pos(), "%s through pointer replaces immutable type %s outside a constructor, init or //provrpq:mutator function", what, tn.Name())
+				return
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// checkImmutableBuiltin flags append/copy/delete/clear whose target is (or
+// is reached through) an immutable value: append may reuse shared backing
+// even when its result is stored elsewhere.
+func checkImmutableBuiltin(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || (b.Name() != "append" && b.Name() != "copy" && b.Name() != "delete" && b.Name() != "clear") {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	// A fresh value (conversion like Label(nil), or a composite literal)
+	// has no shared backing; appending to it is construction, not
+	// mutation.
+	switch a := arg.(type) {
+	case *ast.CompositeLit:
+		return
+	case *ast.CallExpr:
+		if tv, ok := pass.Info.Types[a.Fun]; ok && tv.IsType() {
+			return
+		}
+	}
+	if tn := namedTypeName(pass.Info.TypeOf(arg)); tn != nil && pass.Dirs.immutableTypes[typeKey(tn)] && !writeExempt(pass, fd, tn) {
+		pass.Reportf(call.Pos(), "%s on immutable type %s may write shared backing outside a constructor, init or //provrpq:mutator function (clone first)", id.Name, tn.Name())
+		return
+	}
+	checkImmutableStore(pass, fd, arg, id.Name)
+}
+
+// writeExempt reports whether fd may mutate values of the annotated type
+// tn: package init, an explicit //provrpq:mutator, or a constructor — a
+// function in tn's package whose results include the type (by value,
+// pointer, or slice).
+func writeExempt(pass *Pass, fd *ast.FuncDecl, tn *types.TypeName) bool {
+	if fd == nil || fd.Name.Name == "init" && fd.Recv == nil {
+		return true
+	}
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	if pass.Dirs.Mutator(fn) {
+		return true
+	}
+	if fn.Pkg() == nil || tn.Pkg() == nil || fn.Pkg().Path() != tn.Pkg().Path() {
+		return false
+	}
+	res := fn.Signature().Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if s, ok := t.Underlying().(*types.Slice); ok && namedTypeName(t) == nil {
+			t = s.Elem()
+		}
+		if rtn := namedTypeName(t); rtn != nil && typeKey(rtn) == typeKey(tn) {
+			return true
+		}
+	}
+	return false
+}

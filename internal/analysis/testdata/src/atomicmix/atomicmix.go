@@ -1,0 +1,46 @@
+// Package atomicmix exercises the atomicmix analyzer: a field managed
+// with sync/atomic anywhere in the package must be accessed atomically
+// everywhere, and structs containing such fields must not be copied.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	name string
+}
+
+func inc(c *counter) {
+	atomic.AddInt64(&c.n, 1) // sanctioned
+}
+
+func read(c *counter) int64 {
+	return atomic.LoadInt64(&c.n) // sanctioned
+}
+
+func torn(c *counter) int64 {
+	return c.n // want "plain access of n"
+}
+
+func reset(c *counter) {
+	c.n = 0 // want "plain access of n"
+}
+
+func describe(c *counter) string {
+	return c.name // ok: name is not atomically managed
+}
+
+func fork(c *counter) {
+	v := *c     // want "copy of counter"
+	consume(*c) // want "counter passed by value"
+	sink(&v)    // ok: pointers do not fork the value
+}
+
+func consume(counter) {}
+
+func sink(*counter) {}
+
+func fresh() *counter {
+	c := counter{name: "x"} // ok: construction, not a copy
+	return &c
+}

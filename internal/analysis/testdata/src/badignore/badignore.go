@@ -1,0 +1,12 @@
+// Package badignore holds a malformed suppression: //provlint:ignore
+// without a reason must be reported AND must not suppress the finding it
+// sits on. Checked programmatically (not via want comments) because the
+// reason field would swallow an inline want.
+package badignore
+
+//provrpq:immutable
+type frozen struct{ n int }
+
+func poke(f *frozen) {
+	f.n = 1 //provlint:ignore immutable
+}

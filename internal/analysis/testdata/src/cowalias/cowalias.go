@@ -1,0 +1,94 @@
+// Package cowalias exercises the cowalias analyzer: views over
+// trusted/mmap buffers must not be written through, and may escape a
+// non-trusted function only after a three-index cap clamp or a copy.
+package cowalias
+
+// mapped stands in for a struct carrying an mmap-backed payload.
+//
+//provrpq:trusted
+type mapped struct {
+	data []byte
+}
+
+type holder struct {
+	view []byte
+}
+
+type reader struct {
+	buf []byte
+	err error
+}
+
+var global []byte
+
+// open is the sanctioned carrier: trusted functions may store and return
+// raw views.
+//
+//provrpq:trusted
+func open(data []byte) *mapped {
+	return &mapped{data: data}
+}
+
+//provrpq:trusted
+func openBytes() ([]byte, error) {
+	return make([]byte, 8), nil
+}
+
+func readOnly(m *mapped) byte {
+	b := m.data
+	return b[0] // reads are fine
+}
+
+func writeThrough(m *mapped) {
+	b := m.data
+	b[0] = 1 // want "write through a view of a trusted/mmap buffer"
+}
+
+func writeDirect(m *mapped) {
+	m.data[0] = 1 // want "write through a view of a trusted/mmap buffer"
+}
+
+func leak(m *mapped) []byte {
+	return m.data // want "unclamped view of a trusted/mmap buffer returned"
+}
+
+func leakClamped(m *mapped, n int) []byte {
+	return m.data[:n:n] // ok: three-index clamp reallocates on append
+}
+
+func leakCopy(m *mapped) []byte {
+	return append([]byte(nil), m.data...) // ok: explicit copy
+}
+
+func stash(h *holder, m *mapped) {
+	h.view = m.data // want "escapes to a field or global"
+}
+
+func stashGlobal(m *mapped) {
+	global = m.data // want "escapes to a field or global"
+}
+
+func stashClamped(h *holder, m *mapped, n int) {
+	h.view = m.data[:n:n] // ok: clamped
+}
+
+func tupleLeak(r *reader) {
+	r.buf, r.err = openBytes() // want "escapes to a field or global"
+}
+
+func grow(m *mapped) []byte {
+	return append(m.data, 1) // want "append to a view of a trusted/mmap buffer"
+}
+
+func clobber(m *mapped, src []byte) {
+	b := m.data
+	copy(b, src) // want "copy into a view of a trusted/mmap buffer"
+}
+
+func lit(m *mapped) holder {
+	return holder{view: m.data} // want "stored in a composite literal"
+}
+
+func litClamped(m *mapped, n int) holder {
+	return holder{view: m.data[:n:n]} // ok: clamped
+}

@@ -1,0 +1,23 @@
+// Package directives exercises directive validation itself: unknown
+// verbs, misplaced directives, and missing required arguments are
+// reported by the provlint meta-analyzer.
+package directives
+
+//provrpq:bogus not a thing // want "unknown directive //provrpq:bogus"
+type marker struct{}
+
+//provrpq:immutable // want "not valid here"
+func misplaced() {}
+
+// want "fsyncsafe requires a reason"
+//
+//provrpq:fsyncsafe
+func unexplained() {}
+
+//provrpq:immutable
+type frozen struct{ n int }
+
+//provrpq:mutator
+func legal(f *frozen) {
+	f.n = 1 // ok: annotated mutator
+}

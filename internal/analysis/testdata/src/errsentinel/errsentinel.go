@@ -1,0 +1,52 @@
+// Package errsentinel exercises the errsentinel analyzer: errors are
+// wrapped with %w (never flattened), sentinels are package-level, and
+// HTTP error codes come from the documented set.
+//
+//provrpq:errdomain
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrWedged is a package-level sentinel: fine.
+var ErrWedged = errors.New("errsentinel: wedged")
+
+func wrapped(err error) error {
+	return fmt.Errorf("open store: %w", err) // ok
+}
+
+func doubleWrapped(path string, err error) error {
+	return fmt.Errorf("store %s: %w: %w", path, ErrWedged, err) // ok: multiple %w
+}
+
+func flattened(err error) error {
+	return fmt.Errorf("open store: %v", err) // want "error formatted with %v loses the sentinel"
+}
+
+func flattenedString(err error) error {
+	return fmt.Errorf("open store: %s", err) // want "error formatted with %s loses the sentinel"
+}
+
+func halfWrapped(path string, err error) error {
+	return fmt.Errorf("store %s: %w: %v", path, ErrWedged, err) // want "error formatted with %v loses the sentinel"
+}
+
+func typed(err error) error {
+	return fmt.Errorf("unexpected error type %T", err) // ok: %T prints the type, not the chain
+}
+
+func adHoc() error {
+	return errors.New("transient glitch") // want "ad-hoc error"
+}
+
+func writeError(w any, status int, code, message string) {}
+
+func respond(w any) {
+	writeError(w, 404, "not_found", "no such run")   // ok: documented code
+	writeError(w, 500, "kaboom", "exploded")         // want "undocumented HTTP error code"
+	writeError(w, 500, pick(), "dynamically picked") // want "must be a string literal"
+}
+
+func pick() string { return "internal" }

@@ -1,0 +1,56 @@
+// Package fsyncorder exercises the fsyncorder analyzer: raw file
+// mutation is confined to writeAtomic, and every rename-commit must be
+// followed by a parent-directory fsync.
+//
+//provrpq:fsyncdomain
+package fsyncorder
+
+import "os"
+
+// FsyncDir mirrors the store's directory-sync injection point.
+var FsyncDir = func(dir string) error { return nil }
+
+func writeAtomic(dir, path string, data []byte) error {
+	f, err := os.CreateTemp(dir, "tmp-*") // ok: writeAtomic owns raw ops
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(name, path); err != nil { // ok: FsyncDir follows
+		return err
+	}
+	return FsyncDir(dir)
+}
+
+func sloppy(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "raw os.WriteFile in the store outside writeAtomic"
+}
+
+func renameNoSync(a, b string) error {
+	return os.Rename(a, b) // want "raw os.Rename in the store outside writeAtomic" "not followed by a parent-directory fsync"
+}
+
+// lock creates an advisory lockfile; losing it in a crash is harmless.
+//
+//provrpq:fsyncsafe advisory lockfile, crash loses nothing durable
+func lock(path string) error {
+	f, err := os.Create(path) // ok: fsyncsafe
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func exists(path string) bool {
+	_, err := os.Stat(path) // ok: Stat neither creates nor replaces
+	return err == nil
+}

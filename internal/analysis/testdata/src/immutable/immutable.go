@@ -1,0 +1,93 @@
+// Package immutable exercises the immutable analyzer: stores into
+// annotated types are only legal in constructors (same-package functions
+// returning the type), package init, and //provrpq:mutator functions.
+package immutable
+
+// Plan stands in for a compiled query plan.
+//
+//provrpq:immutable
+type Plan struct {
+	Steps []int
+	Cost  map[string]int
+	Hits  int
+}
+
+// Label stands in for a derivation label: a named slice whose backing is
+// shared between readers.
+//
+//provrpq:immutable
+type Label []byte
+
+// NewPlan is a constructor (returns *Plan), so its writes are exempt.
+func NewPlan(n int) *Plan {
+	p := &Plan{}
+	p.Steps = append(p.Steps, n)
+	p.Cost = map[string]int{}
+	p.Cost["seed"] = n
+	return p
+}
+
+// DecodeAll is a constructor by slice result ([]Label), so exempt.
+func DecodeAll(data []byte) []Label {
+	l := Label(nil)
+	l = append(l, data...)
+	return []Label{l}
+}
+
+// tweak is an annotated mutation site, so exempt.
+//
+//provrpq:mutator
+func tweak(p *Plan) {
+	p.Hits++
+	p.Steps[0] = 9
+}
+
+var shared = NewPlan(1)
+
+func init() {
+	shared.Cost["boot"] = 1 // init is exempt
+}
+
+func mutateField(p *Plan) {
+	p.Steps = nil // want "write to field Steps of immutable type Plan"
+}
+
+func mutateElem(p *Plan) {
+	p.Steps[0] = 1 // want "write to field Steps of immutable type Plan"
+}
+
+func mutateMap(p *Plan) {
+	p.Cost["x"] = 2 // want "write to field Cost of immutable type Plan"
+}
+
+func bump(p *Plan) {
+	p.Hits++ // want "write to field Hits of immutable type Plan"
+}
+
+func mutateLabel(l Label) {
+	l[0] = 1 // want "element write through immutable type Label"
+}
+
+func growLabel(l Label) {
+	_ = append(l, 1) // want "append on immutable type Label"
+}
+
+func cloneLabel(l Label) []byte {
+	// Appending to a fresh conversion is construction, not mutation.
+	out := append(Label(nil), l...)
+	return out
+}
+
+func suppressed(p *Plan) {
+	p.Hits = 0 //provlint:ignore immutable reset before the plan is published
+	//provlint:ignore immutable hit counter rebuilt during recovery
+	p.Hits = 1
+}
+
+func reads(p *Plan, l Label) int {
+	n := p.Hits + len(p.Steps) + p.Cost["x"]
+	if len(l) > 0 {
+		n += int(l[0])
+	}
+	return n
+}

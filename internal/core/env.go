@@ -44,6 +44,8 @@ import (
 // queries) the decode artifacts. An Env is immutable up to the single
 // RelaxSafety transition and safe for concurrent use; see the package
 // comment.
+//
+//provrpq:immutable
 type Env struct {
 	Spec  *wf.Spec
 	Query *automata.Node
@@ -304,6 +306,8 @@ func (e *Env) bodyTopo(k int) []int {
 // compiled plan. Any run path matching the query traverses an edge tagged
 // with each of these symbols, which is what the selectivity planner's
 // seeded strategy exploits. Callers must not mutate the returned slice.
+//
+//provrpq:mutator
 func (e *Env) RequiredSyms() []string {
 	e.reqOnce.Do(func() {
 		for _, sym := range e.Query.Symbols() {

@@ -110,6 +110,11 @@ func (d *Decoder) PairwiseUnchecked(a, b label.Label) bool {
 //
 // The inputs must be valid encodings (Encode output or a validated label
 // column); a malformed input panics, like a corrupt label column would.
+//
+// Sanctioned Label mutation: the appends below recycle d.sa/d.sb, scratch
+// Labels owned by this decoder, never a label attached to a run.
+//
+//provrpq:mutator
 func (d *Decoder) PairwiseBytesUnchecked(a, b label.Bytes) bool {
 	if bytes.Equal(a, b) {
 		return d.e.MatchesEmpty()

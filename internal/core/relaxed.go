@@ -37,6 +37,8 @@ import (
 // observe either the strict verdict or the fully relaxed one, never a
 // mixture. A failed relaxation leaves the strict verdict (and its witness)
 // untouched.
+//
+//provrpq:mutator
 func (e *Env) RelaxSafety() bool {
 	if e.state.Load().safe {
 		return true

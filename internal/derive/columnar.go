@@ -286,6 +286,11 @@ func encodeColumnar(spec *wf.Spec, kind uint32, n int,
 // ---------------------------------------------------------------------------
 // decoding
 
+// colReader cursors over a columnar payload. Its data field aliases the
+// caller's buffer — possibly a read-only mmap — so views it hands out are
+// cap-clamped (take) and nothing writes through them.
+//
+//provrpq:trusted
 type colReader struct {
 	data []byte // sections only: past the header, before the checksum
 	off  int
@@ -381,6 +386,8 @@ type colSections struct {
 // label-column entry valid per ValidateLabel — walked with a cursor, never
 // materialized. Both the strict and the trusted open path run this; the
 // checksum alone proves nothing about a hostile payload.
+//
+//provrpq:trusted
 func parseColumnar(spec *wf.Spec, data []byte, wantKind uint32) (*colSections, error) {
 	if len(data) < colHeaderSize+4 {
 		return nil, fmt.Errorf("derive: columnar: payload too short (%d bytes)", len(data))
@@ -579,6 +586,8 @@ func DecodeColumnar(spec *wf.Spec, data []byte) (*Run, error) {
 //
 // The returned run aliases data for its whole lifetime; an mmapped payload
 // must stay mapped (the store never unmaps).
+//
+//provrpq:trusted
 func OpenColumnar(spec *wf.Spec, data []byte) (*Run, error) {
 	s, err := parseColumnar(spec, data, colKindRun)
 	if err != nil {

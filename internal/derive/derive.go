@@ -390,6 +390,12 @@ func (d *deriver) computeMinProds() {
 // threshold allotted to the enclosing recursion chain (-1 outside chains).
 // It returns the run-node ids of the entry (source) and exit (sink) of the
 // produced execution.
+//
+// Derivation is where labels are built: every append below extends a
+// Clone (or a local grown from one), never the shared label of an
+// existing node.
+//
+//provrpq:mutator
 func (d *deriver) expand(m wf.ModuleID, lab label.Label, iter, chainCap int) (entry, exit NodeID, err error) {
 	if !d.spec.IsComposite(m) {
 		id := d.newNode(m, lab)

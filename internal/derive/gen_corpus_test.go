@@ -1,0 +1,60 @@
+package derive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"provrpq/internal/wf"
+)
+
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("GEN_CORPUS") == "" {
+		t.Skip("set GEN_CORPUS=1 to regenerate the committed fuzz seeds")
+	}
+	spec := wf.PaperSpec()
+	mk := func(seed int64, edges int) []byte {
+		r, err := Derive(spec, Options{Seed: seed, TargetEdges: edges})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := EncodeColumnar(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	small := mk(2, 10)
+	big := mk(7, 120)
+	r, err := Derive(spec, Options{Seed: 5, TargetEdges: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := Batch{Edges: []Edge{{From: 0, To: 1, Tag: r.Edges[0].Tag}}}
+	batchData, err := EncodeBatchColumnar(spec, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), big...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	seeds := map[string][]byte{
+		"valid-run-small":  small,
+		"valid-run-large":  big,
+		"batch-wrong-kind": batchData,
+		"truncated-run":    big[:len(big)/2],
+		"bitflip-resealed": reseal(corrupt),
+		"header-only":      reseal(append(append([]byte(colMagic), make([]byte, colHeaderSize-4)...), 0, 0, 0, 0)),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeColumnar")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -30,7 +30,12 @@ type Distinct struct {
 	Sources, Targets int
 }
 
-// Index maps every edge tag of a run to its occurrence list.
+// Index maps every edge tag of a run to its occurrence list. Postings
+// are shared with every reader, so the index is frozen once Build
+// returns; the only sanctioned post-Build write is the mutex-guarded
+// DistinctEndpoints memo.
+//
+//provrpq:immutable
 type Index struct {
 	run   *derive.Run
 	byTag map[string][]Pair
@@ -77,6 +82,8 @@ func (ix *Index) Count(tag string) int { return len(ix.byTag[tag]) }
 // DistinctEndpoints returns how many distinct sources and targets the tag's
 // occurrences touch (zero for an absent tag). Memoized: the first call per
 // tag pays one pass over the occurrence list.
+//
+//provrpq:mutator
 func (ix *Index) DistinctEndpoints(tag string) Distinct {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()

@@ -51,7 +51,11 @@ func (e Entry) String() string {
 	return fmt.Sprintf("(%d,%d)", e.X, e.Y)
 }
 
-// Label is the full root-to-node entry sequence ψV(v).
+// Label is the full root-to-node entry sequence ψV(v). Once attached to
+// a node it is shared by every reader of the run, so it is frozen after
+// construction: mutate via Clone.
+//
+//provrpq:immutable
 type Label []Entry
 
 // String renders the label in the paper's notation, e.g. "(1,3)(4,1)".

@@ -33,6 +33,10 @@ type Key struct {
 // missing key run it exactly once; elem is the slot's LRU list node; done
 // (guarded by the cache mutex) marks the compile finished — eviction skips
 // in-flight slots so concurrent Gets of one key always share one Env.
+// Outside Get (the annotated mutator) a slot is read-only: the Env it
+// resolves to is handed to concurrent evaluators.
+//
+//provrpq:immutable
 type entry struct {
 	key  Key
 	once sync.Once
@@ -68,6 +72,8 @@ func New(capacity int) *Cache {
 // most once per resident key no matter how many goroutines ask
 // concurrently. Compile errors are not cached: the failed slot is dropped
 // so a later Get retries. Get implements core.EnvSource.
+//
+//provrpq:mutator
 func (c *Cache) Get(spec *wf.Spec, query *automata.Node) (*core.Env, error) {
 	key := Key{Spec: spec, Query: query.String()}
 

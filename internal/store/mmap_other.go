@@ -9,6 +9,8 @@ import (
 
 // mmapRO is unavailable on this platform; GetRunDataMapped falls back to a
 // plain read.
+//
+//provrpq:trusted
 func mmapRO(f *os.File, size int) ([]byte, error) {
 	return nil, fmt.Errorf("store: memory mapping unsupported on this platform")
 }

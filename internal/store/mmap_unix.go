@@ -14,6 +14,8 @@ import (
 // replaced by rename (writeAtomic) and unlinked, so a stale mapping pins
 // only its own dead inode's pages, which the kernel reclaims under memory
 // pressure (the mapping is file-backed and clean).
+//
+//provrpq:trusted
 func mmapRO(f *os.File, size int) ([]byte, error) {
 	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
 }

@@ -312,6 +312,8 @@ func (s *Store) GetRunData(name string, epoch int) ([]byte, error) {
 // compactions or rewrites because writeAtomic always replaces the path
 // with a fresh inode via rename, never writing a payload in place: the
 // mapping keeps referencing the old inode as a stable snapshot.
+//
+//provrpq:trusted
 func (s *Store) GetRunDataMapped(name string, epoch int) ([]byte, error) {
 	data, err := mapFile(s.runPath(name, epoch))
 	if err == nil {
@@ -324,6 +326,8 @@ func (s *Store) GetRunDataMapped(name string, epoch int) ([]byte, error) {
 }
 
 // mapFile memory-maps a whole file read-only (platform-gated via mmapRO).
+//
+//provrpq:trusted
 func mapFile(path string) ([]byte, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -751,7 +755,7 @@ func writeAtomic(path string, data []byte) error {
 	// classified as such so the store wedges instead of mutating on top of
 	// an unknowable disk state.
 	if err := FsyncDir(dir); err != nil {
-		return fmt.Errorf("store: %s: %w: %v", path, errAmbiguousCommit, err)
+		return fmt.Errorf("store: %s: %w: %w", path, errAmbiguousCommit, err)
 	}
 	return nil
 }

@@ -15,7 +15,11 @@ func (s *Spec) MarshalJSON() ([]byte, error) {
 	return json.Marshal(specJSON{Modules: s.Modules, Start: s.Start, Prods: s.Prods})
 }
 
-// UnmarshalJSON decodes and re-validates a Spec.
+// UnmarshalJSON decodes and re-validates a Spec. It replaces the receiver
+// wholesale with a freshly validated Spec, which is the one sanctioned
+// whole-value write.
+//
+//provrpq:mutator
 func (s *Spec) UnmarshalJSON(data []byte) error {
 	var sj specJSON
 	if err := json.Unmarshal(data, &sj); err != nil {

@@ -57,7 +57,11 @@ type Production struct {
 
 // Spec is a workflow specification G = (Sigma, Delta, S, P) (Definition 3).
 // Construct one with New, which validates the grammar and precomputes the
-// production graph, cycles and per-body reachability closures.
+// production graph, cycles and per-body reachability closures. A Spec is
+// shared by every run, engine and cached plan derived from it, so it is
+// frozen once New returns.
+//
+//provrpq:immutable
 type Spec struct {
 	Modules []Module
 	Start   ModuleID
@@ -183,6 +187,12 @@ func (s *Spec) Tags() []string {
 	return tags
 }
 
+// validate checks the grammar and fills in the derived structures
+// (byName, prodsOf, body source/sink/reachability). It runs inside New,
+// before the Spec is published, which is why it is a sanctioned mutation
+// site.
+//
+//provrpq:mutator
 func (s *Spec) validate() error {
 	if len(s.Modules) == 0 {
 		return fmt.Errorf("wf: spec has no modules")
@@ -229,7 +239,10 @@ func (s *Spec) validate() error {
 }
 
 // validateBody checks production k's body for well-formedness and computes
-// its source, sink and reachability closure.
+// its source, sink and reachability closure. Runs inside New via validate,
+// before the Spec is published.
+//
+//provrpq:mutator
 func (s *Spec) validateBody(k int) error {
 	body := &s.Prods[k].Body
 	n := len(body.Nodes)
