@@ -208,7 +208,10 @@ func (c *Catalog) appendEdges(runName string, b *Batch, expectedVersion int) (Ap
 
 // growLock returns the named run's growth mutex, creating it on first
 // use. Entries are never removed — runs are never deregistered, and a
-// mutex is a few words.
+// mutex is a few words. growMu shares persistMu's rank: the two are
+// never held together (the lockorder analyzer flags equal-rank nesting).
+//
+//provrpq:lockrank growMu 10
 func (c *Catalog) growLock(runName string) *sync.Mutex {
 	mu, _ := c.growMus.LoadOrStore(runName, &sync.Mutex{})
 	return mu.(*sync.Mutex)

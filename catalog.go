@@ -44,6 +44,8 @@ type Catalog struct {
 	// in-memory catalogs keep their lock-free registration paths — and
 	// disk writes serialize inside the store anyway, so the mutex costs
 	// nothing extra.
+	//
+	//provrpq:lockrank persistMu 10
 	persistMu sync.Mutex
 }
 

@@ -4,16 +4,22 @@
 //
 //	go run ./cmd/provlint ./...
 //	go run ./cmd/provlint -only immutable,cowalias ./internal/derive/
+//	go run ./cmd/provlint -json ./...
+//	go run ./cmd/provlint -lockgraph ./...
 //	go run ./cmd/provlint -list
 //
 // Exit status is 0 when the tree is clean, 1 when there are findings,
 // and 2 on usage or load errors. Findings print one per line as
-// file:line:col: analyzer: message. See the README's "Static analysis"
-// section for the invariants, the //provrpq: annotation syntax, and the
-// //provlint:ignore suppression directive.
+// file:line:col: analyzer: message, or as a JSON array with -json.
+// -lockgraph prints the declared //provrpq:lockrank hierarchy and every
+// observed nesting edge as a Graphviz digraph instead of running the
+// suite. See the README's "Static analysis" and "Concurrency model"
+// sections for the invariants, the //provrpq: annotation syntax, and
+// the //provlint:ignore suppression directive.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +28,25 @@ import (
 	"provrpq/internal/analysis"
 )
 
+// jsonFinding is the -json wire shape. Suppressible distinguishes
+// analyzer findings (which //provlint:ignore can silence) from the
+// meta-diagnostics provlint emits about malformed directives.
+type jsonFinding struct {
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Column       int    `json:"column"`
+	Analyzer     string `json:"analyzer"`
+	Message      string `json:"message"`
+	Suppressible bool   `json:"suppressible"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	lockgraph := flag.Bool("lockgraph", false, "print the declared lock hierarchy as a Graphviz digraph and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: provlint [-list] [-only names] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: provlint [-list] [-json] [-lockgraph] [-only names] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,7 +54,7 @@ func main() {
 	suite := analysis.DefaultSuite()
 	if *list {
 		for _, a := range suite.Analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -65,9 +85,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "provlint:", err)
 		os.Exit(2)
 	}
+	if *lockgraph {
+		fmt.Print(analysis.LockGraphDOT(pkgs))
+		return
+	}
 	diags := suite.Run(pkgs)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:         d.Pos.Filename,
+				Line:         d.Pos.Line,
+				Column:       d.Pos.Column,
+				Analyzer:     d.Analyzer,
+				Message:      d.Message,
+				Suppressible: d.Analyzer != "provlint",
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "provlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "provlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -139,19 +139,12 @@ func main() {
 		srvOpts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	srv := server.New(cat, srvOpts)
+	stopPprof := func() {}
 	if *pprofAddr != "" {
-		// pprof gets its own mux on its own listener so profiling never
-		// shares a port (or the request limiter) with the public API.
-		pm := http.NewServeMux()
-		pm.HandleFunc("/debug/pprof/", pprof.Index)
-		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		pln, err := net.Listen("tcp", *pprofAddr)
+		pa, stop, err := startPprof(*pprofAddr)
 		fatal(err)
-		fmt.Printf("rpqd: pprof on %s\n", pln.Addr())
-		go func() { _ = http.Serve(pln, pm) }()
+		fmt.Printf("rpqd: pprof on %s\n", pa)
+		stopPprof = stop
 	}
 	ln, err := net.Listen("tcp", *addr)
 	fatal(err)
@@ -178,8 +171,37 @@ func main() {
 		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
+		stopPprof()
 		fmt.Println("rpqd: bye")
 	}
+}
+
+// startPprof serves net/http/pprof on its own mux and listener, so
+// profiling never shares a port (or the request limiter) with the
+// public API. The returned stop function closes the listener, joins the
+// serve goroutine, and logs its exit — the daemon never leaves the
+// profiler dangling past a graceful shutdown.
+func startPprof(addr string) (net.Addr, func(), error) {
+	pm := http.NewServeMux()
+	pm.HandleFunc("/debug/pprof/", pprof.Index)
+	pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	pln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- http.Serve(pln, pm) }()
+	stop := func() {
+		_ = pln.Close()
+		if err := <-done; err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintln(os.Stderr, "rpqd: pprof server:", err)
+		}
+		fmt.Println("rpqd: pprof listener closed")
+	}
+	return pln.Addr(), stop, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestStartPprofShutdown exercises the pprof sidecar's lifecycle: the
+// profiler answers while running, and stop closes the listener and
+// joins the serve goroutine. Regression test for the unjoined
+// `go func() { _ = http.Serve(...) }()` the goroutineleak analyzer
+// flagged: the old shape leaked the listener past graceful shutdown.
+func TestStartPprofShutdown(t *testing.T) {
+	addr, stop, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatalf("pprof index while running: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: got %s, want 200", resp.Status)
+	}
+
+	joined := make(chan struct{})
+	go func() { stop(); close(joined) }()
+	select {
+	case <-joined:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not join the pprof serve goroutine")
+	}
+	if conn, err := net.DialTimeout("tcp", addr.String(), time.Second); err == nil {
+		conn.Close()
+		t.Fatal("pprof listener still accepting connections after stop")
+	}
+}
+
+// TestStartPprofBadAddr verifies the listen error surfaces instead of
+// crashing the daemon later.
+func TestStartPprofBadAddr(t *testing.T) {
+	if _, _, err := startPprof("256.256.256.256:0"); err == nil {
+		t.Fatal("want error for unlistenable address")
+	}
+}

@@ -233,6 +233,7 @@ type Engine struct {
 	genOnce sync.Once
 	gen     *core.General
 
+	//provrpq:lockrank g2Mu 40
 	g2mu sync.Mutex
 	g2s  map[string]*g2entry
 }

@@ -31,7 +31,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- http.Serve(ln, srv.Handler()) }()
 	base := "http://" + ln.Addr().String()
 	fmt.Println("serving on", base)
 
@@ -80,6 +81,11 @@ func main() {
 	pc := stats["plan_cache"].(map[string]any)
 	fmt.Printf("\nplan cache: %v plans, %v hits, %v misses (specs=%v runs=%v workers=%v)\n",
 		pc["plans"], pc["hits"], pc["misses"], stats["specs"], stats["runs"], stats["workers"])
+
+	// 6. Tear down: close the listener and join the serve goroutine so
+	//    the walkthrough exits with nothing left running.
+	_ = ln.Close()
+	<-serveErr
 }
 
 func post(url string, body any) map[string]any {

@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -28,6 +29,11 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Dirs     *Directives
+	// Facts is the whole-module view shared by the interprocedural
+	// analyzers: every loaded package plus memoized cross-package
+	// results (call-graph facts are computed once per Suite.Run, then
+	// replayed into each per-package pass).
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -68,6 +74,24 @@ func (d Diagnostic) String() string {
 //	                               shared/mmap buffer
 //	//provrpq:fsyncsafe <reason>   on a function: exempt from the
 //	                               store's raw-file-operation ban
+//	//provrpq:lockrank <name> <n>  on a mutex field, a package-level
+//	                               mutex var, or a function returning a
+//	                               mutex: declares the lock's place in
+//	                               the module's partial acquisition
+//	                               order (acquire in strictly increasing
+//	                               rank; equal ranks never nest)
+//	//provrpq:locks(<name>)        on a function or interface method: an
+//	                               interprocedural summary — callers
+//	                               must be able to acquire <name> at the
+//	                               call site (boundaries the call graph
+//	                               cannot see through)
+//	//provrpq:excludes(<name>)     on a function or interface method: it
+//	                               must never be called with <name> held
+//	//provrpq:ctxroot <reason>     on a function: may mint root contexts
+//	                               (context.Background/TODO)
+//	//provrpq:detached <reason>    on a function, or on the line of (or
+//	                               above) a go statement: the goroutine
+//	                               intentionally has no bounded exit
 //
 // File-scope domain markers (anywhere in a file's comments) opt testdata
 // packages into path-scoped analyzers:
@@ -82,6 +106,28 @@ type Directives struct {
 	fsyncsafe      map[string]string // function key -> reason
 	fsyncDomains   map[string]bool   // package path
 	errDomains     map[string]bool   // package path
+
+	lockByKey    map[string]*LockDecl // mutex object key -> declaration
+	lockByName   map[string]*LockDecl // declared lock name -> declaration
+	funcLocks    map[string][]LockAnn // function key -> locks(...) summaries
+	funcExcludes map[string][]LockAnn // function key -> excludes(...) summaries
+	ctxRoots     map[string]string    // function key -> reason
+	detached     map[string]string    // function key -> reason
+}
+
+// LockDecl is one //provrpq:lockrank declaration: a human-readable lock
+// name, its rank in the acquisition order, and the object it annotates.
+type LockDecl struct {
+	Name string
+	Rank int
+	Key  string // "pkgpath.Type.field", "pkgpath.var" or a function key
+	Pos  token.Pos
+}
+
+// LockAnn is one locks(...)/excludes(...) summary entry.
+type LockAnn struct {
+	Name string
+	Pos  token.Pos
 }
 
 func newDirectives() *Directives {
@@ -93,6 +139,12 @@ func newDirectives() *Directives {
 		fsyncsafe:      map[string]string{},
 		fsyncDomains:   map[string]bool{},
 		errDomains:     map[string]bool{},
+		lockByKey:      map[string]*LockDecl{},
+		lockByName:     map[string]*LockDecl{},
+		funcLocks:      map[string][]LockAnn{},
+		funcExcludes:   map[string][]LockAnn{},
+		ctxRoots:       map[string]string{},
+		detached:       map[string]string{},
 	}
 }
 
@@ -166,6 +218,46 @@ func (d *Directives) FsyncSafe(fn *types.Func) bool {
 	return ok
 }
 
+// LockByKey returns the //provrpq:lockrank declaration attached to the
+// mutex object named by key, or nil.
+func (d *Directives) LockByKey(key string) *LockDecl { return d.lockByKey[key] }
+
+// LockByName returns the declaration of the named lock, or nil.
+func (d *Directives) LockByName(name string) *LockDecl { return d.lockByName[name] }
+
+// LockDecls returns every declared lock, sorted by rank then name.
+func (d *Directives) LockDecls() []*LockDecl {
+	out := make([]*LockDecl, 0, len(d.lockByName))
+	for _, l := range d.lockByName {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// CtxRoot reports whether fn is annotated //provrpq:ctxroot.
+func (d *Directives) CtxRoot(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	_, ok := d.ctxRoots[funcKey(fn)]
+	return ok
+}
+
+// Detached reports whether fn is annotated //provrpq:detached.
+func (d *Directives) Detached(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	_, ok := d.detached[funcKey(fn)]
+	return ok
+}
+
 // directiveLines extracts "provrpq:" directive verbs (with trailing
 // arguments) from a comment group.
 func directiveLines(g *ast.CommentGroup) []string {
@@ -184,25 +276,93 @@ func directiveLines(g *ast.CommentGroup) []string {
 var knownDirectives = map[string]bool{
 	"immutable": true, "mutator": true, "trusted": true, "fsyncsafe": true,
 	"fsyncdomain": true, "errdomain": true,
+	"lockrank": true, "locks": true, "excludes": true, "ctxroot": true, "detached": true,
+}
+
+// splitDirective separates one directive line into its verb, an optional
+// parenthesized operand ("locks(growMu)" -> "locks", "growMu") and the
+// space-separated tail arguments.
+func splitDirective(line string) (verb, paren, arg string) {
+	verb, arg, _ = strings.Cut(line, " ")
+	arg = strings.TrimSpace(arg)
+	if i := strings.IndexByte(verb, '('); i >= 0 && strings.HasSuffix(verb, ")") {
+		paren = verb[i+1 : len(verb)-1]
+		verb = verb[:i]
+	}
+	return verb, paren, arg
+}
+
+// splitLockNames parses the comma-separated operand of locks(...)/
+// excludes(...).
+func splitLockNames(paren string) []string {
+	var out []string
+	for _, n := range strings.Split(paren, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// addLockRank records one //provrpq:lockrank declaration on the object
+// named by key. The argument must be "<name> <rank>"; conflicting ranks
+// for one lock name are reported.
+func (d *Directives) addLockRank(key, arg string, pos token.Pos, report func(token.Pos, string, ...any)) {
+	fields := strings.Fields(arg)
+	if len(fields) != 2 {
+		report(pos, "//provrpq:lockrank requires a lock name and an integer rank, e.g. //provrpq:lockrank storeMu 30")
+		return
+	}
+	rank, err := strconv.Atoi(fields[1])
+	if err != nil {
+		report(pos, "//provrpq:lockrank rank %q is not an integer", fields[1])
+		return
+	}
+	decl := &LockDecl{Name: fields[0], Rank: rank, Key: key, Pos: pos}
+	if prev := d.lockByName[decl.Name]; prev != nil && prev.Rank != rank {
+		report(pos, "lock %q re-declared with rank %d (previously rank %d)", decl.Name, rank, prev.Rank)
+		return
+	}
+	if d.lockByName[decl.Name] == nil {
+		d.lockByName[decl.Name] = decl
+	}
+	d.lockByKey[key] = decl
+}
+
+// addLockSummaries records locks(...)/excludes(...) entries for a function
+// key, reporting an empty operand list.
+func (d *Directives) addLockSummaries(verb, key, paren string, pos token.Pos, report func(token.Pos, string, ...any)) {
+	names := splitLockNames(paren)
+	if len(names) == 0 {
+		report(pos, "//provrpq:%s requires a parenthesized lock name, e.g. //provrpq:%s(growMu)", verb, verb)
+		return
+	}
+	for _, n := range names {
+		ann := LockAnn{Name: n, Pos: pos}
+		if verb == "locks" {
+			d.funcLocks[key] = append(d.funcLocks[key], ann)
+		} else {
+			d.funcExcludes[key] = append(d.funcExcludes[key], ann)
+		}
+	}
 }
 
 // collect folds one package's annotations into the table, reporting
 // malformed or misplaced directives as provlint diagnostics.
 func (d *Directives) collect(pkg *Package, report func(token.Pos, string, ...any)) {
 	seen := map[*ast.CommentGroup]bool{}
-	note := func(g *ast.CommentGroup, apply func(verb, arg string, pos token.Pos) bool) {
+	note := func(g *ast.CommentGroup, apply func(verb, paren, arg string, pos token.Pos) bool) {
 		if g == nil || seen[g] {
 			return
 		}
 		seen[g] = true
 		for _, line := range directiveLines(g) {
-			verb, arg, _ := strings.Cut(line, " ")
-			arg = strings.TrimSpace(arg)
+			verb, paren, arg := splitDirective(line)
 			if !knownDirectives[verb] {
 				report(g.Pos(), "unknown directive //provrpq:%s", verb)
 				continue
 			}
-			if !apply(verb, arg, g.Pos()) {
+			if !apply(verb, paren, arg, g.Pos()) {
 				report(g.Pos(), "directive //provrpq:%s is not valid here", verb)
 			}
 		}
@@ -218,54 +378,129 @@ func (d *Directives) collect(pkg *Package, report func(token.Pos, string, ...any
 		}
 		return false
 	}
+	// funcApply handles the verbs valid on functions and interface
+	// methods, given the function object's stable key.
+	funcApply := func(key string) func(verb, paren, arg string, pos token.Pos) bool {
+		return func(verb, paren, arg string, pos token.Pos) bool {
+			switch verb {
+			case "mutator":
+				d.mutators[key] = true
+			case "trusted":
+				d.trustedFuncs[key] = true
+			case "fsyncsafe":
+				if arg == "" {
+					report(pos, "//provrpq:fsyncsafe requires a reason")
+				}
+				d.fsyncsafe[key] = arg
+			case "lockrank":
+				d.addLockRank(key, arg, pos, report)
+			case "locks", "excludes":
+				d.addLockSummaries(verb, key, paren, pos, report)
+			case "ctxroot":
+				d.ctxRoots[key] = arg
+			case "detached":
+				if arg == "" {
+					report(pos, "//provrpq:detached requires a reason")
+				}
+				d.detached[key] = arg
+			default:
+				return fileScope(verb)
+			}
+			return true
+		}
+	}
 	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {
 			switch decl := decl.(type) {
 			case *ast.FuncDecl:
 				fn, _ := pkg.Info.Defs[decl.Name].(*types.Func)
-				note(decl.Doc, func(verb, arg string, pos token.Pos) bool {
+				note(decl.Doc, func(verb, paren, arg string, pos token.Pos) bool {
 					if fn == nil {
 						return false
 					}
-					switch verb {
-					case "mutator":
-						d.mutators[funcKey(fn)] = true
-					case "trusted":
-						d.trustedFuncs[funcKey(fn)] = true
-					case "fsyncsafe":
-						if arg == "" {
-							report(pos, "//provrpq:fsyncsafe requires a reason")
-						}
-						d.fsyncsafe[funcKey(fn)] = arg
-					default:
-						return fileScope(verb)
-					}
-					return true
+					return funcApply(funcKey(fn))(verb, paren, arg, pos)
 				})
 			case *ast.GenDecl:
 				for _, spec := range decl.Specs {
-					ts, ok := spec.(*ast.TypeSpec)
-					if !ok {
-						continue
-					}
-					tn, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
-					apply := func(verb, arg string, pos token.Pos) bool {
-						if tn == nil {
-							return false
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						tn, _ := pkg.Info.Defs[spec.Name].(*types.TypeName)
+						apply := func(verb, paren, arg string, pos token.Pos) bool {
+							if tn == nil {
+								return false
+							}
+							switch verb {
+							case "immutable":
+								d.immutableTypes[typeKey(tn)] = true
+							case "trusted":
+								d.trustedTypes[typeKey(tn)] = true
+							default:
+								return fileScope(verb)
+							}
+							return true
 						}
-						switch verb {
-						case "immutable":
-							d.immutableTypes[typeKey(tn)] = true
-						case "trusted":
-							d.trustedTypes[typeKey(tn)] = true
-						default:
-							return fileScope(verb)
+						note(spec.Doc, apply)
+						if len(decl.Specs) == 1 {
+							note(decl.Doc, apply)
 						}
-						return true
-					}
-					note(ts.Doc, apply)
-					if len(decl.Specs) == 1 {
-						note(decl.Doc, apply)
+						switch t := spec.Type.(type) {
+						case *ast.StructType:
+							// Mutex fields carry //provrpq:lockrank.
+							for _, field := range t.Fields.List {
+								field := field
+								apply := func(verb, paren, arg string, pos token.Pos) bool {
+									if verb != "lockrank" || tn == nil {
+										return fileScope(verb)
+									}
+									for _, name := range field.Names {
+										d.addLockRank(typeKey(tn)+"."+name.Name, arg, pos, report)
+									}
+									return true
+								}
+								note(field.Doc, apply)
+								note(field.Comment, apply)
+							}
+						case *ast.InterfaceType:
+							// Interface methods carry locks(...)/
+							// excludes(...) boundary summaries.
+							for _, m := range t.Methods.List {
+								if len(m.Names) != 1 {
+									continue
+								}
+								fn, _ := pkg.Info.Defs[m.Names[0]].(*types.Func)
+								apply := func(verb, paren, arg string, pos token.Pos) bool {
+									if fn == nil {
+										return false
+									}
+									switch verb {
+									case "locks", "excludes":
+										d.addLockSummaries(verb, funcKey(fn), paren, pos, report)
+										return true
+									}
+									return fileScope(verb)
+								}
+								note(m.Doc, apply)
+								note(m.Comment, apply)
+							}
+						}
+					case *ast.ValueSpec:
+						// Package-level mutex vars carry lockrank.
+						if decl.Tok != token.VAR {
+							continue
+						}
+						apply := func(verb, paren, arg string, pos token.Pos) bool {
+							if verb != "lockrank" {
+								return fileScope(verb)
+							}
+							for _, name := range spec.Names {
+								d.addLockRank(pkg.Pkg.Path()+"."+name.Name, arg, pos, report)
+							}
+							return true
+						}
+						note(spec.Doc, apply)
+						if len(decl.Specs) == 1 {
+							note(decl.Doc, apply)
+						}
 					}
 				}
 			}
@@ -277,7 +512,7 @@ func (d *Directives) collect(pkg *Package, report func(token.Pos, string, ...any
 				continue
 			}
 			for _, line := range directiveLines(g) {
-				verb, _, _ := strings.Cut(line, " ")
+				verb, _, _ := splitDirective(line)
 				fileScope(verb) // other verbs were (or will be) handled via decls
 			}
 		}
@@ -291,6 +526,7 @@ type Suite struct{ Analyzers []*Analyzer }
 func DefaultSuite() *Suite {
 	return &Suite{Analyzers: []*Analyzer{
 		ImmutableAnalyzer, CowAliasAnalyzer, AtomicMixAnalyzer, FsyncOrderAnalyzer, ErrSentinelAnalyzer,
+		LockOrderAnalyzer, GoroutineLeakAnalyzer, CtxFlowAnalyzer,
 	}}
 }
 
@@ -305,13 +541,14 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 		p := &Pass{Analyzer: meta, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info, diags: &diags}
 		dirs.collect(pkg, p.Reportf)
 	}
+	facts := &Facts{Pkgs: pkgs, Dirs: dirs}
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg, func(pos token.Pos, format string, args ...any) {
 			diags = append(diags, Diagnostic{Pos: pkg.Fset.Position(pos), Analyzer: "provlint", Message: fmt.Sprintf(format, args...)})
 		})
 		var pkgDiags []Diagnostic
 		for _, a := range s.Analyzers {
-			p := &Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info, Dirs: dirs, diags: &pkgDiags}
+			p := &Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info, Dirs: dirs, Facts: facts, diags: &pkgDiags}
 			a.Run(p)
 		}
 		for _, d := range pkgDiags {

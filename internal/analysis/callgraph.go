@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Facts is the whole-module view behind the interprocedural analyzers:
+// every loaded package, the shared directive table, and memo slots the
+// cross-package fixpoints are computed into exactly once per Suite.Run.
+type Facts struct {
+	Pkgs []*Package
+	Dirs *Directives
+
+	funcs map[string]*FnDecl
+	memos map[string]map[*types.Package][]Diagnostic
+}
+
+// FnDecl is one declared function with a body, addressable by its stable
+// function key — the call graph's node set.
+type FnDecl struct {
+	Key  string
+	Obj  *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// Funcs returns the module's declared functions keyed by funcKey. Built
+// once; every interprocedural analyzer walks call edges through it.
+func (f *Facts) Funcs() map[string]*FnDecl {
+	if f.funcs != nil {
+		return f.funcs
+	}
+	f.funcs = map[string]*FnDecl{}
+	for _, pkg := range f.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				f.funcs[funcKey(fn)] = &FnDecl{Key: funcKey(fn), Obj: fn, Pkg: pkg, Decl: fd}
+			}
+		}
+	}
+	return f.funcs
+}
+
+// pkgForPos finds the loaded package whose files contain pos (all loaded
+// packages share one FileSet, so positions are globally comparable).
+func (f *Facts) pkgForPos(pos token.Pos) *Package {
+	for _, pkg := range f.Pkgs {
+		for _, file := range pkg.Files {
+			if file.FileStart <= pos && pos <= file.FileEnd {
+				return pkg
+			}
+		}
+	}
+	return nil
+}
+
+// Interprocedural runs compute once per Suite.Run (memoized under the
+// pass's analyzer name) and replays the diagnostics belonging to the
+// pass's package. compute reports through a package-qualified callback so
+// each finding lands in the per-package pass that owns its file (and is
+// therefore subject to that package's //provlint:ignore suppressions).
+func (pass *Pass) Interprocedural(compute func(f *Facts, report func(pkg *Package, pos token.Pos, format string, args ...any))) {
+	f := pass.Facts
+	if f == nil { // defensive: a hand-built Pass outside Suite.Run
+		return
+	}
+	name := pass.Analyzer.Name
+	if f.memos == nil {
+		f.memos = map[string]map[*types.Package][]Diagnostic{}
+	}
+	byPkg, ok := f.memos[name]
+	if !ok {
+		byPkg = map[*types.Package][]Diagnostic{}
+		compute(f, func(pkg *Package, pos token.Pos, format string, args ...any) {
+			byPkg[pkg.Pkg] = append(byPkg[pkg.Pkg], Diagnostic{
+				Pos:      pkg.Fset.Position(pos),
+				Analyzer: name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		})
+		f.memos[name] = byPkg
+	}
+	*pass.diags = append(*pass.diags, byPkg[pass.Pkg]...)
+}
+
+// staticCallee resolves a call expression to the called function object:
+// plain identifiers, package-qualified names, and method selections all
+// resolve through Uses. Interface method calls resolve to the interface
+// method's object — which has no body, so the call graph stops there and
+// the //provrpq:locks(...)/excludes(...) boundary summaries take over.
+// Conversions and calls through function-typed variables return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	tn := namedTypeName(t)
+	return tn != nil && tn.Pkg() != nil && tn.Pkg().Path() == "context" && tn.Name() == "Context"
+}

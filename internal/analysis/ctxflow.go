@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlowAnalyzer enforces the module's context-propagation contract:
+// context.Background()/TODO() are minted only in main, init, tests, and
+// //provrpq:ctxroot functions; and a function that receives a ctx must
+// hand it (or a context derived from it) to every callee that accepts
+// one — passing a fresh root or an unrelated context severs deadline and
+// cancellation propagation. Root-minting is tracked through the call
+// graph: a helper that merely returns context.Background() is a root
+// factory, and passing its result while holding an incoming ctx is
+// flagged at the call site even when the factory lives elsewhere.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context roots are confined to main/tests/ctxroot functions; incoming ctx flows to every ctx-accepting callee",
+	Run:  func(pass *Pass) { pass.Interprocedural(runCtxFlow) },
+}
+
+func runCtxFlow(f *Facts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	factories := rootFactories(f)
+	for _, pkg := range f.Pkgs {
+		for _, file := range pkg.Files {
+			inTest := strings.HasSuffix(pkg.Fset.Position(file.FileStart).Filename, "_test.go")
+			for _, decl := range file.Decls {
+				switch decl := decl.(type) {
+				case *ast.FuncDecl:
+					if decl.Body == nil {
+						continue
+					}
+					fn, _ := pkg.Info.Defs[decl.Name].(*types.Func)
+					allowed := inTest || rootAllowed(pkg, decl, fn, f.Dirs)
+					if !allowed {
+						reportRootMints(pkg, decl.Body, report)
+					}
+					checkCtxPropagation(pkg, decl, factories, report)
+				case *ast.GenDecl:
+					// Package-level `var ctx = context.Background()` is a
+					// root no annotation can bless.
+					if decl.Tok != token.VAR || inTest {
+						continue
+					}
+					for _, spec := range decl.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, v := range vs.Values {
+								reportRootMints(pkg, v, report)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func rootAllowed(pkg *Package, decl *ast.FuncDecl, fn *types.Func, dirs *Directives) bool {
+	if decl.Name.Name == "init" && decl.Recv == nil {
+		return true
+	}
+	if decl.Name.Name == "main" && pkg.Pkg.Name() == "main" {
+		return true
+	}
+	return dirs.CtxRoot(fn)
+}
+
+// rootMintName identifies direct context.Background()/TODO() calls.
+func rootMintName(info *types.Info, call *ast.CallExpr) string {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return "context." + fn.Name() + "()"
+	}
+	return ""
+}
+
+func reportRootMints(pkg *Package, root ast.Node, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name := rootMintName(pkg.Info, call); name != "" {
+				report(pkg, call.Pos(), "%s is confined to main, init, tests, and //provrpq:ctxroot functions; thread a ctx parameter instead or annotate the function", name)
+			}
+		}
+		return true
+	})
+}
+
+// rootFactories computes, to a fixpoint over the call graph, the set of
+// declared functions that return a fresh root context (directly or by
+// returning another factory's result).
+func rootFactories(f *Facts) map[string]bool {
+	factories := map[string]bool{}
+	isFactoryCall := func(pkg *Package, call *ast.CallExpr) bool {
+		if rootMintName(pkg.Info, call) != "" {
+			return true
+		}
+		fn := staticCallee(pkg.Info, call)
+		return fn != nil && factories[funcKey(fn)]
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, fn := range f.Funcs() {
+			if factories[key] {
+				continue
+			}
+			returns := false
+			ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+				if ret, ok := n.(*ast.ReturnStmt); ok {
+					for _, res := range ret.Results {
+						if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isFactoryCall(fn.Pkg, call) {
+							returns = true
+						}
+					}
+				}
+				return !returns
+			})
+			if returns {
+				factories[key] = true
+				changed = true
+			}
+		}
+	}
+	return factories
+}
+
+// checkCtxPropagation walks one declared function: wherever a ctx
+// parameter is in scope, every argument at a context.Context parameter
+// position of a call must be that ctx or one derived from it.
+func checkCtxPropagation(pkg *Package, decl *ast.FuncDecl, factories map[string]bool, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	derived := map[types.Object]bool{}
+	addCtxParams := func(ft *ast.FuncType) bool {
+		any := false
+		if ft.Params == nil {
+			return false
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+					derived[obj] = true
+					any = true
+				}
+			}
+		}
+		return any
+	}
+	hasCtx := addCtxParams(decl.Type)
+	// Fixpoint over assignments: a variable assigned from a derived
+	// expression (ctx itself, context.WithX(ctx, ...), req.Context())
+	// is derived too.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				addCtxParams(n.Type)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pkg.Info.Defs[id]
+					if obj == nil {
+						obj = pkg.Info.Uses[id]
+					}
+					if obj == nil || derived[obj] || !isContextType(obj.Type()) {
+						continue
+					}
+					var rhs ast.Expr
+					if len(n.Lhs) == len(n.Rhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if rhs != nil && derivedExpr(pkg.Info, rhs, derived) {
+						derived[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var walk func(n ast.Node, hasCtx bool)
+	walk = func(n ast.Node, hasCtx bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				walk(n.Body, hasCtx || addCtxParams(n.Type))
+				return false
+			case *ast.CallExpr:
+				if hasCtx {
+					checkCallArgs(pkg, n, derived, factories, report)
+				}
+			}
+			return true
+		})
+	}
+	walk(decl.Body, hasCtx)
+}
+
+// derivedExpr reports whether e evaluates to a context derived from an
+// in-scope ctx: the ctx itself, any call consuming a derived context
+// (context.WithCancel and friends), or a request-scoped Context()
+// accessor.
+func derivedExpr(info *types.Info, e ast.Expr, derived map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return derived[info.Uses[e]]
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			if derivedExpr(info, a, derived) {
+				return true
+			}
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" && len(e.Args) == 0 {
+			return true // req.Context() and friends are request-derived
+		}
+	}
+	return false
+}
+
+// checkCallArgs verifies every context.Context argument of one call.
+func checkCallArgs(pkg *Package, call *ast.CallExpr, derived map[types.Object]bool, factories map[string]bool, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	callee := "a context-accepting callee"
+	if fn := staticCallee(pkg.Info, call); fn != nil {
+		callee = funcKey(fn)
+	}
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			break
+		}
+		if !isContextType(sig.Params().At(i).Type()) {
+			continue
+		}
+		arg := call.Args[i]
+		if derivedExpr(pkg.Info, arg, derived) {
+			continue
+		}
+		if argCall, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+			if rootMintName(pkg.Info, argCall) != "" {
+				continue // the direct-mint rule already reports it
+			}
+			if fn := staticCallee(pkg.Info, argCall); fn != nil && factories[funcKey(fn)] {
+				report(pkg, arg.Pos(), "receives a ctx but passes a fresh root context (via %s) to %s; derive from the incoming ctx instead", funcKey(fn), callee)
+				continue
+			}
+		}
+		report(pkg, arg.Pos(), "receives a ctx but passes a non-derived context to %s; pass the incoming ctx or one derived from it", callee)
+	}
+}

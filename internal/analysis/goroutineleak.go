@@ -1,0 +1,364 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLeakAnalyzer checks that every `go` statement has a bounded
+// exit: its body must not loop forever without a return or break (the
+// usual bounded shapes — a ctx.Done()/done-channel select case that
+// returns, a closed-channel range, plain bounded work — all pass), a
+// blocking net/http serve call inside a goroutine must not discard its
+// error (the listener could then never be joined), and a goroutine
+// sending on an unbuffered channel the spawner never receives from is
+// flagged as blocked forever. `go someFunc()` spawns are checked through
+// the call graph, so a leak inside a named worker in another package is
+// still reported at the spawn site. Intentionally unbounded goroutines
+// are annotated //provrpq:detached <reason> — on the go statement's line
+// (or the line above), or on the spawned/spawning function.
+var GoroutineLeakAnalyzer = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "every go statement has a bounded exit or a //provrpq:detached <reason> annotation",
+	Run:  func(pass *Pass) { pass.Interprocedural(runGoroutineLeak) },
+}
+
+func runGoroutineLeak(f *Facts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	funcs := f.Funcs()
+	for _, pkg := range f.Pkgs {
+		for _, file := range pkg.Files {
+			detachedLines := collectDetachedLines(pkg, file, report)
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				encl, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					line := pkg.Fset.Position(g.Pos()).Line
+					if detachedLines[line] || f.Dirs.Detached(encl) {
+						return true
+					}
+					checkGoStmt(f, pkg, fd, g, funcs, report)
+					return true
+				})
+			}
+		}
+	}
+}
+
+// collectDetachedLines scans a file for free-standing
+// //provrpq:detached comments and returns the go-statement lines they
+// cover (the comment's own line for trailing comments, the line below
+// for comments above the statement). A detached comment with no reason
+// is itself a finding — and does not suppress.
+func collectDetachedLines(pkg *Package, file *ast.File, report func(pkg *Package, pos token.Pos, format string, args ...any)) map[int]bool {
+	docs := map[*ast.CommentGroup]bool{}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+			docs[fd.Doc] = true
+		}
+	}
+	lines := map[int]bool{}
+	for _, g := range file.Comments {
+		for _, c := range g.List {
+			rest, ok := strings.CutPrefix(c.Text, "//provrpq:detached")
+			if !ok {
+				continue
+			}
+			if strings.TrimSpace(rest) == "" {
+				// Misplaced-or-empty doc-comment cases are already
+				// reported by the directive collector. Anchor at the
+				// group, matching the collector's convention.
+				if !docs[g] {
+					report(pkg, g.Pos(), "//provrpq:detached requires a reason")
+				}
+				continue
+			}
+			line := pkg.Fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}
+
+func checkGoStmt(f *Facts, pkg *Package, encl *ast.FuncDecl, g *ast.GoStmt, funcs map[string]*FnDecl, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		for _, pos := range unboundedLoops(lit.Body) {
+			_ = pos
+			report(pkg, g.Pos(), "spawned goroutine loops forever without return or break; select on a done channel or annotate //provrpq:detached <reason>")
+			break // one finding per goroutine is enough
+		}
+		checkDiscardedServe(pkg, lit.Body, report)
+		checkUnreceivedSends(pkg, encl, g, lit.Body, report)
+		return
+	}
+	// Named spawn: follow the call edge and check the target's body.
+	fn := staticCallee(pkg.Info, g.Call)
+	if fn == nil {
+		return
+	}
+	if f.Dirs.Detached(fn) {
+		return
+	}
+	target := funcs[funcKey(fn)]
+	if target == nil {
+		return
+	}
+	if len(unboundedLoops(target.Decl.Body)) > 0 {
+		report(pkg, g.Pos(), "goroutine %s loops forever without return or break; annotate it //provrpq:detached <reason> if intentional", funcKey(fn))
+	}
+}
+
+// unboundedLoops returns the positions of `for { ... }` loops with no
+// condition and no way out (no return, no break binding to the loop, no
+// panic). Nested function literals are separate goroutine-less scopes
+// and are skipped.
+func unboundedLoops(body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !stmtHasExit(n.Body, true) {
+				out = append(out, n.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// stmtHasExit reports whether s can leave the enclosing loop: a return,
+// a panic, a labeled break, or — when breakBinds (s is directly inside
+// the loop rather than a nested loop/switch/select, where an unlabeled
+// break binds to the inner construct) — a plain break.
+func stmtHasExit(s ast.Stmt, breakBinds bool) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK && (breakBinds || s.Label != nil)
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if stmtHasExit(st, breakBinds) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if stmtHasExit(s.Body, breakBinds) {
+			return true
+		}
+		if s.Else != nil {
+			return stmtHasExit(s.Else, breakBinds)
+		}
+	case *ast.LabeledStmt:
+		return stmtHasExit(s.Stmt, breakBinds)
+	case *ast.SwitchStmt:
+		return clauseBodiesHaveExit(s.Body)
+	case *ast.TypeSwitchStmt:
+		return clauseBodiesHaveExit(s.Body)
+	case *ast.SelectStmt:
+		return clauseBodiesHaveExit(s.Body)
+	case *ast.ForStmt:
+		return stmtHasExit(s.Body, false)
+	case *ast.RangeStmt:
+		return stmtHasExit(s.Body, false)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func clauseBodiesHaveExit(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		for _, st := range stmts {
+			if stmtHasExit(st, false) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkDiscardedServe flags blocking net/http serve calls inside a
+// goroutine whose error result is thrown away: nothing can ever join
+// the goroutine or learn the listener died.
+func checkDiscardedServe(pkg *Package, body *ast.BlockStmt, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name := blockingServeName(pkg.Info, call); name != "" {
+					report(pkg, call.Pos(), "%s blocks until the listener closes but its error is discarded; receive it on a channel so the goroutine can be joined, or annotate //provrpq:detached <reason>", name)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 || !allBlank(n.Lhs) {
+				return true
+			}
+			if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+				if name := blockingServeName(pkg.Info, call); name != "" {
+					report(pkg, call.Pos(), "%s blocks until the listener closes but its error is discarded; receive it on a channel so the goroutine can be joined, or annotate //provrpq:detached <reason>", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// blockingServeName recognizes the net/http entry points that block
+// until their listener closes.
+func blockingServeName(info *types.Info, call *ast.CallExpr) string {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Serve", "ServeTLS", "ListenAndServe", "ListenAndServeTLS":
+	default:
+		return ""
+	}
+	if fn.Signature().Recv() != nil {
+		return "(*http.Server)." + fn.Name()
+	}
+	return "http." + fn.Name()
+}
+
+// checkUnreceivedSends flags sends on unbuffered channels that the
+// spawning function creates but never receives from or otherwise uses —
+// the goroutine blocks on the send forever.
+func checkUnreceivedSends(pkg *Package, encl *ast.FuncDecl, g *ast.GoStmt, body *ast.BlockStmt, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(send.Chan).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		ch, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if !unbufferedMakeOf(pkg, encl.Body, ch) {
+			return true
+		}
+		if usedOutsideGoStmt(pkg, encl.Body, g, ch) {
+			return true
+		}
+		report(pkg, send.Pos(), "goroutine sends on unbuffered channel %q but %s never receives from it; the send blocks forever", ch.Name(), encl.Name.Name)
+		return true
+	})
+}
+
+// unbufferedMakeOf reports whether ch is defined in scope by a one-arg
+// make(chan T) — a channel the spawner owns and that has no slack.
+func unbufferedMakeOf(pkg *Package, scope *ast.BlockStmt, ch *types.Var) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pkg.Info.Defs[id] != ch {
+			return true
+		}
+		call, ok := defValue(pkg, scope, id).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if b, ok := pkg.Info.Uses[callFunIdent(call)].(*types.Builtin); ok && b.Name() == "make" && len(call.Args) == 1 {
+			if t := pkg.Info.Types[call].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// defValue finds the expression assigned to the defining occurrence id
+// (a := or var initializer), or nil.
+func defValue(pkg *Package, scope *ast.BlockStmt, id *ast.Ident) ast.Expr {
+	var out ast.Expr
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if lhs == id && i < len(n.Rhs) {
+					out = n.Rhs[i]
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if name == id && i < len(n.Values) {
+					out = n.Values[i]
+				}
+			}
+		}
+		return out == nil
+	})
+	return out
+}
+
+func callFunIdent(call *ast.CallExpr) *ast.Ident {
+	id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+	return id
+}
+
+// usedOutsideGoStmt reports whether ch appears anywhere in the spawning
+// function outside the go statement itself — a receive, a select case,
+// or being passed along all count as the owner taking responsibility.
+func usedOutsideGoStmt(pkg *Package, scope *ast.BlockStmt, g *ast.GoStmt, ch *types.Var) bool {
+	used := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkg.Info.Uses[id] != ch {
+			return true
+		}
+		if id.Pos() >= g.Pos() && id.End() <= g.End() {
+			return true // inside the go statement under scrutiny
+		}
+		used = true
+		return false
+	})
+	return used
+}

@@ -12,11 +12,12 @@ import (
 // Suite pipeline (directive collection, suppressions, dedupe included),
 // and matches every diagnostic against `// want "regex"` comments on the
 // same line. A line may carry several quoted regexes when it produces
-// several diagnostics.
+// several diagnostics; back-quoted patterns avoid double-escaping
+// metacharacters.
 
 var (
 	wantRE   = regexp.MustCompile(`//\s*want\s+(.*)`)
-	quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+	quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 )
 
 type expectation struct {

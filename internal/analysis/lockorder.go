@@ -1,0 +1,661 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer checks the module's declared lock hierarchy: every
+// //provrpq:lockrank mutex must be acquired in strictly increasing rank
+// order (equal ranks never nest), and no goroutine may re-acquire a lock
+// it already holds. Held-lock sets are propagated over the static call
+// graph to a fixpoint, so a violation is flagged even when the outer
+// acquisition lives in a different function — or a different package —
+// than the inner one. //provrpq:locks(...) and //provrpq:excludes(...)
+// summaries extend the check across boundaries the call graph cannot see
+// through (interface methods, function values).
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "ranked mutexes are acquired in strictly increasing //provrpq:lockrank order, never re-acquired",
+	Run:  func(pass *Pass) { pass.Interprocedural(runLockOrder) },
+}
+
+// heldSet maps a held lock's declared name to how it came to be held:
+// the empty string for locks acquired in the current function, or a
+// caller-chain witness for locks inherited through the call graph.
+type heldSet map[string]string
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func (h heldSet) union(other heldSet) {
+	for k, v := range other {
+		if _, ok := h[k]; !ok {
+			h[k] = v
+		}
+	}
+}
+
+// acqSite is one lock acquisition (or //provrpq:locks summary applied at
+// a call site); callSite is one static call edge. Both carry the set of
+// locks locally held at the site and whether the enclosing function's
+// entry set applies (it does not inside `go` literals — a spawned
+// goroutine starts with no inherited locks).
+type acqSite struct {
+	lock    *LockDecl
+	held    heldSet
+	entry   bool // enclosing function's entry locks also held here
+	try     bool // TryLock: cannot self-deadlock, still rank-checked
+	pos     token.Pos
+	viaCall string // non-empty: a locks(...) summary applied at a call to this key
+}
+
+type callSite struct {
+	callee string
+	held   heldSet
+	entry  bool
+	pos    token.Pos
+}
+
+type fnSummary struct {
+	key   string
+	pkg   *Package
+	acqs  map[token.Pos]*acqSite
+	calls map[token.Pos]*callSite
+}
+
+// runLockOrder summarizes every function, propagates entry lock-sets to
+// a fixpoint, then checks each acquisition and call-site summary.
+func runLockOrder(f *Facts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	computeLockOrder(f, report, nil)
+}
+
+func computeLockOrder(f *Facts, report func(pkg *Package, pos token.Pos, format string, args ...any), edges map[[2]string]bool) {
+	dirs := f.Dirs
+	if len(dirs.lockByName) == 0 {
+		return
+	}
+	validateLockAnns(f, report)
+
+	sums := map[string]*fnSummary{}
+	keys := make([]string, 0, len(f.Funcs()))
+	for key, fn := range f.Funcs() {
+		sums[key] = summarizeLocks(fn, dirs)
+		keys = append(keys, key)
+	}
+	sort.Strings(keys) // deterministic fixpoint order and reporting
+
+	// Fixpoint: the locks possibly held on entry to each function are the
+	// union, over all call sites, of the caller's local held set plus the
+	// caller's own entry set (unless the call sits inside a go literal).
+	entry := map[string]heldSet{}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range keys {
+			sum := sums[key]
+			for _, c := range sortedCalls(sum) {
+				if sums[c.callee] == nil {
+					continue // no body loaded: summaries handle it below
+				}
+				eff := effectiveHeld(sum, c.held, c.entry, entry)
+				for name := range eff {
+					tgt := entry[c.callee]
+					if tgt == nil {
+						tgt = heldSet{}
+						entry[c.callee] = tgt
+					}
+					if _, ok := tgt[name]; !ok {
+						tgt[name] = fmt.Sprintf("held on entry from %s (%s)", key, sum.pkg.Fset.Position(c.pos))
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, key := range keys {
+		sum := sums[key]
+		// Direct acquisitions, plus locks(...) summaries applied at call
+		// sites as if the callee acquired (and released) the lock there.
+		acqs := sortedAcqs(sum)
+		for _, c := range sortedCalls(sum) {
+			for _, ann := range dirs.funcLocks[c.callee] {
+				if decl := dirs.LockByName(ann.Name); decl != nil {
+					acqs = append(acqs, &acqSite{lock: decl, held: c.held, entry: c.entry, pos: c.pos, viaCall: c.callee})
+				}
+			}
+		}
+		for _, a := range acqs {
+			eff := effectiveHeld(sum, a.held, a.entry, entry)
+			what := fmt.Sprintf("acquiring %s (rank %d)", a.lock.Name, a.lock.Rank)
+			if a.viaCall != "" {
+				what = fmt.Sprintf("calling %s, which locks %s (rank %d),", a.viaCall, a.lock.Name, a.lock.Rank)
+			}
+			for _, name := range sortedNames(eff) {
+				if edges != nil {
+					edges[[2]string{name, a.lock.Name}] = true
+				}
+				if name == a.lock.Name {
+					if !a.try {
+						report(sum.pkg, a.pos, "%s while it is already held%s: self-deadlock", what, witness(eff[name]))
+					}
+					continue
+				}
+				held := dirs.LockByName(name)
+				if held != nil && held.Rank >= a.lock.Rank {
+					report(sum.pkg, a.pos, "%s while %s (rank %d) is held%s: lock ranks must strictly increase",
+						what, name, held.Rank, witness(eff[name]))
+				}
+			}
+		}
+		// excludes(...) summaries: the callee must never run with the
+		// named lock held.
+		for _, c := range sortedCalls(sum) {
+			eff := effectiveHeld(sum, c.held, c.entry, entry)
+			for _, ann := range dirs.funcExcludes[c.callee] {
+				if w, ok := eff[ann.Name]; ok {
+					report(sum.pkg, c.pos, "calling %s while %s is held%s, but the callee declares excludes(%s)",
+						c.callee, ann.Name, witness(w), ann.Name)
+				}
+			}
+		}
+	}
+}
+
+// validateLockAnns reports locks(...)/excludes(...) entries naming locks
+// that no //provrpq:lockrank declares.
+func validateLockAnns(f *Facts, report func(pkg *Package, pos token.Pos, format string, args ...any)) {
+	for verb, tbl := range map[string]map[string][]LockAnn{"locks": f.Dirs.funcLocks, "excludes": f.Dirs.funcExcludes} {
+		for _, anns := range tbl {
+			for _, ann := range anns {
+				if f.Dirs.LockByName(ann.Name) == nil {
+					if pkg := f.pkgForPos(ann.Pos); pkg != nil {
+						report(pkg, ann.Pos, "//provrpq:%s(%s) names a lock with no //provrpq:lockrank declaration", verb, ann.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func effectiveHeld(sum *fnSummary, held heldSet, withEntry bool, entry map[string]heldSet) heldSet {
+	eff := held.clone()
+	if withEntry {
+		eff.union(entry[sum.key])
+	}
+	return eff
+}
+
+func witness(w string) string {
+	if w == "" {
+		return ""
+	}
+	return " (" + w + ")"
+}
+
+func sortedNames(h heldSet) []string {
+	out := make([]string, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedAcqs(sum *fnSummary) []*acqSite {
+	out := make([]*acqSite, 0, len(sum.acqs))
+	for _, a := range sum.acqs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+func sortedCalls(sum *fnSummary) []*callSite {
+	out := make([]*callSite, 0, len(sum.calls))
+	for _, c := range sum.calls {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// lockWalker computes one function's summary with a possibly-held
+// forward walk: branches fork a copy of the held set and the join takes
+// the union of every branch that can fall through; loops are walked
+// twice so locks held across an iteration are seen by the next one.
+type lockWalker struct {
+	dirs   *Directives
+	pkg    *Package
+	sum    *fnSummary
+	locals map[types.Object]string // local var -> declared lock name
+}
+
+func summarizeLocks(fn *FnDecl, dirs *Directives) *fnSummary {
+	sum := &fnSummary{key: fn.Key, pkg: fn.Pkg, acqs: map[token.Pos]*acqSite{}, calls: map[token.Pos]*callSite{}}
+	w := &lockWalker{dirs: dirs, pkg: fn.Pkg, sum: sum, locals: map[types.Object]string{}}
+	w.stmt(fn.Decl.Body, heldSet{}, true)
+	return sum
+}
+
+// recordAcq merges events by position (the loop double-walk revisits
+// sites; the union of held sets is the sound merge).
+func (w *lockWalker) recordAcq(decl *LockDecl, held heldSet, entry, try bool, pos token.Pos) {
+	if a := w.sum.acqs[pos]; a != nil {
+		a.held.union(held)
+		return
+	}
+	w.sum.acqs[pos] = &acqSite{lock: decl, held: held.clone(), entry: entry, try: try, pos: pos}
+}
+
+func (w *lockWalker) recordCall(callee string, held heldSet, entry bool, pos token.Pos) {
+	if c := w.sum.calls[pos]; c != nil {
+		c.held.union(held)
+		return
+	}
+	w.sum.calls[pos] = &callSite{callee: callee, held: held.clone(), entry: entry, pos: pos}
+}
+
+// stmt walks s mutating held in place; it reports whether s definitely
+// terminates the enclosing flow (return or panic), in which case held no
+// longer flows onward.
+func (w *lockWalker) stmt(s ast.Stmt, held heldSet, entry bool) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if w.stmt(st, held, entry) {
+				return true
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held, entry)
+		}
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanicCall(w.pkg.Info, call) {
+			w.expr(s.X, held, entry)
+			return true
+		}
+		w.expr(s.X, held, entry)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held, entry)
+		}
+		w.trackLocals(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held, entry)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init, held, entry)
+		w.expr(s.Cond, held, entry)
+		thenHeld := held.clone()
+		t1 := w.stmt(s.Body, thenHeld, entry)
+		elseHeld := held.clone()
+		t2 := false
+		if s.Else != nil {
+			t2 = w.stmt(s.Else, elseHeld, entry)
+		}
+		merged := heldSet{}
+		if !t1 {
+			merged.union(thenHeld)
+		}
+		if s.Else != nil {
+			if !t2 {
+				merged.union(elseHeld)
+			}
+		} else {
+			merged.union(held)
+		}
+		replace(held, merged)
+		return t1 && t2 && s.Else != nil
+	case *ast.ForStmt:
+		w.stmt(s.Init, held, entry)
+		w.expr(s.Cond, held, entry)
+		w.loopBody(func(h heldSet) { w.stmt(s.Body, h, entry); w.stmt(s.Post, h, entry) }, held)
+	case *ast.RangeStmt:
+		w.expr(s.X, held, entry)
+		w.loopBody(func(h heldSet) { w.stmt(s.Body, h, entry) }, held)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held, entry)
+		w.expr(s.Tag, held, entry)
+		w.branches(caseBodies(s.Body), held, entry)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held, entry)
+		w.stmt(s.Assign, held, entry)
+		w.branches(caseBodies(s.Body), held, entry)
+	case *ast.SelectStmt:
+		var bodies [][]ast.Stmt
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, held, entry)
+			}
+			bodies = append(bodies, cc.Body)
+		}
+		w.branches(bodies, held, entry)
+	case *ast.DeferStmt:
+		w.deferCall(s.Call, held, entry)
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held, entry)
+		}
+		// A spawned goroutine starts with an empty held set, and the
+		// enclosing function's entry locks do not transfer either.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.stmt(lit.Body, heldSet{}, false)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, held, entry)
+		w.expr(s.Value, held, entry)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held, entry)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held, entry)
+	case *ast.BranchStmt:
+		// break/continue/goto: approximated as falling through.
+	}
+	return false
+}
+
+// loopBody walks a loop body twice: the second pass starts from the
+// union of the pre-loop state and the first pass's exit state, so a lock
+// held across the back edge is seen by the next iteration (catching
+// `for { mu.Lock() }` self-deadlocks).
+func (w *lockWalker) loopBody(body func(heldSet), held heldSet) {
+	first := held.clone()
+	body(first)
+	carried := held.clone()
+	carried.union(first)
+	second := carried.clone()
+	body(second)
+	held.union(first)
+	held.union(second)
+}
+
+func (w *lockWalker) branches(bodies [][]ast.Stmt, held heldSet, entry bool) {
+	merged := held.clone()
+	for _, b := range bodies {
+		bh := held.clone()
+		terminated := false
+		for _, st := range b {
+			if w.stmt(st, bh, entry) {
+				terminated = true
+				break
+			}
+		}
+		if !terminated {
+			merged.union(bh)
+		}
+	}
+	replace(held, merged)
+}
+
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		out = append(out, c.(*ast.CaseClause).Body)
+	}
+	return out
+}
+
+// deferCall handles `defer`: a deferred Unlock keeps the lock held for
+// the rest of the function (the common Lock/defer-Unlock pairing), a
+// deferred literal runs at exit with approximately the current held set,
+// and a deferred named call is a call edge like any other.
+func (w *lockWalker) deferCall(call *ast.CallExpr, held heldSet, entry bool) {
+	for _, arg := range call.Args {
+		w.expr(arg, held, entry)
+	}
+	if op, _ := w.lockOp(call); op == lockRelease {
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.stmt(lit.Body, held.clone(), entry)
+		return
+	}
+	w.callEvent(call, held, entry)
+}
+
+type lockOpKind int
+
+const (
+	lockNone lockOpKind = iota
+	lockAcquire
+	lockTryAcquire
+	lockRelease
+)
+
+// lockOp classifies call as a sync.Mutex/RWMutex operation on a ranked
+// lock, returning the declaration it resolves to.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (lockOpKind, *LockDecl) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockNone, nil
+	}
+	fn, _ := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockNone, nil
+	}
+	var kind lockOpKind
+	switch fn.Name() {
+	case "Lock", "RLock":
+		kind = lockAcquire
+	case "TryLock", "TryRLock":
+		kind = lockTryAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return lockNone, nil
+	}
+	return kind, w.resolveLock(sel.X)
+}
+
+// resolveLock maps a mutex-valued expression to its //provrpq:lockrank
+// declaration: a struct field, a package-level var, a ranked getter
+// call, or a local variable previously assigned from one of those.
+func (w *lockWalker) resolveLock(expr ast.Expr) *LockDecl {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := w.pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if tn := namedTypeName(sel.Recv()); tn != nil {
+				return w.dirs.LockByKey(typeKey(tn) + "." + e.Sel.Name)
+			}
+			return nil
+		}
+		if v, ok := w.pkg.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return w.dirs.LockByKey(v.Pkg().Path() + "." + v.Name())
+		}
+	case *ast.Ident:
+		switch obj := w.pkg.Info.Uses[e].(type) {
+		case *types.Var:
+			if name, ok := w.locals[obj]; ok {
+				return w.dirs.LockByName(name)
+			}
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return w.dirs.LockByKey(obj.Pkg().Path() + "." + obj.Name())
+			}
+		}
+	case *ast.CallExpr:
+		if fn := staticCallee(w.pkg.Info, e); fn != nil {
+			return w.dirs.LockByKey(funcKey(fn))
+		}
+	case *ast.StarExpr:
+		return w.resolveLock(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return w.resolveLock(e.X)
+		}
+	}
+	return nil
+}
+
+// trackLocals records `mu := c.growLock(x)` / `mu := &c.persistMu`
+// style bindings so later mu.Lock() calls resolve to the ranked lock.
+func (w *lockWalker) trackLocals(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.pkg.Info.Defs[id]
+		if obj == nil {
+			obj = w.pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if decl := w.resolveLock(s.Rhs[i]); decl != nil {
+			w.locals[obj] = decl.Name
+		} else {
+			delete(w.locals, obj)
+		}
+	}
+}
+
+func (w *lockWalker) callEvent(call *ast.CallExpr, held heldSet, entry bool) {
+	if fn := staticCallee(w.pkg.Info, call); fn != nil {
+		w.recordCall(funcKey(fn), held, entry, call.Pos())
+	}
+}
+
+// expr scans an expression, handling lock operations, immediately
+// invoked and argument-passed function literals (walked inline: closure
+// arguments like once.Do run synchronously in the common case), and
+// static call edges.
+func (w *lockWalker) expr(e ast.Expr, held heldSet, entry bool) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		for _, arg := range e.Args {
+			w.expr(arg, held, entry)
+		}
+		if op, decl := w.lockOp(e); op != lockNone {
+			if decl == nil {
+				return // unranked mutex: out of scope
+			}
+			switch op {
+			case lockAcquire, lockTryAcquire:
+				w.recordAcq(decl, held, entry, op == lockTryAcquire, e.Pos())
+				held[decl.Name] = ""
+			case lockRelease:
+				delete(held, decl.Name)
+			}
+			return
+		}
+		if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+			w.stmt(lit.Body, held, entry)
+			return
+		}
+		w.expr(e.Fun, held, entry)
+		w.callEvent(e, held, entry)
+	case *ast.FuncLit:
+		w.stmt(e.Body, held, entry)
+	case *ast.ParenExpr:
+		w.expr(e.X, held, entry)
+	case *ast.SelectorExpr:
+		w.expr(e.X, held, entry)
+	case *ast.StarExpr:
+		w.expr(e.X, held, entry)
+	case *ast.UnaryExpr:
+		w.expr(e.X, held, entry)
+	case *ast.BinaryExpr:
+		w.expr(e.X, held, entry)
+		w.expr(e.Y, held, entry)
+	case *ast.IndexExpr:
+		w.expr(e.X, held, entry)
+		w.expr(e.Index, held, entry)
+	case *ast.IndexListExpr:
+		w.expr(e.X, held, entry)
+	case *ast.SliceExpr:
+		w.expr(e.X, held, entry)
+		w.expr(e.Low, held, entry)
+		w.expr(e.High, held, entry)
+		w.expr(e.Max, held, entry)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, held, entry)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, held, entry)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, held, entry)
+	}
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, _ := info.Uses[id].(*types.Builtin)
+	return b != nil && b.Name() == "panic"
+}
+
+func replace(dst, src heldSet) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// LockGraphDOT renders the declared lock hierarchy plus every observed
+// nesting edge (outer held while inner acquired) as a Graphviz digraph —
+// the artifact behind `provlint -lockgraph` and the README's
+// "Concurrency model" section.
+func LockGraphDOT(pkgs []*Package) string {
+	dirs := newDirectives()
+	for _, pkg := range pkgs {
+		dirs.collect(pkg, func(token.Pos, string, ...any) {})
+	}
+	f := &Facts{Pkgs: pkgs, Dirs: dirs}
+	edges := map[[2]string]bool{}
+	computeLockOrder(f, func(*Package, token.Pos, string, ...any) {}, edges)
+
+	var b strings.Builder
+	b.WriteString("digraph lockrank {\n")
+	b.WriteString("\trankdir=LR;\n")
+	b.WriteString("\tnode [shape=box, fontname=\"monospace\"];\n")
+	for _, d := range dirs.LockDecls() {
+		fmt.Fprintf(&b, "\t%q [label=\"%s\\nrank %d\\n%s\"];\n", d.Name, d.Name, d.Rank, d.Key)
+	}
+	keys := make([][2]string, 0, len(edges))
+	for e := range edges {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, e := range keys {
+		fmt.Fprintf(&b, "\t%q -> %q;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

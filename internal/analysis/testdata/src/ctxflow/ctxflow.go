@@ -1,0 +1,63 @@
+// Package ctxflow exercises the ctxflow analyzer: context roots are
+// minted only in main, init, tests, and //provrpq:ctxroot functions,
+// and a function that receives a ctx must hand it (or a derivation of
+// it) to every context-accepting callee. Root factories are tracked
+// through the call graph.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func process(ctx context.Context, n int) {}
+
+// Mint creates a root outside any blessed location.
+func Mint() context.Context {
+	return context.Background() // want `context\.Background\(\) is confined to main, init, tests, and //provrpq:ctxroot functions`
+}
+
+// bootCtx is a blessed boot-time helper: it may mint.
+//
+//provrpq:ctxroot boot-time wiring helper
+func bootCtx() context.Context { return context.Background() }
+
+// TodoPassed mints a TODO inline; the mint rule reports it once.
+func TodoPassed() {
+	process(context.TODO(), 1) // want `context\.TODO\(\) is confined to main, init, tests`
+}
+
+// Refresh receives a ctx but reaches for the boot root instead — the
+// factory lives behind a call edge, the finding lands on the argument.
+func Refresh(ctx context.Context, n int) {
+	process(bootCtx(), n) // want `passes a fresh root context \(via provlint\.test/ctxflow\.bootCtx\) to provlint\.test/ctxflow\.process`
+}
+
+// DerivedOK threads the incoming ctx and contexts derived from it.
+func DerivedOK(ctx context.Context, n int) {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	process(sub, n)
+	process(context.WithValue(ctx, key{}, 1), n)
+}
+
+type key struct{}
+
+var globalCtx context.Context
+
+// NonDerived receives a ctx but passes an unrelated one.
+func NonDerived(ctx context.Context, n int) {
+	process(globalCtx, n) // want `passes a non-derived context to provlint\.test/ctxflow\.process`
+}
+
+// MakeHandler: the literal's own ctx parameter is the derivation root
+// inside it; nil is not derived from anything.
+func MakeHandler() func(context.Context, int) {
+	return func(ctx context.Context, n int) {
+		process(ctx, n)
+		process(nil, n) // want `passes a non-derived context to provlint\.test/ctxflow\.process`
+	}
+}
+
+// bootRoot is a package-level root no annotation can bless.
+var bootRoot = context.Background() // want `context\.Background\(\) is confined to main, init, tests`

@@ -1,0 +1,47 @@
+// Package generics exercises the harness and the lockorder analyzer on
+// generic types: ranked mutex fields inside a generic container resolve
+// through instantiated receivers and instantiated call targets alike.
+package generics
+
+import "sync"
+
+// Box is a generic container with a two-level lock.
+type Box[T any] struct {
+	//provrpq:lockrank boxMu 10
+	mu sync.Mutex
+
+	//provrpq:lockrank itemsMu 20
+	itemsMu sync.Mutex
+
+	items []T
+}
+
+// Put nests in rank order: clean.
+func (b *Box[T]) Put(v T) {
+	b.mu.Lock()
+	b.itemsMu.Lock()
+	b.items = append(b.items, v)
+	b.itemsMu.Unlock()
+	b.mu.Unlock()
+}
+
+// Inverted acquires against the declared order inside a generic method.
+func (b *Box[T]) Inverted(v T) {
+	b.itemsMu.Lock()
+	b.mu.Lock() // want `acquiring boxMu \(rank 10\) while itemsMu \(rank 20\) is held: lock ranks must strictly increase`
+	b.mu.Unlock()
+	b.itemsMu.Unlock()
+}
+
+// UseInt holds the inner lock of an instantiated Box across a call.
+func UseInt(b *Box[int]) {
+	b.itemsMu.Lock()
+	defer b.itemsMu.Unlock()
+	lockBox(b)
+}
+
+// lockBox inherits UseInt's held set through the call edge.
+func lockBox(b *Box[int]) {
+	b.mu.Lock() // want `acquiring boxMu \(rank 10\) while itemsMu \(rank 20\) is held \(held on entry from provlint\.test/generics\.UseInt`
+	b.mu.Unlock()
+}

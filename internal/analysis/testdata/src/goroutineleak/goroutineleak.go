@@ -1,0 +1,154 @@
+// Package goroutineleak exercises the goroutineleak analyzer: spawned
+// goroutines need a bounded exit (or a //provrpq:detached <reason>
+// annotation), blocking serve calls must not discard their error, and
+// sends on unbuffered channels the spawner never receives from are
+// flagged as blocked forever. Named `go worker()` spawns are followed
+// through the call graph.
+package goroutineleak
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+// LeakTicker spawns a goroutine that can never leave its loop.
+func LeakTicker(ch chan int) {
+	go func() { // want `spawned goroutine loops forever without return or break`
+		for {
+			<-ch
+		}
+	}()
+}
+
+// BoundedSelect exits through the done channel: clean.
+func BoundedSelect(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// RangeOverChannel ends when the channel closes: clean.
+func RangeOverChannel(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// InnerBreakDoesNotExit: the unlabeled break binds to the select, not
+// the loop, so the loop is still unbounded. A labeled break would pass.
+func InnerBreakDoesNotExit(ch chan int) {
+	go func() { // want `spawned goroutine loops forever without return or break`
+		for {
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+// SpawnWorker leaks through a named spawn: the loop lives in worker,
+// the finding lands on the go statement.
+func SpawnWorker(ch chan int) {
+	go worker(ch) // want `goroutine provlint\.test/goroutineleak\.worker loops forever without return or break`
+}
+
+func worker(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// metronome runs for the process lifetime by design.
+//
+//provrpq:detached process-lifetime ticker, stopped only by exit
+func metronome(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// SpawnMetronome is clean: the spawned function is annotated detached.
+func SpawnMetronome(ch chan int) {
+	go metronome(ch)
+}
+
+// LineDetached is clean: the annotation on the line above blesses the
+// spawn.
+func LineDetached(ch chan int) {
+	//provrpq:detached intentional pump for the life of the process
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}
+
+// Pump is clean: the spawning function itself is annotated.
+//
+//provrpq:detached owns a process-lifetime feeder goroutine
+func Pump(ch chan int) {
+	go func() {
+		for {
+			ch <- 0
+		}
+	}()
+}
+
+// MalformedDetached: a reason-less annotation is a finding and does not
+// suppress the leak underneath it.
+func MalformedDetached(ch chan int) {
+	// want `//provrpq:detached requires a reason`
+	//provrpq:detached
+	go func() { // want `spawned goroutine loops forever without return or break`
+		for {
+			<-ch
+		}
+	}()
+}
+
+// ServeDiscarded throws away the blocking serve result: nothing can
+// ever join the goroutine or learn the listener died.
+func ServeDiscarded(ln net.Listener, h http.Handler) {
+	go func() {
+		_ = http.Serve(ln, h) // want `http\.Serve blocks until the listener closes but its error is discarded`
+	}()
+}
+
+// ServeJoined feeds the result into a channel the caller owns: clean.
+func ServeJoined(ln net.Listener, h http.Handler) error {
+	errs := make(chan error, 1)
+	go func() { errs <- http.Serve(ln, h) }()
+	return <-errs
+}
+
+// LeakErrChan sends on an unbuffered channel nobody receives from.
+func LeakErrChan() {
+	errc := make(chan error)
+	go func() {
+		errc <- run() // want `sends on unbuffered channel "errc" but LeakErrChan never receives from it`
+	}()
+}
+
+// JoinedErrChan receives the result: clean.
+func JoinedErrChan() error {
+	errc := make(chan error)
+	go func() { errc <- run() }()
+	return <-errc
+}
+
+// BufferedErrChan gives the send slack, so it cannot block: clean.
+func BufferedErrChan() {
+	errc := make(chan error, 1)
+	go func() { errc <- run() }()
+}
+
+func run() error { return nil }

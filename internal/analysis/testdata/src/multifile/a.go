@@ -1,0 +1,20 @@
+// Package multifile exercises the loader and the interprocedural
+// fixpoint across a multi-file package: the outer acquisition lives in
+// a.go, the violating inner one in b.go, and the held-set must survive
+// the file boundary.
+package multifile
+
+import "sync"
+
+// Server holds one ranked lock.
+type Server struct {
+	//provrpq:lockrank serverMu 10
+	mu sync.Mutex
+}
+
+// Outer holds the lock across a call into the other file.
+func (s *Server) Outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner()
+}

@@ -1,0 +1,13 @@
+package multifile
+
+// inner re-acquires the lock its caller already holds.
+func (s *Server) inner() {
+	s.mu.Lock() // want `acquiring serverMu \(rank 10\) while it is already held \(held on entry from provlint\.test/multifile\.Server\.Outer`
+	s.mu.Unlock()
+}
+
+// Alone is clean when entered without the lock.
+func (s *Server) Alone() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}

@@ -29,6 +29,7 @@ var ErrExists = errors.New("name already registered")
 type Registry[S, R, E any] struct {
 	build func(R) E
 
+	//provrpq:lockrank registryMu 20
 	mu    sync.RWMutex
 	specs map[string]S
 	runs  map[string]*runEntry[R, E]

@@ -64,6 +64,8 @@ type Env struct {
 
 	// relaxMu serializes RelaxSafety; relaxTried (guarded by it) makes a
 	// failed relaxation sticky so the fixpoint never reruns.
+	//
+	//provrpq:lockrank relaxMu 50
 	relaxMu    sync.Mutex
 	relaxTried bool
 

@@ -43,6 +43,8 @@ type Index struct {
 	// distinct memoizes per-tag endpoint statistics: computing them costs a
 	// pass over the occurrence list, and the planner re-reads them on every
 	// plan decision. Guarded by mu; everything else is written once in Build.
+	//
+	//provrpq:lockrank indexMu 70
 	mu       sync.Mutex
 	distinct map[string]Distinct
 }

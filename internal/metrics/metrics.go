@@ -216,6 +216,7 @@ type family struct {
 	labelNames []string
 	buckets    []float64 // histograms only
 
+	//provrpq:lockrank metricsFamilyMu 90
 	mu       sync.RWMutex
 	children map[string]*child
 
@@ -278,6 +279,7 @@ func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(l
 // Registry holds metric families and renders them. The zero value is not
 // usable; create with NewRegistry or use the process-wide Default.
 type Registry struct {
+	//provrpq:lockrank metricsRegistryMu 80
 	mu       sync.RWMutex
 	families map[string]*family
 }

@@ -49,6 +49,7 @@ type entry struct {
 // Cache is a concurrency-safe, LRU-bounded map from (spec, query) to
 // compiled environments.
 type Cache struct {
+	//provrpq:lockrank planCacheMu 60
 	mu      sync.Mutex
 	cap     int
 	entries map[Key]*entry

@@ -94,6 +94,8 @@ type Store struct {
 	// mu serializes writers: atomic renames alone keep individual files
 	// consistent, but the manifest is read-modify-written and the
 	// run-file-then-manifest ordering of PutRun must not interleave.
+	//
+	//provrpq:lockrank storeMu 30
 	mu sync.Mutex
 
 	// wedged latches when a write fails *after* its rename applied (the
