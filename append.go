@@ -203,6 +203,17 @@ func (c *Catalog) appendEdges(runName string, b *Batch, expectedVersion int) (Ap
 		// Unreachable: runs are never deregistered and growMu is held.
 		return AppendResult{}, fmt.Errorf("provrpq: catalog: run %q disappeared during append", runName)
 	}
+	// Notify standing-query subscribers while growMu is still held, so a
+	// run's events arrive in version order with no gaps. The batch's nodes
+	// are the grown run's id suffix: [old count, old count + NewNodes).
+	c.notifyAppend(AppendEvent{
+		RunName:      runName,
+		Version:      gen,
+		Run:          newRun,
+		FirstNewNode: NodeID(cur.NumNodes()),
+		NewNodes:     st.NewNodes,
+		NewEdges:     st.NewEdges,
+	})
 	return AppendResult{Run: newRun, Version: gen, Stats: AppendStats(st)}, nil
 }
 

@@ -47,6 +47,15 @@ type Catalog struct {
 	//
 	//provrpq:lockrank persistMu 10
 	persistMu sync.Mutex
+
+	// subsMu guards the append-event subscriber table (SubscribeAppends).
+	// Held only to copy or mutate the table — callbacks always run outside
+	// it (but on the appending goroutine, under that run's growth lock).
+	//
+	//provrpq:lockrank catalogSubsMu 18
+	subsMu    sync.Mutex
+	subs      map[int]func(AppendEvent)
+	nextSubID int
 }
 
 // CatalogOptions configure a Catalog.

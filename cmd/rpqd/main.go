@@ -24,7 +24,14 @@
 // evaluation strategies, planner timings, store durability);
 // -log-requests emits one structured JSON log line per request (with
 // request ids) on stderr, and -pprof-addr serves net/http/pprof on a
-// separate private listener. The daemon prints its
+// separate private listener.
+//
+// POST /v1/runs/{name}/stream ingests NDJSON edge/node records
+// continuously, committing them in size/time-bounded groups
+// (-stream-flush-records, -stream-flush-interval) through the store's
+// group-commit path, and POST /v1/watch registers a standing safe query
+// whose snapshot and per-append deltas stream back over SSE
+// (-max-watchers, -max-streams bound the open streams). The daemon prints its
 // actual listen address on startup (useful with port 0) and shuts down
 // gracefully on SIGINT or SIGTERM, draining in-flight requests.
 package main
@@ -58,6 +65,12 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable catalog directory (created if missing); registered specs and runs survive restarts")
 	logRequests := flag.Bool("log-requests", false, "emit one structured (JSON, stderr) log line per request, with request ids")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled); keep it private")
+	maxBodyBytes := flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "max JSON request body in bytes (413 request_too_large beyond it)")
+	streamFlushRecords := flag.Int("stream-flush-records", server.DefaultStreamFlushRecords, "streaming ingest: commit a group once this many NDJSON records are buffered")
+	streamFlushInterval := flag.Duration("stream-flush-interval", server.DefaultStreamFlushInterval, "streaming ingest: commit a partially-filled group after this long (negative = size/EOF only)")
+	maxRecordBytes := flag.Int("max-record-bytes", server.DefaultMaxRecordBytes, "streaming ingest: max bytes per NDJSON record (413 request_too_large beyond it)")
+	maxWatchers := flag.Int("max-watchers", server.DefaultMaxWatchers, "max concurrently-open standing-query (SSE) streams (negative = unlimited)")
+	maxStreams := flag.Int("max-streams", server.DefaultMaxStreams, "max concurrently-open NDJSON ingest streams (negative = unlimited)")
 
 	type specFlag struct{ name, path string }
 	type runFlag struct{ name, spec, path string }
@@ -134,7 +147,16 @@ func main() {
 		fmt.Printf("rpqd: loaded run %q (%d nodes, %d edges) from %s\n", rf.name, run.NumNodes(), run.NumEdges(), rf.path)
 	}
 
-	srvOpts := server.Options{Timeout: *timeout, MaxInFlight: *maxInFlight}
+	srvOpts := server.Options{
+		Timeout:             *timeout,
+		MaxInFlight:         *maxInFlight,
+		MaxBodyBytes:        *maxBodyBytes,
+		StreamFlushRecords:  *streamFlushRecords,
+		StreamFlushInterval: *streamFlushInterval,
+		MaxRecordBytes:      *maxRecordBytes,
+		MaxWatchers:         *maxWatchers,
+		MaxStreams:          *maxStreams,
+	}
 	if *logRequests {
 		srvOpts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}

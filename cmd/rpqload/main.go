@@ -22,18 +22,32 @@
 //	evaluate  POST /v1/evaluate with count_only (full all-pairs scan)
 //	pairwise  POST /v1/pairwise on a random node pair
 //	append    POST /v1/runs/{name}/edges with one single-edge batch
+//	stream    POST /v1/runs/{name}/stream with a short NDJSON burst
 //
 // Append traffic requires the daemon to accept growth for the target
-// run; runs are never mutated unless "append" has nonzero weight.
-// Requests during -warmup are sent but excluded from the report.
+// run; runs are never mutated unless "append" or "stream" has nonzero
+// weight. Appends are version-guarded (?expected_version) so a retry can
+// never double-apply: on a 409 conflict — an expected outcome when
+// several writers race on one run, not a failure — the generator
+// re-reads the run's version and retries a bounded number of times, and
+// conflicts that survive the retries are reported in their own counter,
+// never as errors. Requests during -warmup are sent but excluded from
+// the report.
+//
+// -watch N keeps N standing-query (SSE) subscriptions open against the
+// target run for the load's duration — the serving-while-watching
+// scenario — and the report counts the delta events they consumed.
 //
 // The JSON report (stdout, or -out) carries the per-op and overall
-// counts, achieved QPS, and exact p50/p95/p99 latencies computed from
-// every recorded sample (no bucketing).
+// counts, achieved QPS, conflict and watcher tallies, and exact
+// p50/p95/p99 latencies computed from every recorded sample (no
+// bucketing).
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,12 +59,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 type opStats struct {
 	Count     int     `json:"count"`
 	Errors    int     `json:"errors"`
+	Conflicts int     `json:"conflicts,omitempty"`
 	P50Millis float64 `json:"p50_ms"`
 	P95Millis float64 `json:"p95_ms"`
 	P99Millis float64 `json:"p99_ms"`
@@ -58,27 +74,37 @@ type opStats struct {
 }
 
 type report struct {
-	Addr            string             `json:"addr"`
-	Run             string             `json:"run"`
-	Query           string             `json:"query"`
-	Mix             string             `json:"mix"`
-	Workers         int                `json:"workers"`
-	TargetQPS       float64            `json:"target_qps,omitempty"`
-	WarmupSeconds   float64            `json:"warmup_seconds"`
-	DurationSeconds float64            `json:"duration_seconds"`
-	Requests        int                `json:"requests"`
-	Errors          int                `json:"errors"`
-	QPS             float64            `json:"qps"`
-	P50Millis       float64            `json:"p50_ms"`
-	P95Millis       float64            `json:"p95_ms"`
-	P99Millis       float64            `json:"p99_ms"`
-	Ops             map[string]opStats `json:"ops"`
+	Addr            string  `json:"addr"`
+	Run             string  `json:"run"`
+	Query           string  `json:"query"`
+	Mix             string  `json:"mix"`
+	Workers         int     `json:"workers"`
+	TargetQPS       float64 `json:"target_qps,omitempty"`
+	WarmupSeconds   float64 `json:"warmup_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	// Conflicts counts appends whose version guard still collided after
+	// the bounded retries — contention, not failure; they are excluded
+	// from Errors.
+	Conflicts int     `json:"conflicts"`
+	QPS       float64 `json:"qps"`
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	// Watchers and WatchDeltas report the standing-query side channel:
+	// how many SSE subscriptions were held open and how many delta
+	// events they consumed during the measured window.
+	Watchers    int                `json:"watchers,omitempty"`
+	WatchDeltas int64              `json:"watch_deltas,omitempty"`
+	Ops         map[string]opStats `json:"ops"`
 }
 
 type sample struct {
-	op  string
-	dur time.Duration
-	err bool
+	op       string
+	dur      time.Duration
+	err      bool
+	conflict bool
 }
 
 func main() {
@@ -89,9 +115,11 @@ func main() {
 	warmup := flag.Duration("warmup", time.Second, "warmup window; requests sent but not recorded")
 	workers := flag.Int("workers", 4, "concurrent workers (closed loop) or senders (open loop)")
 	qps := flag.Float64("qps", 0, "target arrival rate; 0 = closed loop at -workers concurrency")
-	mixSpec := flag.String("mix", "evaluate=7,pairwise=3", "weighted op mix, op=weight[,op=weight...]; ops: evaluate, pairwise, append")
+	mixSpec := flag.String("mix", "evaluate=7,pairwise=3", "weighted op mix, op=weight[,op=weight...]; ops: evaluate, pairwise, append, stream")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	outPath := flag.String("out", "", "write the JSON report here instead of stdout")
+	watchN := flag.Int("watch", 0, "hold this many standing-query (SSE) subscriptions open for the load's duration")
+	watchQuery := flag.String("watch-query", "_*", "safe query the standing subscriptions register")
 	flag.Parse()
 
 	mix, err := parseMix(*mixSpec)
@@ -103,8 +131,21 @@ func main() {
 	fatal(err)
 	fmt.Fprintf(os.Stderr, "rpqload: run %q (%d nodes), spec %q, tags %v\n",
 		tgt.run, len(tgt.nodes), tgt.spec, tgt.tags)
-	if mix.weight("append") > 0 && len(tgt.tags) == 0 {
-		fatal(fmt.Errorf("append ops requested but specification %q reports no tags", tgt.spec))
+	if mix.weight("append")+mix.weight("stream") > 0 && len(tgt.tags) == 0 {
+		fatal(fmt.Errorf("append/stream ops requested but specification %q reports no tags", tgt.spec))
+	}
+
+	// Standing watchers live on their own client (a client timeout would
+	// kill a long SSE stream) and are torn down after the load drains.
+	var watchDeltas atomic.Int64
+	watchCtx, cancelWatch := context.WithCancel(context.Background())
+	var watchWg sync.WaitGroup
+	for i := 0; i < *watchN; i++ {
+		watchWg.Add(1)
+		go func() {
+			defer watchWg.Done()
+			runWatcher(watchCtx, base, tgt.run, *watchQuery, &watchDeltas)
+		}()
 	}
 
 	var (
@@ -126,8 +167,8 @@ func main() {
 	oneRequest := func(rng *rand.Rand) {
 		op := mix.pick(rng)
 		started := time.Now()
-		err := tgt.do(hc, base, op, *queryStr, rng)
-		record(sample{op: op, dur: time.Since(started), err: err != nil}, started)
+		conflict, err := tgt.do(hc, base, op, *queryStr, rng)
+		record(sample{op: op, dur: time.Since(started), err: err != nil, conflict: conflict}, started)
 	}
 
 	var wg sync.WaitGroup
@@ -171,11 +212,14 @@ func main() {
 	}
 	wg.Wait()
 	measured := time.Since(measureFrom)
+	cancelWatch()
+	watchWg.Wait()
 
 	rep := summarize(samples, measured)
 	rep.Addr, rep.Run, rep.Query, rep.Mix = base, tgt.run, *queryStr, *mixSpec
 	rep.Workers, rep.TargetQPS = *workers, *qps
 	rep.WarmupSeconds = warmup.Seconds()
+	rep.Watchers, rep.WatchDeltas = *watchN, watchDeltas.Load()
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	fatal(err)
@@ -186,8 +230,8 @@ func main() {
 	} else {
 		os.Stdout.Write(out)
 	}
-	fmt.Fprintf(os.Stderr, "rpqload: %d requests in %.1fs = %.1f qps, p50 %.2fms p95 %.2fms p99 %.2fms, %d error(s)\n",
-		rep.Requests, rep.DurationSeconds, rep.QPS, rep.P50Millis, rep.P95Millis, rep.P99Millis, rep.Errors)
+	fmt.Fprintf(os.Stderr, "rpqload: %d requests in %.1fs = %.1f qps, p50 %.2fms p95 %.2fms p99 %.2fms, %d error(s), %d conflict(s), %d watch delta(s)\n",
+		rep.Requests, rep.DurationSeconds, rep.QPS, rep.P50Millis, rep.P95Millis, rep.P99Millis, rep.Errors, rep.Conflicts, rep.WatchDeltas)
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}
@@ -197,21 +241,25 @@ func main() {
 
 // target is what discovery learned about the daemon: the run to drive,
 // its node names (for pairwise endpoints), its node count (for append
-// edge endpoints) and its specification's tags (for append batches).
+// edge endpoints), its specification's tags (for append batches) and its
+// last-seen version (the CAS guard for appends, advanced from every
+// append response so concurrent workers mostly guess right).
 type target struct {
 	run       string
 	spec      string
 	nodes     []string
 	tags      []string
 	nodeCount int
+	version   atomic.Int64
 }
 
 func discover(hc *http.Client, base, runName string) (*target, error) {
 	var runs struct {
 		Runs []struct {
-			Name  string `json:"name"`
-			Spec  string `json:"spec"`
-			Nodes int    `json:"nodes"`
+			Name    string `json:"name"`
+			Spec    string `json:"spec"`
+			Nodes   int    `json:"nodes"`
+			Version int    `json:"version"`
 		} `json:"runs"`
 	}
 	if err := getJSON(hc, base+"/v1/runs", &runs); err != nil {
@@ -224,6 +272,7 @@ func discover(hc *http.Client, base, runName string) (*target, error) {
 	for _, r := range runs.Runs {
 		if runName == "" || r.Name == runName {
 			t.run, t.spec, t.nodeCount = r.Name, r.Spec, r.Nodes
+			t.version.Store(int64(r.Version))
 			break
 		}
 	}
@@ -273,20 +322,31 @@ func discover(hc *http.Client, base, runName string) (*target, error) {
 	return t, nil
 }
 
-// do issues one request of the given op, returning a non-nil error for
-// any non-2xx answer.
-func (t *target) do(hc *http.Client, base, op, query string, rng *rand.Rand) error {
+// appendRetries bounds how many times one append op re-guesses the
+// version guard after a 409 before giving up and reporting a conflict.
+const appendRetries = 3
+
+// streamRecordsPerOp sizes one "stream" op's NDJSON burst.
+const streamRecordsPerOp = 16
+
+// do issues one request of the given op. A non-nil error is any non-2xx
+// answer; conflict reports an append whose version guard still collided
+// after the bounded retries (contention, not failure).
+func (t *target) do(hc *http.Client, base, op, query string, rng *rand.Rand) (conflict bool, err error) {
 	switch op {
 	case "pairwise":
 		from := t.nodes[rng.Intn(len(t.nodes))]
 		to := t.nodes[rng.Intn(len(t.nodes))]
-		return postJSON(hc, base+"/v1/pairwise",
+		return false, postJSON(hc, base+"/v1/pairwise",
 			map[string]any{"run": t.run, "query": query, "from": from, "to": to}, nil)
 	case "append":
 		// One edges-only single-edge batch between existing nodes with a
 		// real tag: always valid (endpoints in range, tag in the
 		// alphabet), and it exercises the durable append path, the delta
-		// labeling frontier and the engine swap on every request.
+		// labeling frontier and the engine swap on every request. The
+		// ?expected_version guard makes it retry-safe: a 409 means another
+		// writer won the race — re-read the version and try again with the
+		// fresh guard, a bounded number of times.
 		body := map[string]any{
 			"edges": []map[string]any{{
 				"From": rng.Intn(t.nodeCount),
@@ -294,10 +354,123 @@ func (t *target) do(hc *http.Client, base, op, query string, rng *rand.Rand) err
 				"Tag":  t.tags[rng.Intn(len(t.tags))],
 			}},
 		}
-		return postJSON(hc, base+"/v1/runs/"+t.run+"/edges", body, nil)
+		for attempt := 0; ; attempt++ {
+			guard := t.version.Load()
+			var ar struct {
+				Version int `json:"version"`
+			}
+			status, err := postJSONStatus(hc,
+				fmt.Sprintf("%s/v1/runs/%s/edges?expected_version=%d", base, t.run, guard), body, &ar)
+			if err == nil {
+				t.advanceVersion(int64(ar.Version))
+				return false, nil
+			}
+			if status != http.StatusConflict {
+				return false, err
+			}
+			if attempt >= appendRetries {
+				return true, nil
+			}
+			if v, rerr := t.fetchVersion(hc, base); rerr == nil {
+				t.advanceVersion(v)
+			}
+		}
+	case "stream":
+		// One short NDJSON burst through the streaming-ingest route: edges
+		// between existing nodes, grouped and committed by the server.
+		var sb strings.Builder
+		for i := 0; i < streamRecordsPerOp; i++ {
+			fmt.Fprintf(&sb, `{"edge":{"From":%d,"To":%d,"Tag":%q}}`+"\n",
+				rng.Intn(t.nodeCount), rng.Intn(t.nodeCount), t.tags[rng.Intn(len(t.tags))])
+		}
+		resp, err := hc.Post(base+"/v1/runs/"+t.run+"/stream", "application/x-ndjson", strings.NewReader(sb.String()))
+		if err != nil {
+			return false, err
+		}
+		var sr struct {
+			Version int `json:"version"`
+		}
+		if err := decodeJSON(resp, base+"/v1/runs/"+t.run+"/stream", &sr); err != nil {
+			return false, err
+		}
+		t.advanceVersion(int64(sr.Version))
+		return false, nil
 	default: // evaluate
-		return postJSON(hc, base+"/v1/evaluate",
+		return false, postJSON(hc, base+"/v1/evaluate",
 			map[string]any{"run": t.run, "query": query, "count_only": true}, nil)
+	}
+}
+
+// advanceVersion raises the last-seen version monotonically (a stale
+// response must never move the guard backwards).
+func (t *target) advanceVersion(v int64) {
+	for {
+		cur := t.version.Load()
+		if v <= cur || t.version.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// fetchVersion re-reads the target run's current version after a 409.
+func (t *target) fetchVersion(hc *http.Client, base string) (int64, error) {
+	var runs struct {
+		Runs []struct {
+			Name    string `json:"name"`
+			Version int    `json:"version"`
+		} `json:"runs"`
+	}
+	if err := getJSON(hc, base+"/v1/runs", &runs); err != nil {
+		return 0, err
+	}
+	for _, r := range runs.Runs {
+		if r.Name == t.run {
+			return int64(r.Version), nil
+		}
+	}
+	return 0, fmt.Errorf("run %q vanished from %s/v1/runs", t.run, base)
+}
+
+// runWatcher holds one standing-query SSE subscription open until ctx is
+// canceled, counting the delta events it consumes. Errors are terminal
+// for the watcher (the load result does not depend on it) and reported
+// on stderr once.
+func runWatcher(ctx context.Context, base, run, query string, deltas *atomic.Int64) {
+	body, err := json.Marshal(map[string]string{"run": run, "query": query})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpqload: watcher:", err)
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/watch", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpqload: watcher:", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// No client timeout: the subscription is meant to outlive any single
+	// request; ctx cancellation tears it down.
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "rpqload: watcher:", err)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		fmt.Fprintf(os.Stderr, "rpqload: watcher: HTTP %d: %s\n", resp.StatusCode, raw)
+		return
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return // ctx canceled or server gone
+		}
+		if strings.HasPrefix(line, "event: delta") {
+			deltas.Add(1)
+		}
 	}
 }
 
@@ -310,9 +483,14 @@ func summarize(samples []sample, measured time.Duration) report {
 	}
 	byOp := map[string][]time.Duration{}
 	errsByOp := map[string]int{}
+	conflictsByOp := map[string]int{}
 	var all []time.Duration
 	for _, s := range samples {
 		rep.Requests++
+		if s.conflict {
+			rep.Conflicts++
+			conflictsByOp[s.op]++
+		}
 		if s.err {
 			rep.Errors++
 			errsByOp[s.op]++
@@ -331,7 +509,7 @@ func summarize(samples []sample, measured time.Duration) report {
 		for _, d := range ds {
 			sum += d
 		}
-		st := opStats{Count: len(ds) + errsByOp[op], Errors: errsByOp[op], P50Millis: p50, P95Millis: p95, P99Millis: p99}
+		st := opStats{Count: len(ds) + errsByOp[op], Errors: errsByOp[op], Conflicts: conflictsByOp[op], P50Millis: p50, P95Millis: p95, P99Millis: p99}
 		if len(ds) > 0 {
 			st.MeanMs = float64(sum.Microseconds()) / 1000 / float64(len(ds))
 		}
@@ -389,6 +567,20 @@ func postJSON(hc *http.Client, url string, body, out any) error {
 	return decodeJSON(resp, url, out)
 }
 
+// postJSONStatus is postJSON for callers that branch on the HTTP status
+// (the append CAS loop needs to tell a 409 from a real failure).
+func postJSONStatus(hc *http.Client, url string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, decodeJSON(resp, url, out)
+}
+
 func decodeJSON(resp *http.Response, url string, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
@@ -418,9 +610,9 @@ func parseMix(spec string) (*opMix, error) {
 			return nil, fmt.Errorf("mix entry %q: want op=weight", part)
 		}
 		switch op {
-		case "evaluate", "pairwise", "append":
+		case "evaluate", "pairwise", "append", "stream":
 		default:
-			return nil, fmt.Errorf("mix entry %q: unknown op (want evaluate, pairwise or append)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown op (want evaluate, pairwise, append or stream)", part)
 		}
 		w, err := strconv.Atoi(ws)
 		if err != nil || w < 0 {

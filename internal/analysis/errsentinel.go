@@ -32,19 +32,20 @@ var ErrSentinelAnalyzer = &Analyzer{
 // documentedErrorCodes is the closed set of machine-readable `code`
 // values the HTTP API documents; writeError must not invent new ones.
 var documentedErrorCodes = map[string]bool{
-	"bad_batch":       true,
-	"bad_derive":      true,
-	"bad_query":       true,
-	"bad_request":     true,
-	"bad_run":         true,
-	"bad_spec":        true,
-	"conflict":        true,
-	"evaluate_failed": true,
-	"internal":        true,
-	"not_found":       true,
-	"overloaded":      true,
-	"store_failed":    true,
-	"timeout":         true,
+	"bad_batch":         true,
+	"bad_derive":        true,
+	"bad_query":         true,
+	"bad_request":       true,
+	"bad_run":           true,
+	"bad_spec":          true,
+	"conflict":          true,
+	"evaluate_failed":   true,
+	"internal":          true,
+	"not_found":         true,
+	"overloaded":        true,
+	"request_too_large": true,
+	"store_failed":      true,
+	"timeout":           true,
 }
 
 func runErrSentinel(pass *Pass) {

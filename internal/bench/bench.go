@@ -38,10 +38,11 @@ type Config struct {
 }
 
 // Figures lists the available experiment ids in paper order; "par" is the
-// parallel-scaling experiment, "plan" the selectivity-planner experiment
-// and "boot" the zero-copy columnar boot experiment, all beyond the paper.
+// parallel-scaling experiment, "plan" the selectivity-planner experiment,
+// "boot" the zero-copy columnar boot experiment and "ingest" the
+// group-commit ingest experiment, all beyond the paper.
 func Figures() []string {
-	return []string{"13a", "13b", "13c", "13d", "13e", "13f", "13g", "13h", "15a", "15b", "par", "plan", "boot"}
+	return []string{"13a", "13b", "13c", "13d", "13e", "13f", "13g", "13h", "15a", "15b", "par", "plan", "boot", "ingest"}
 }
 
 // Run dispatches one figure by id.
@@ -73,6 +74,8 @@ func Run(id string, cfg Config) error {
 		return FigPlan(cfg)
 	case "boot":
 		return FigBoot(cfg)
+	case "ingest":
+		return FigIngest(cfg)
 	}
 	return fmt.Errorf("bench: unknown figure %q (have %v)", id, Figures())
 }

@@ -132,6 +132,23 @@ func (g *Registry[S, R, E]) Run(name string) (R, bool) {
 	return en.run, true
 }
 
+// RunWithGeneration returns the run registered under name together with
+// its growth generation, read under one lock acquisition. Callers that
+// need the pair to be mutually consistent — e.g. a standing-query
+// registration snapshotting "version V's result" before applying deltas
+// for versions > V — must use this rather than Run + RunGeneration in
+// sequence, which an interleaved ReplaceRun would desynchronize.
+func (g *Registry[S, R, E]) RunWithGeneration(name string) (R, int, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	en, ok := g.runs[name]
+	if !ok {
+		var zero R
+		return zero, 0, false
+	}
+	return en.run, en.gen, true
+}
+
 // RunSpec returns the specification name a run is bound to.
 func (g *Registry[S, R, E]) RunSpec(name string) (string, bool) {
 	g.mu.RLock()

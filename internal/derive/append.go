@@ -214,12 +214,16 @@ func growIntSlice(s []int, n int) []int {
 // grown one.
 //
 // Cost: all expensive per-node work (label validation, name registration,
-// adjacency construction) is paid only for the batch and its frontier. The
-// clone itself copies the node/edge/adjacency slice headers — a flat
-// memmove, O(n) in size but with no per-element work — and the (small)
-// name overlay; the name map proper is immutable and shared, never
-// rehashed. Bulk loaders ingesting into an unregistered run should prefer
-// the in-place AppendEdges, which skips even the header memmove. Two
+// adjacency construction) is paid only for the batch and its frontier.
+// The node, edge and label columns are append-only, so the clone shares
+// their backing with capacity clamped to length: the clone's first own
+// append reallocates, and the parent extending its spare capacity stays
+// invisible below the clone's length — no O(n) copy per version. Only the
+// adjacency headers are memmoved (AppendEdges rewrites their elements in
+// place for the frontier's copy-on-write, so the outer arrays cannot be
+// shared) plus the (small) name overlay; the name map proper is immutable
+// and shared, never rehashed. Bulk loaders ingesting into an unregistered
+// run should prefer the in-place AppendEdges, which skips even that. Two
 // Grows from the same receiver are independent — the copy-on-write in
 // AppendEdges never writes into shared backing, and each clone starts
 // with no adjacency ownership.
@@ -229,16 +233,12 @@ func (r *Run) Grow(b Batch) (*Run, AppendStats, error) {
 	r.names()
 	r.ensureAdj()
 	nr := &Run{
-		Spec:   r.Spec,
-		Nodes:  append(make([]Node, 0, len(r.Nodes)+len(b.Nodes)), r.Nodes...),
-		Edges:  append(make([]Edge, 0, len(r.Edges)+len(b.Edges)), r.Edges...),
-		byName: r.byName, // immutable: shared, not copied
-		out:    append(make([][]int, 0, len(r.out)+len(b.Nodes)), r.out...),
-		in:     append(make([][]int, 0, len(r.in)+len(b.Nodes)), r.in...),
-		// The label column is append-only, so the clone shares the backing
-		// with capacity clamped to length: the clone's first own append
-		// reallocates, and the parent extending its spare capacity stays
-		// invisible below the clone's length. No O(bytes) copy per version.
+		Spec:      r.Spec,
+		Nodes:     r.Nodes[:len(r.Nodes):len(r.Nodes)],
+		Edges:     r.Edges[:len(r.Edges):len(r.Edges)],
+		byName:    r.byName, // immutable: shared, not copied
+		out:       append(make([][]int, 0, len(r.out)+len(b.Nodes)), r.out...),
+		in:        append(make([][]int, 0, len(r.in)+len(b.Nodes)), r.in...),
 		labelCol:  r.labelCol[:len(r.labelCol):len(r.labelCol)],
 		labelOffs: r.labelOffs[:len(r.labelOffs):len(r.labelOffs)],
 	}
@@ -255,11 +255,9 @@ func (r *Run) Grow(b Batch) (*Run, AppendStats, error) {
 	return nr, stats, nil
 }
 
-// tagSet materializes the specification's edge-tag alphabet Γ as a set.
+// tagSet returns the specification's edge-tag alphabet Γ as a set. The
+// set is the Spec's shared immutable table — validation only reads it, so
+// nothing is materialized per call.
 func tagSet(spec *wf.Spec) map[string]bool {
-	alphabet := map[string]bool{}
-	for _, t := range spec.Tags() {
-		alphabet[t] = true
-	}
-	return alphabet
+	return spec.TagSet()
 }

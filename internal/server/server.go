@@ -62,9 +62,25 @@ const DefaultTimeout = 30 * time.Second
 // DefaultMaxInFlight bounds concurrently-served requests.
 const DefaultMaxInFlight = 64
 
-// maxBodyBytes bounds one request body (runs of millions of edges fit
-// comfortably; unbounded bodies would let one client exhaust memory).
-const maxBodyBytes = 1 << 28
+// DefaultMaxBodyBytes bounds one request body (runs of millions of edges
+// fit comfortably; unbounded bodies would let one client exhaust memory).
+const DefaultMaxBodyBytes = 1 << 28
+
+// Streaming-ingestion defaults (see Options and stream.go).
+const (
+	// DefaultStreamFlushRecords bounds a streaming-ingest group by record
+	// count.
+	DefaultStreamFlushRecords = 512
+	// DefaultStreamFlushInterval bounds how long a partially-filled group
+	// may sit before it is committed.
+	DefaultStreamFlushInterval = 150 * time.Millisecond
+	// DefaultMaxRecordBytes bounds one NDJSON record.
+	DefaultMaxRecordBytes = 1 << 20
+	// DefaultMaxWatchers bounds concurrently-open standing-query streams.
+	DefaultMaxWatchers = 64
+	// DefaultMaxStreams bounds concurrently-open ingest streams.
+	DefaultMaxStreams = 16
+)
 
 // Options configure a Server.
 type Options struct {
@@ -74,6 +90,32 @@ type Options struct {
 	// MaxInFlight bounds concurrently-served requests (0 selects
 	// DefaultMaxInFlight, negative disables the limit).
 	MaxInFlight int
+	// MaxBodyBytes bounds one JSON request body; exceeding it answers 413
+	// request_too_large (0 selects DefaultMaxBodyBytes). Streaming-ingest
+	// bodies are unbounded in total and bounded per record instead (see
+	// MaxRecordBytes).
+	MaxBodyBytes int64
+	// StreamFlushRecords bounds a streaming-ingest group: a flush commits
+	// once this many records are buffered (0 selects
+	// DefaultStreamFlushRecords).
+	StreamFlushRecords int
+	// StreamFlushInterval commits a partially-filled ingest group after
+	// this long, so a slow feed still becomes durable (and visible to
+	// standing queries) promptly. 0 selects DefaultStreamFlushInterval;
+	// negative disables the timer (groups flush on size and EOF only).
+	StreamFlushInterval time.Duration
+	// MaxRecordBytes bounds one NDJSON record on the ingest stream;
+	// exceeding it answers 413 request_too_large (0 selects
+	// DefaultMaxRecordBytes).
+	MaxRecordBytes int
+	// MaxWatchers bounds concurrently-open standing-query (SSE) streams;
+	// excess registrations answer 429 (0 selects DefaultMaxWatchers,
+	// negative disables the limit).
+	MaxWatchers int
+	// MaxStreams bounds concurrently-open NDJSON ingest streams; excess
+	// streams answer 429 (0 selects DefaultMaxStreams, negative disables
+	// the limit).
+	MaxStreams int
 	// Metrics is the registry request counters, latency histograms and
 	// catalog gauges register into; nil selects the process-wide default
 	// registry (which /metrics then also exposes for every other layer —
@@ -86,16 +128,26 @@ type Options struct {
 
 // Server serves a Catalog over HTTP. Create with New, mount via Handler.
 type Server struct {
-	cat         *provrpq.Catalog
-	timeout     time.Duration
-	maxInFlight int
-	sem         chan struct{}
-	reg         *metrics.Registry
-	log         *slog.Logger
-	start       time.Time
+	cat          *provrpq.Catalog
+	timeout      time.Duration
+	maxInFlight  int
+	maxBodyBytes int64
+	sem          chan struct{}
+	reg          *metrics.Registry
+	log          *slog.Logger
+	start        time.Time
+
+	// Streaming-ingest and standing-query bounds (see Options).
+	flushRecords  int
+	flushInterval time.Duration
+	maxRecord     int
+	maxWatchers   int
+	maxStreams    int
 
 	inFlight atomic.Int64  // handlers currently doing work (held across a timeout)
 	reqSeq   atomic.Uint64 // request-id source
+	watchers atomic.Int64  // open standing-query (SSE) streams
+	streams  atomic.Int64  // open NDJSON ingest streams
 
 	mRequests   *metrics.Counter      // every request reaching the JSON routes, admitted or not
 	mRejected   *metrics.Counter      // turned away by the in-flight limit (a subset of requests)
@@ -103,6 +155,11 @@ type Server struct {
 	mRouteTotal *metrics.CounterVec   // responses by (route, status code), all routes
 	mLatency    *metrics.HistogramVec // request latency by route, all routes
 	mRunGen     *metrics.GaugeVec     // per-run growth generation, synced at scrape time
+
+	mIngestRecords *metrics.CounterVec // NDJSON records accepted, by kind (node, edge)
+	mIngestBatches *metrics.Counter    // ingest groups committed through the append path
+	mWatchDeltas   *metrics.Counter    // delta events written to standing-query subscribers
+	mWatchDropped  *metrics.Counter    // watchers dropped for lagging behind the append rate
 
 	// testDelay, when set (tests only), runs inside the timeout scope
 	// before every routed request, making deadline expiry deterministic.
@@ -112,12 +169,18 @@ type Server struct {
 // New returns a server over the catalog.
 func New(cat *provrpq.Catalog, opts Options) *Server {
 	s := &Server{
-		cat:         cat,
-		timeout:     opts.Timeout,
-		maxInFlight: opts.MaxInFlight,
-		reg:         opts.Metrics,
-		log:         opts.Logger,
-		start:       time.Now(),
+		cat:           cat,
+		timeout:       opts.Timeout,
+		maxInFlight:   opts.MaxInFlight,
+		maxBodyBytes:  opts.MaxBodyBytes,
+		flushRecords:  opts.StreamFlushRecords,
+		flushInterval: opts.StreamFlushInterval,
+		maxRecord:     opts.MaxRecordBytes,
+		maxWatchers:   opts.MaxWatchers,
+		maxStreams:    opts.MaxStreams,
+		reg:           opts.Metrics,
+		log:           opts.Logger,
+		start:         time.Now(),
 	}
 	if s.timeout == 0 {
 		s.timeout = DefaultTimeout
@@ -127,6 +190,24 @@ func New(cat *provrpq.Catalog, opts Options) *Server {
 	}
 	if s.maxInFlight > 0 {
 		s.sem = make(chan struct{}, s.maxInFlight)
+	}
+	if s.maxBodyBytes == 0 {
+		s.maxBodyBytes = DefaultMaxBodyBytes
+	}
+	if s.flushRecords <= 0 {
+		s.flushRecords = DefaultStreamFlushRecords
+	}
+	if s.flushInterval == 0 {
+		s.flushInterval = DefaultStreamFlushInterval
+	}
+	if s.maxRecord <= 0 {
+		s.maxRecord = DefaultMaxRecordBytes
+	}
+	if s.maxWatchers == 0 {
+		s.maxWatchers = DefaultMaxWatchers
+	}
+	if s.maxStreams == 0 {
+		s.maxStreams = DefaultMaxStreams
 	}
 	if s.reg == nil {
 		s.reg = metrics.Default()
@@ -144,10 +225,22 @@ func New(cat *provrpq.Catalog, opts Options) *Server {
 		metrics.LatencyBuckets, "route")
 	s.mRunGen = s.reg.GaugeVec("provrpq_run_generation",
 		"Growth batches applied to each served run (synced at scrape time).", "run")
+	s.mIngestRecords = s.reg.CounterVec("provrpq_ingest_records_total",
+		"NDJSON streaming-ingest records accepted, by kind (node, edge) — the sustained ingest rate.", "kind")
+	s.mIngestBatches = s.reg.Counter("provrpq_ingest_batches_total",
+		"Streaming-ingest groups committed through the append path (records/batches is the grouping factor).")
+	s.mWatchDeltas = s.reg.Counter("provrpq_watch_deltas_total",
+		"Delta events written to standing-query (SSE) subscribers.")
+	s.mWatchDropped = s.reg.Counter("provrpq_watch_dropped_total",
+		"Standing-query subscribers dropped for lagging behind the append rate.")
 	// Callback metrics sample live state at scrape time; re-registration
 	// rebinds them, so the newest server over a shared registry wins.
 	s.reg.Func("provrpq_http_in_flight", "Handlers currently doing work (held across a timeout).",
 		metrics.KindGauge, func() float64 { return float64(s.inFlight.Load()) })
+	s.reg.Func("provrpq_watchers", "Open standing-query (SSE) streams.",
+		metrics.KindGauge, func() float64 { return float64(s.watchers.Load()) })
+	s.reg.Func("provrpq_ingest_streams", "Open NDJSON ingest streams.",
+		metrics.KindGauge, func() float64 { return float64(s.streams.Load()) })
 	s.reg.Func("provrpq_uptime_seconds", "Seconds since the server was created.",
 		metrics.KindGauge, func() float64 { return time.Since(s.start).Seconds() })
 	s.reg.Func("provrpq_catalog_specs", "Registered specifications.",
@@ -231,18 +324,24 @@ func (s *Server) Handler() http.Handler {
 				return
 			}
 		}
-		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
 		work.ServeHTTP(w, r)
 	}))
 
 	// healthz, statsz and metrics live outside the limiter and the
 	// timeout: probes must succeed and metrics must stay scrapeable
 	// precisely when the server is saturated — all three are reads of
-	// atomic state.
+	// atomic state. The two long-lived routes — NDJSON ingest streams and
+	// standing-query SSE subscriptions — live here too: the TimeoutHandler
+	// would kill them mid-stream (and buffer SSE writes), and MaxBytesReader
+	// would cap an ingest stream's total size; each carries its own bound
+	// (MaxStreams / MaxWatchers, per-record limits) instead.
 	outer := http.NewServeMux()
 	outer.HandleFunc("GET /healthz", s.handleHealth)
 	outer.HandleFunc("GET /statsz", s.handleStats)
 	outer.HandleFunc("GET /metrics", s.handleMetrics)
+	outer.HandleFunc("POST /v1/runs/{name}/stream", s.handleStreamRun)
+	outer.HandleFunc("POST /v1/watch", s.handleWatch)
 	outer.Handle("/", limited)
 	return s.instrument(outer)
 }
@@ -301,6 +400,15 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer so SSE handlers still see an
+// http.Flusher through the instrumentation wrapper (an embedded interface
+// does not promote optional methods).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // routeOf maps a request to a bounded route label: named routes keep
 // their pattern (path parameters collapsed to their placeholder, so one
 // run name per request cannot grow the label space), everything else is
@@ -313,12 +421,14 @@ func routeOf(r *http.Request) string {
 			return r.Method + " /v1/runs/{name}/edges"
 		case strings.HasSuffix(p, "/compact"):
 			return r.Method + " /v1/runs/{name}/compact"
+		case strings.HasSuffix(p, "/stream"):
+			return r.Method + " /v1/runs/{name}/stream"
 		}
 		return "other"
 	}
 	switch p {
 	case "/v1/specs", "/v1/runs", "/v1/evaluate", "/v1/explain", "/v1/pairwise",
-		"/v1/batch", "/v1/snapshot", "/healthz", "/statsz", "/metrics":
+		"/v1/batch", "/v1/snapshot", "/v1/watch", "/healthz", "/statsz", "/metrics":
 		return r.Method + " " + p
 	}
 	return "other"
@@ -413,10 +523,14 @@ type evaluateResponse struct {
 	// Count and Total both report the full match count — Count predates
 	// paging and keeps its meaning for old clients; pagers read Total and
 	// Offset to walk the windows.
-	Count  int        `json:"count"`
-	Total  int        `json:"total"`
-	Offset int        `json:"offset,omitempty"`
-	Pairs  []pairJSON `json:"pairs,omitempty"`
+	Count  int `json:"count"`
+	Total  int `json:"total"`
+	Offset int `json:"offset,omitempty"`
+	// Pairs is a pointer so paging can distinguish "no pair list requested"
+	// (count_only: field absent) from "the requested window is empty"
+	// (offset at or past the end: "pairs": []) — a pager walking windows
+	// must see the empty array, not a missing field or an error.
+	Pairs *[]pairJSON `json:"pairs,omitempty"`
 }
 
 type explainRequest struct {
@@ -784,7 +898,7 @@ func (s *Server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
+		s.writeBodyError(w, err)
 		return
 	}
 	batch, err := provrpq.DecodeBatch(spec, body)
@@ -861,7 +975,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if !req.CountOnly {
 		// Page the serialized window, not the evaluation: a full pair list
 		// is O(n²) in the worst case, and an unbounded response body is
-		// what the limit protects clients (and the wire) from.
+		// what the limit protects clients (and the wire) from. An offset at
+		// or past the end is a legal empty window — "pairs": [] with the
+		// true total — not an error: a pager's last step naturally lands
+		// there.
 		window := pairs
 		if req.Offset > 0 {
 			if req.Offset >= len(window) {
@@ -873,7 +990,8 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		if req.Limit != nil && *req.Limit < len(window) {
 			window = window[:*req.Limit]
 		}
-		resp.Pairs = toPairJSON(eng.Run(), window)
+		pj := toPairJSON(eng.Run(), window)
+		resp.Pairs = &pj
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -1026,10 +1144,35 @@ func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, into any) bool
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		if isBodyLimit(err) {
+			s.writeBodyError(w, err)
+			return false
+		}
 		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
 		return false
 	}
 	return true
+}
+
+// isBodyLimit reports whether a body-read failure is the MaxBytesReader
+// limit firing — the client's request is too large, which must surface as
+// 413 request_too_large, never a generic 400/500 (a client cannot fix what
+// it cannot distinguish).
+func isBodyLimit(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
+// writeBodyError answers a failed request-body read: 413 request_too_large
+// when the body limit fired, otherwise the client's generic 400.
+func (s *Server) writeBodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.writeError(w, http.StatusRequestEntityTooLarge, "request_too_large",
+			fmt.Sprintf("request body exceeds the server's %d-byte limit", mbe.Limit))
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {

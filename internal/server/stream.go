@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"provrpq"
+)
+
+// Streaming ingestion: POST /v1/runs/{name}/stream accepts an unbounded
+// NDJSON body — one record per line, each a single node or edge in the
+// run-upload wire shapes —
+//
+//	{"node": {"name": "a:9", "module": "a", "label": "<base64>"}}
+//	{"edge": {"From": 3, "To": 12, "Tag": "s"}}
+//
+// and commits them through the ordinary append path in groups bounded by
+// StreamFlushRecords and StreamFlushInterval. Each group is one durable
+// batch: crash-wise it is invisible or committed as a whole (the store's
+// manifest protocol), and standing-query watchers observe one AppendEvent
+// per group. Edge endpoints use the grown run's numbering at the moment
+// their group commits — ids at or above the pre-group node count reference
+// nodes streamed earlier in the same group, in order.
+//
+// Backpressure is structural: the line reader hands records to the
+// committing loop over an unbuffered channel, so the handler reads the
+// request body only as fast as group commits drain. A slow disk slows the
+// client down instead of buffering the stream in memory. The body's total
+// size is therefore unbounded; each record is bounded by MaxRecordBytes
+// (413 request_too_large on violation), and concurrently open streams are
+// bounded by MaxStreams (429).
+//
+// The response is a single JSON summary written at EOF — or, on a
+// mid-stream failure, an error that reports how many groups had already
+// committed (those stay committed; streaming is not transactional across
+// groups).
+
+// streamResponse summarizes a completed ingest stream.
+type streamResponse struct {
+	Run     string `json:"run"`
+	Spec    string `json:"spec"`
+	Version int    `json:"version"`
+	// Nodes and Edges are the run's totals after the stream.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// StreamedNodes/StreamedEdges/Batches count this stream's contribution.
+	StreamedNodes int `json:"streamed_nodes"`
+	StreamedEdges int `json:"streamed_edges"`
+	Batches       int `json:"batches"`
+}
+
+// streamRecord is one NDJSON line: exactly one of the fields is set.
+type streamRecord struct {
+	Node json.RawMessage `json:"node"`
+	Edge json.RawMessage `json:"edge"`
+}
+
+func (s *Server) handleStreamRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	specName, ok := s.cat.RunSpecName(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("run %q is not registered", name))
+		return
+	}
+	spec, ok := s.cat.Spec(specName)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, "internal", fmt.Sprintf("run %q is bound to unknown specification %q", name, specName))
+		return
+	}
+	s.streams.Add(1)
+	defer s.streams.Add(-1)
+	if s.maxStreams > 0 && s.streams.Load() > int64(s.maxStreams) {
+		s.writeError(w, http.StatusTooManyRequests, "overloaded",
+			fmt.Sprintf("server is at its open-ingest-stream limit (%d)", s.maxStreams))
+		return
+	}
+
+	// The reader goroutine owns the body: Scanner blocks on reads, so the
+	// committing loop below must not. Lines flow over an unbuffered channel
+	// — that is the backpressure — and the done channel releases the reader
+	// if the loop exits early (commit failure, malformed record).
+	lines := make(chan []byte)
+	done := make(chan struct{})
+	defer close(done)
+	var scanErr error // written before close(lines); read after it closes
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(r.Body)
+		initial := 64 << 10
+		if s.maxRecord < initial {
+			initial = s.maxRecord
+		}
+		sc.Buffer(make([]byte, 0, initial), s.maxRecord)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			cp := make([]byte, len(line))
+			copy(cp, line)
+			select {
+			case lines <- cp:
+			case <-done:
+				return
+			}
+		}
+		scanErr = sc.Err()
+	}()
+
+	var (
+		nodes, edges []json.RawMessage
+		resp         = streamResponse{Run: name, Spec: specName}
+	)
+	if v, ok := s.cat.RunVersion(name); ok {
+		resp.Version = v
+	}
+	if run, ok := s.cat.Run(name); ok {
+		resp.Nodes, resp.Edges = run.NumNodes(), run.NumEdges()
+	}
+	flush := func() error {
+		if len(nodes)+len(edges) == 0 {
+			return nil
+		}
+		payload, err := json.Marshal(struct {
+			Nodes []json.RawMessage `json:"nodes,omitempty"`
+			Edges []json.RawMessage `json:"edges,omitempty"`
+		}{nodes, edges})
+		if err != nil {
+			return fmt.Errorf("assembling batch: %w", err)
+		}
+		b, err := provrpq.DecodeBatch(spec, payload)
+		if err != nil {
+			return err
+		}
+		res, err := s.cat.AppendEdges(name, b)
+		if err != nil {
+			return err
+		}
+		resp.Version = res.Version
+		resp.Nodes, resp.Edges = res.Run.NumNodes(), res.Run.NumEdges()
+		resp.StreamedNodes += res.Stats.NewNodes
+		resp.StreamedEdges += res.Stats.NewEdges
+		resp.Batches++
+		s.mIngestRecords.With("node").Add(uint64(len(nodes)))
+		s.mIngestRecords.With("edge").Add(uint64(len(edges)))
+		s.mIngestBatches.Inc()
+		nodes, edges = nil, nil
+		return nil
+	}
+	// Every failure answer carries how far the stream got: groups already
+	// committed stay committed (streaming is not transactional across
+	// groups), so the client reconciles from the reported version.
+	progress := func(msg string) string {
+		return fmt.Sprintf("%s (stream had committed %d batches; run %q is at version %d)",
+			msg, resp.Batches, name, resp.Version)
+	}
+	appendFailed := func(err error) {
+		if errors.Is(err, provrpq.ErrStoreFailed) {
+			s.writeError(w, http.StatusInternalServerError, "store_failed", progress(err.Error()))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "bad_batch", progress(err.Error()))
+	}
+
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				if scanErr != nil {
+					if errors.Is(scanErr, bufio.ErrTooLong) {
+						s.writeError(w, http.StatusRequestEntityTooLarge, "request_too_large",
+							progress(fmt.Sprintf("NDJSON record exceeds the server's %d-byte record limit", s.maxRecord)))
+					} else {
+						s.writeError(w, http.StatusBadRequest, "bad_request",
+							progress("reading stream: "+scanErr.Error()))
+					}
+					return
+				}
+				if err := flush(); err != nil {
+					appendFailed(err)
+					return
+				}
+				s.writeJSON(w, http.StatusOK, resp)
+				return
+			}
+			var rec streamRecord
+			dec := json.NewDecoder(bytes.NewReader(line))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&rec); err != nil {
+				s.writeError(w, http.StatusBadRequest, "bad_request",
+					progress("invalid NDJSON record: "+err.Error()))
+				return
+			}
+			switch {
+			case len(rec.Node) > 0 && len(rec.Edge) == 0:
+				nodes = append(nodes, rec.Node)
+			case len(rec.Edge) > 0 && len(rec.Node) == 0:
+				edges = append(edges, rec.Edge)
+			default:
+				s.writeError(w, http.StatusBadRequest, "bad_request",
+					progress(`invalid NDJSON record: exactly one of "node" and "edge" is required`))
+				return
+			}
+			if len(nodes)+len(edges) >= s.flushRecords {
+				if err := flush(); err != nil {
+					appendFailed(err)
+					return
+				}
+				if timer != nil {
+					timer.Stop()
+					timer, timerC = nil, nil
+				}
+			} else if timerC == nil && s.flushInterval > 0 {
+				timer = time.NewTimer(s.flushInterval)
+				timerC = timer.C
+			}
+		case <-timerC:
+			// A partially-filled group has waited long enough: commit it so
+			// slow feeds still become durable (and visible to watchers)
+			// promptly.
+			timer, timerC = nil, nil
+			if err := flush(); err != nil {
+				appendFailed(err)
+				return
+			}
+		}
+	}
+}

@@ -21,11 +21,15 @@
 //
 // Names are opaque non-empty strings; they are path-escaped on the way to
 // a filename (so "a/b" and "a b" are valid catalog names) and unescaped
-// when listing. Every write is atomic: the payload goes to a temp file in
-// the destination directory, is fsynced, and is renamed over the final
-// path, followed by an fsync of the directory itself, so a crash mid-write
-// never leaves a torn file and a completed write — including the rename
-// that publishes it — survives power loss.
+// when listing. Every directly-visible write is atomic: the payload goes
+// to a temp file in the destination directory, is fsynced, and is renamed
+// over the final path, followed by an fsync of the directory itself, so a
+// crash mid-write never leaves a torn file and a completed write —
+// including the rename that publishes it — survives power loss. The one
+// exception is group-committed append staging (writeStaged): a staged
+// batch file is invisible until the manifest counts it, so it is written
+// in place and made durable by the commit leader just before the manifest
+// write that publishes it.
 //
 // The manifest is the commit point for runs and for growth batches: PutRun
 // writes the run file first and the manifest entry second, AppendRun
@@ -41,12 +45,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"maps"
 	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"provrpq/internal/metrics"
 )
@@ -108,6 +114,39 @@ type Store struct {
 	// with ErrWedged (reads keep working); reopening re-reads the disk
 	// state and recovers.
 	wedged bool
+
+	// appendMus holds one append mutex per run name (see appendLock in
+	// groupcommit.go): at most one append per run is in flight, so a run's
+	// committed batch count is always the next free sequence number.
+	appendMus sync.Map
+
+	// leaderMu elects the group-commit leader: whoever holds it drains the
+	// queue and writes one manifest covering every drained op. Followers
+	// block on it only to discover their op was already committed.
+	//
+	//provrpq:lockrank commitLeaderMu 14
+	leaderMu sync.Mutex
+
+	// qmu guards only the pending commit-op slice; it is held for
+	// append/drain instants, never across I/O.
+	//
+	//provrpq:lockrank commitQueueMu 16
+	qmu   sync.Mutex
+	queue []*commitOp
+
+	// serial disables manifest-commit coalescing (SetSerialCommit): the
+	// honest per-batch-fsync baseline for the ingest benchmark.
+	serial atomic.Bool
+
+	// man caches the manifest (guarded by mu): this process is the only
+	// manifest writer, so after one disk load the cache is authoritative
+	// and readManifest stops paying a file read plus JSON parse per call —
+	// which an append pays twice (sequence reservation, commit). A failed
+	// manifest write leaves the cache at the pre-write state: for a plain
+	// failure that matches disk; for an ambiguous one the store is wedged
+	// and readers conservatively keep seeing the unacknowledged-write-free
+	// history until reopen re-reads disk.
+	man *manifest
 }
 
 // Open opens (creating if necessary) the store rooted at dir, sweeping
@@ -244,6 +283,11 @@ func (s *Store) PutRun(name, spec string, data []byte) error {
 	if spec == "" {
 		return fmt.Errorf("store: run %q: empty specification name", name)
 	}
+	// A fresh put rewrites the run's whole history; excluding the run's
+	// in-flight append (if any) keeps the reset from racing a staged batch.
+	amu := s.appendLock(name)
+	amu.Lock()
+	defer amu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wedged {
@@ -376,6 +420,12 @@ func (s *Store) Bases() (map[string]int, error) {
 // (the previous base, the folded batches) are removed best-effort after
 // the commit. Returns the new epoch.
 func (s *Store) CompactRun(name string, data []byte) (int, error) {
+	// Folding the log must not interleave with an in-flight append to the
+	// same run: the append's reserved sequence number is only meaningful
+	// against the batch count this compaction is about to zero.
+	amu := s.appendLock(name)
+	amu.Lock()
+	defer amu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wedged {
@@ -492,34 +542,58 @@ func (s *Store) HasRun(name string) bool {
 // between the two writes leaves an orphan batch file that replay never
 // reads and the next AppendRun atomically overwrites: growth is replayed
 // cleanly or is invisible, never torn.
+//
+// Concurrent appends to different runs coalesce: each stages its payload
+// (paying only the file-content fsync) in parallel, then the group-commit
+// leader pins all the staged renames with one appends-directory fsync and
+// publishes the manifest bumps in one atomic manifest write (see
+// groupcommit.go) — so N in-flight appends cost one directory fsync plus
+// one manifest fsync pair, not N of each.
 func (s *Store) AppendRun(name string, data []byte) (seq int, err error) {
 	if name == "" {
 		return 0, fmt.Errorf("store: empty run name")
 	}
+	amu := s.appendLock(name)
+	amu.Lock()
+	defer amu.Unlock()
+	if s.serial.Load() {
+		return s.appendRunSerial(name, data)
+	}
+	// Reserve the sequence number: the append lock is held, so the
+	// manifest's committed count is the next free slot and stays so until
+	// this append commits or fails. The cached manifest is read in place —
+	// no clone — since only one count is consulted.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.wedged {
+		s.mu.Unlock()
 		return 0, fmt.Errorf("store: run %q: %w", name, ErrWedged)
 	}
-	m, err := s.readManifest()
+	m, err := s.manifestView()
 	if err != nil {
+		s.mu.Unlock()
 		return 0, err
 	}
 	if _, ok := m.Runs[name]; !ok {
+		s.mu.Unlock()
 		return 0, fmt.Errorf("store: run %q: %w", name, ErrNotFound)
 	}
 	seq = m.Appends[name]
-	if err := s.noteAmbiguous(writeAtomic(s.appendPath(name, seq), data)); err != nil {
+	s.mu.Unlock()
+
+	path := s.appendPath(name, seq)
+	if err := s.stage(path, data); err != nil {
 		return 0, err
 	}
-	if m.Appends == nil {
-		m.Appends = map[string]int{}
-	}
-	m.Appends[name] = seq + 1
-	if err := s.noteAmbiguous(s.writeManifest(m)); err != nil {
-		return 0, err
+	if err := s.groupCommit(filepath.Dir(path), func(m *manifest) {
+		if m.Appends == nil {
+			m.Appends = map[string]int{}
+		}
+		m.Appends[name] = seq + 1
+	}); err != nil {
+		return 0, fmt.Errorf("store: run %q: %w", name, err)
 	}
 	mWrites.With("append").Inc()
+	mAppendBytes.Add(uint64(len(data)))
 	return seq, nil
 }
 
@@ -684,7 +758,36 @@ func decodeName(file string) (string, bool) {
 	return name, true
 }
 
+// readManifest returns a private copy of the manifest (callers hold s.mu
+// and freely mutate the returned maps before writeManifest). The disk file
+// is read and parsed only on the first call; afterwards the in-memory
+// cache is authoritative — see the man field.
 func (s *Store) readManifest() (manifest, error) {
+	m, err := s.manifestView()
+	if err != nil {
+		return manifest{Runs: map[string]string{}}, err
+	}
+	return cloneManifest(*m), nil
+}
+
+// manifestView returns the cached manifest itself, without cloning —
+// read-only access for hot paths like append sequence reservation.
+// Callers hold s.mu and must neither mutate the result nor retain it past
+// the unlock.
+func (s *Store) manifestView() (*manifest, error) {
+	if s.man == nil {
+		m, err := s.loadManifest()
+		if err != nil {
+			return nil, err
+		}
+		s.man = &m
+	}
+	return s.man, nil
+}
+
+// loadManifest reads and parses the manifest file, bypassing the cache
+// (Open-time and reopen-after-wedge paths).
+func (s *Store) loadManifest() (manifest, error) {
 	m := manifest{Runs: map[string]string{}}
 	data, err := os.ReadFile(s.manifestPath())
 	if errors.Is(err, os.ErrNotExist) {
@@ -702,6 +805,15 @@ func (s *Store) readManifest() (manifest, error) {
 	return m, nil
 }
 
+// cloneManifest deep-copies the manifest's maps so cache and caller never
+// alias (nil maps stay nil, matching the omitempty encoding).
+func cloneManifest(m manifest) manifest {
+	m.Runs = maps.Clone(m.Runs)
+	m.Appends = maps.Clone(m.Appends)
+	m.Bases = maps.Clone(m.Bases)
+	return m
+}
+
 func (s *Store) writeManifest(m manifest) error {
 	data, err := json.Marshal(m)
 	if err != nil {
@@ -710,14 +822,48 @@ func (s *Store) writeManifest(m manifest) error {
 	if err := writeAtomic(s.manifestPath(), data); err != nil {
 		return err
 	}
+	c := cloneManifest(m)
+	s.man = &c
 	mWrites.With("manifest").Inc()
 	return nil
 }
 
 // writeAtomic writes data to path via a same-directory temp file, fsync
 // and rename, so concurrent readers and crashed writers never observe a
-// torn file.
+// torn file, then fsyncs the parent directory so the rename survives power
+// loss. When writeAtomic returns nil the write IS the commit.
 func writeAtomic(path string, data []byte) error {
+	if err := writeAtomicDeferSync(path, data, true); err != nil {
+		return err
+	}
+	// Invariant: the rename above only updates the in-memory directory
+	// entry; until the directory is fsynced the old entry (or none) can
+	// reappear after a crash, which would silently undo a "committed"
+	// manifest or payload. Fsyncing the parent directory pins the rename,
+	// completing the temp-file + fsync + rename + dir-fsync sequence. A
+	// failure *here* is ambiguous — the rename already applied, so the
+	// write may or may not survive — and is classified as such so the
+	// store wedges instead of mutating on top of an unknowable disk state.
+	if err := FsyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("store: %s: %w: %w", path, errAmbiguousCommit, err)
+	}
+	return nil
+}
+
+// writeAtomicDeferSync is writeAtomic without the final parent-directory
+// fsync: the rename is atomic, but may not survive power loss until
+// someone fsyncs the directory. Callers must arrange that pin before
+// treating the write as committed — the group-commit leader does it once
+// per batch of staged appends (see groupcommit.go), which is what makes
+// deferral profitable. When dataSync is false the file-content fsync is
+// skipped too, for staged files whose data the leader will flush with one
+// filesystem-wide syncfs; with it true the content is durable on return
+// and only the rename is deferred. Unlike writeAtomic, no failure here is
+// ambiguous: if the rename did not return nil the target was never
+// published.
+//
+//provrpq:fsyncsafe writeAtomic's own body, split out so group commit can defer the directory fsync; every caller either is writeAtomic or routes the deferred pin through the commit leader
+func writeAtomicDeferSync(path string, data []byte, dataSync bool) error {
 	dir, base := filepath.Split(path)
 	tmp, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
@@ -732,32 +878,57 @@ func writeAtomic(path string, data []byte) error {
 	if _, err := tmp.Write(data); err != nil {
 		return fmt.Errorf("store: %s: %w", path, err)
 	}
-	if err := tmp.Sync(); err != nil {
-		return fmt.Errorf("store: %s: %w", path, err)
+	if dataSync {
+		if err := tmp.Sync(); err != nil {
+			return fmt.Errorf("store: %s: %w", path, err)
+		}
+		mFsyncs.Inc()
 	}
-	mFsyncs.Inc()
 	if err := tmp.Chmod(0o644); err != nil {
 		return fmt.Errorf("store: %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: %s: %w", path, err)
 	}
+	//provlint:ignore fsyncorder deferring the parent-directory fsync is this function's contract; the group-commit leader pins the rename before the manifest write that publishes it
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmp = nil
-	// Invariant: when writeAtomic returns nil the write is the commit —
-	// durable across power loss, not just process crash. The rename above
-	// only updates the in-memory directory entry; until the directory is
-	// fsynced the old entry (or none) can reappear after a crash, which
-	// would silently undo a "committed" manifest or payload. Fsyncing the
-	// parent directory pins the rename, completing the temp-file + fsync +
-	// rename + dir-fsync sequence. A failure *here* is ambiguous — the
-	// rename already applied, so the write may or may not survive — and is
-	// classified as such so the store wedges instead of mutating on top of
-	// an unknowable disk state.
-	if err := FsyncDir(dir); err != nil {
-		return fmt.Errorf("store: %s: %w: %w", path, errAmbiguousCommit, err)
+	return nil
+}
+
+// writeStaged writes a staged append payload directly at its final path —
+// no temp file, no rename, and durability deferred exactly like
+// writeAtomicDeferSync (content fsync only when dataSync is true; the
+// directory entry is pinned by the group-commit leader). Skipping the
+// atomic dance is safe *only* for staged files: a staged path is below no
+// manifest count, so readers can never observe it, and a torn write just
+// leaves invisible garbage the next append at that sequence rewrites with
+// O_TRUNC. Atomicity of the visible state is the manifest's job here, not
+// the filesystem's — which saves the temp-file create and rename
+// syscalls on the hottest write path in the store.
+//
+//provrpq:fsyncsafe staged append payloads are invisible until a manifest write counts them, so a torn write here can never be observed; durability is the group-commit leader's pre-manifest flush
+func writeStaged(path string, data []byte, dataSync bool) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(path) // best-effort: the partial file is invisible anyway
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	if dataSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %s: %w", path, err)
+		}
+		mFsyncs.Inc()
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
 	}
 	return nil
 }

@@ -1,0 +1,39 @@
+//go:build linux && (amd64 || arm64)
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// syncfsSupported gates the deferred-data-sync staging protocol: when
+// true, stage skips the per-file content fsync and the group-commit
+// leader flushes every staged payload in the group with one syncfs of the
+// appends directory's filesystem (see groupcommit.go). When false, each
+// stage pays its own content fsync and the leader only pins renames.
+const syncfsSupported = true
+
+// doSyncfs is indirected so in-package tests can inject a syncfs failure —
+// the ambiguous window that must wedge the store. Production code must
+// never reassign it.
+var doSyncfs = syncFilesystem
+
+// syncFilesystem flushes all dirty file data and metadata of the
+// filesystem containing dir. Since Linux 4.13 syncfs reports writeback
+// errors, so a nil return means the staged payloads' contents are on
+// stable storage. Go's frozen syscall package predates the syncfs
+// wrapper, hence the raw syscall with a per-arch number (syncfs_num_*.go).
+func syncFilesystem(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if _, _, errno := syscall.Syscall(sysSyncfs, d.Fd(), 0, 0); errno != 0 {
+		return fmt.Errorf("store: syncfs %s: %w", dir, errno)
+	}
+	mFsyncs.Inc()
+	return nil
+}

@@ -1,0 +1,6 @@
+//go:build linux && amd64
+
+package store
+
+// sysSyncfs is the syncfs(2) syscall number on linux/amd64.
+const sysSyncfs = 306

@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package store
+
+// sysSyncfs is the syncfs(2) syscall number on linux/arm64.
+const sysSyncfs = 267

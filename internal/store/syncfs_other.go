@@ -1,0 +1,12 @@
+//go:build !(linux && (amd64 || arm64))
+
+package store
+
+// syncfsSupported is false where the raw syncfs syscall isn't wired up:
+// every staged file fsyncs its own contents at write time and the
+// group-commit leader only coalesces the directory and manifest fsyncs.
+const syncfsSupported = false
+
+// doSyncfs is never called when syncfsSupported is false; the variable
+// exists so groupcommit.go compiles identically on every platform.
+var doSyncfs = func(string) error { return nil }

@@ -72,6 +72,7 @@ type Spec struct {
 	bodySrc   []int    // per production: index of the unique source node
 	bodySink  []int    // per production: index of the unique sink node
 	bodyReach [][]bool // per production: closure[i*len(nodes)+j], strict (i!=j paths)
+	tagAlpha  map[string]bool
 
 	pg *ProdGraph
 }
@@ -173,18 +174,31 @@ func (s *Spec) Size() int {
 
 // Tags returns the sorted set of edge tags appearing in any production body.
 func (s *Spec) Tags() []string {
-	set := map[string]bool{}
-	for _, p := range s.Prods {
-		for _, e := range p.Body.Edges {
-			set[e.Tag] = true
-		}
-	}
+	set := s.TagSet()
 	tags := make([]string, 0, len(set))
 	for t := range set {
 		tags = append(tags, t)
 	}
 	sort.Strings(tags)
 	return tags
+}
+
+// TagSet returns the edge-tag alphabet Γ as a set, shared and immutable:
+// it is built once in validate, so per-append batch validation reads it
+// without materializing a fresh map. Callers must not mutate it.
+func (s *Spec) TagSet() map[string]bool {
+	if s.tagAlpha != nil {
+		return s.tagAlpha
+	}
+	// A Spec constructed without New (tests building literals) lacks the
+	// derived tables; fall back to a one-off scan rather than panic.
+	set := map[string]bool{}
+	for _, p := range s.Prods {
+		for _, e := range p.Body.Edges {
+			set[e.Tag] = true
+		}
+	}
+	return set
 }
 
 // validate checks the grammar and fills in the derived structures
@@ -233,6 +247,12 @@ func (s *Spec) validate() error {
 	for k := range s.Prods {
 		if err := s.validateBody(k); err != nil {
 			return err
+		}
+	}
+	s.tagAlpha = map[string]bool{}
+	for _, p := range s.Prods {
+		for _, e := range p.Body.Edges {
+			s.tagAlpha[e.Tag] = true
 		}
 	}
 	return s.checkProductive()

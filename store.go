@@ -247,6 +247,13 @@ func (s *Store) AppendRun(name string, b *Batch) (int, error) {
 	return seq, nil
 }
 
+// SetSerialCommit switches the store's append path between the coalescing
+// group-commit protocol (the default, false) and the legacy serial
+// protocol with one manifest write per batch. Both provide identical
+// crash semantics; the serial path exists as the honest baseline for the
+// ingest benchmark and as a bisection tool.
+func (s *Store) SetSerialCommit(on bool) { s.st.SetSerialCommit(on) }
+
 // Wedged reports whether the underlying store has latched its wedge: an
 // ambiguous commit failure occurred and every further mutation is
 // refused until the process reopens the directory. Reads still serve.
